@@ -1,0 +1,7 @@
+//! Ablation study of the framework's design choices.
+//! Run: `cargo bench -p fact-bench --bench ablation`
+
+fn main() {
+    let rows = fact_bench::ablation::run(false);
+    println!("{}", fact_bench::ablation::report(&rows));
+}

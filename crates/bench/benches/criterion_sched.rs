@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the scheduler and estimator: how fast can
+//! a candidate be rescheduled and re-estimated? This bounds the search
+//! throughput of the Figure 6 inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Short sampling profile so `cargo bench --workspace` stays quick while
+/// remaining statistically useful for these micro-scale workloads.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+use fact_core::suite::{suite, TEST1_SRC};
+use fact_estim::{evaluate, section5_library, table1_library};
+use fact_lang::compile;
+use fact_sched::{schedule, Allocation, SchedOptions};
+use fact_sim::{generate, profile, InputSpec};
+use std::hint::black_box;
+
+fn bench_schedule_test1(c: &mut Criterion) {
+    let f = compile(TEST1_SRC).unwrap();
+    let (lib, rules) = table1_library();
+    let mut alloc = Allocation::new();
+    alloc.set(lib.by_name("comp1").unwrap(), 2);
+    alloc.set(lib.by_name("cla1").unwrap(), 2);
+    alloc.set(lib.by_name("incr1").unwrap(), 1);
+    alloc.set(lib.by_name("w_mult1").unwrap(), 1);
+    let traces = generate(
+        &[
+            ("c1".to_string(), InputSpec::Constant(18)),
+            ("c2".to_string(), InputSpec::Constant(49)),
+        ],
+        4,
+        7,
+    );
+    let prof = profile(&f, &traces);
+    let opts = SchedOptions::default();
+    c.bench_function("schedule_test1", |b| {
+        b.iter(|| {
+            let sr = schedule(black_box(&f), &lib, &rules, &alloc, &prof, &opts).unwrap();
+            black_box(sr.stg.num_states())
+        })
+    });
+}
+
+fn bench_schedule_and_estimate_suite(c: &mut Criterion) {
+    let (lib, rules) = section5_library();
+    let opts = SchedOptions::default();
+    let benches: Vec<_> = suite(&lib)
+        .into_iter()
+        .map(|b| {
+            let prof = profile(&b.function, &b.traces);
+            (b, prof)
+        })
+        .collect();
+    c.bench_function("schedule_estimate_suite", |bch| {
+        bch.iter(|| {
+            let mut total = 0.0;
+            for (b, prof) in &benches {
+                let sr = schedule(&b.function, &lib, &rules, &b.allocation, prof, &opts).unwrap();
+                total += evaluate(&sr, &lib, 25.0).unwrap().average_schedule_length;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_profile_gcd(c: &mut Criterion) {
+    let (lib, _) = section5_library();
+    let b = suite(&lib).remove(0);
+    c.bench_function("profile_gcd", |bch| {
+        bch.iter(|| black_box(profile(&b.function, &b.traces).runs_ok))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_schedule_test1, bench_schedule_and_estimate_suite, bench_profile_gcd
+}
+criterion_main!(benches);

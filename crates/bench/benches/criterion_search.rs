@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the transformation machinery: candidate
+//! enumeration and a budgeted Apply_transforms search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Short sampling profile so `cargo bench --workspace` stays quick while
+/// remaining statistically useful for these micro-scale workloads.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+use fact_core::{apply_transforms, SearchConfig};
+use fact_ir::rewrite::datapath_op_count;
+use fact_lang::compile;
+use fact_xform::{Region, TransformLibrary};
+use std::hint::black_box;
+
+fn bench_candidate_enumeration(c: &mut Criterion) {
+    let f = compile(fact_core::suite::SINTRAN_SRC).unwrap();
+    let lib = TransformLibrary::full();
+    c.bench_function("enumerate_candidates_sintran", |b| {
+        b.iter(|| black_box(lib.all_candidates(black_box(&f), &Region::whole()).len()))
+    });
+}
+
+fn bench_structural_search(c: &mut Criterion) {
+    let f = compile("proc f(a, b, c, d) { out y = a * b + a * c + a * d; }").unwrap();
+    let lib = TransformLibrary::full();
+    let cfg = SearchConfig {
+        max_evaluations: 40,
+        ..Default::default()
+    };
+    c.bench_function("apply_transforms_structural", |b| {
+        b.iter(|| {
+            let r = apply_transforms(
+                black_box(&f),
+                &Region::whole(),
+                &lib,
+                &cfg,
+                &mut |g| Some(-(datapath_op_count(g) as f64)),
+            );
+            black_box(r.evaluated)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_candidate_enumeration, bench_structural_search
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the §2.2 Example 1 power-estimation walkthrough (Table 1).
+//! Run: `cargo bench -p fact-bench --bench example1_power`
+
+fn main() {
+    let r = fact_bench::example1::run();
+    println!("{}", fact_bench::example1::report(&r));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: TEST1 source, CDFG, and scheduled STG.
+//! Run: `cargo bench -p fact-bench --bench fig1_test1`
+
+fn main() {
+    let r = fact_bench::fig1::run();
+    println!("{}", fact_bench::fig1::report(&r));
+}

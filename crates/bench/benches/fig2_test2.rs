@@ -1,0 +1,8 @@
+//! Regenerates Figures 2-3 / Example 2: Test2's concurrent-loop schedule
+//! before and after the scheduling-guided rewrite.
+//! Run: `cargo bench -p fact-bench --bench fig2_test2`
+
+fn main() {
+    let r = fact_bench::fig2::run(false);
+    println!("{}", fact_bench::fig2::report(&r));
+}

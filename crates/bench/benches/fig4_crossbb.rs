@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 / Example 3: distributivity across basic blocks.
+//! Run: `cargo bench -p fact-bench --bench fig4_crossbb`
+
+fn main() {
+    let r = fact_bench::fig4::run();
+    println!("{}", fact_bench::fig4::report(&r));
+}

@@ -1,0 +1,7 @@
+//! Resource-sensitivity sweep: FACT-vs-M1 gap as allocations grow.
+//! Run: `cargo bench -p fact-bench --bench sweep`
+
+fn main() {
+    let rows = fact_bench::sweep::run(false);
+    println!("{}", fact_bench::sweep::report(&rows));
+}

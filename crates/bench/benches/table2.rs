@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 2 (and echoes Table 3's allocations).
+//! Run: `cargo bench -p fact-bench --bench table2`
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let result = fact_bench::table2::run(false);
+    println!("{}", fact_bench::table2::report(&result));
+    println!("(completed in {:.1}s)", t0.elapsed().as_secs_f32());
+}

@@ -1,0 +1,193 @@
+//! Ablations of the design choices the paper motivates:
+//!
+//! * **no scheduling feedback** — select transformations with the Flamel
+//!   baseline's structural objective instead of rescheduling (the paper's
+//!   central claim is that this loses the neutral-but-profitable
+//!   rewrites);
+//! * **no cross-basic-block matching** — drop `PhiSink` from the library
+//!   (§3's second claim);
+//! * **no partitioning** — search the whole function as one region
+//!   instead of profile-hot STG blocks (cost, not quality: more candidate
+//!   evaluations for the same result on small behaviors);
+//! * **scheduler features off** — concurrent loops / pipelining /
+//!   rotation disabled, quantifying the substrate the transformations
+//!   stand on.
+
+use fact_core::{
+    flamel, m1, optimize, suite, FactConfig, Objective, PartitionConfig, SearchConfig,
+    TransformLibrary,
+};
+use fact_estim::section5_library;
+use fact_sched::SchedOptions;
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Full FACT average schedule length.
+    pub full: f64,
+    /// Without scheduling feedback (structural objective).
+    pub no_feedback: f64,
+    /// Without cross-basic-block matching.
+    pub no_crossbb: f64,
+    /// Without STG partitioning (whole-function region).
+    pub no_partition: f64,
+    /// Candidates evaluated with / without partitioning.
+    pub evals_partitioned: usize,
+    /// Candidate evaluations without partitioning.
+    pub evals_whole: usize,
+    /// M1 with scheduler loop optimizations off.
+    pub weak_scheduler: f64,
+    /// Full M1 (all scheduler features).
+    pub m1: f64,
+}
+
+fn library_without_phisink() -> TransformLibrary {
+    let mut lib = TransformLibrary::new();
+    lib.push(Box::new(fact_xform::algebraic::Commutativity));
+    lib.push(Box::new(fact_xform::algebraic::Associativity));
+    lib.push(Box::new(fact_xform::algebraic::Distributivity));
+    lib.push(Box::new(fact_xform::constprop::ConstantPropagation));
+    lib.push(Box::new(fact_xform::codemotion::CodeMotion));
+    lib.push(Box::new(fact_xform::unroll::LoopUnroll::new(2)));
+    lib
+}
+
+/// Runs the ablation study over the §5 suite.
+pub fn run(quick: bool) -> Vec<AblationRow> {
+    let (lib, rules) = section5_library();
+    let tlib_full = TransformLibrary::full();
+    let tlib_nox = library_without_phisink();
+    let search = if quick {
+        SearchConfig {
+            max_moves: 2,
+            in_set_size: 2,
+            max_rounds: 3,
+            max_evaluations: 60,
+            ..Default::default()
+        }
+    } else {
+        SearchConfig {
+            max_moves: 3,
+            in_set_size: 3,
+            max_rounds: 4,
+            max_evaluations: 150,
+            ..Default::default()
+        }
+    };
+    let sched = SchedOptions::default();
+    let weak_sched = SchedOptions {
+        if_convert: false,
+        rotate: false,
+        pipeline: false,
+        concurrent: false,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    for b in suite(&lib) {
+        let base_cfg = FactConfig {
+            objective: Objective::Throughput,
+            search: search.clone(),
+            sched: sched.clone(),
+            ..Default::default()
+        };
+        let run_with = |tlib: &TransformLibrary, cfg: &FactConfig| {
+            optimize(&b.function, &lib, &rules, &b.allocation, &b.traces, tlib, cfg)
+        };
+
+        let full = run_with(&tlib_full, &base_cfg).expect("full FACT runs");
+        let no_crossbb = run_with(&tlib_nox, &base_cfg).expect("ablation runs");
+
+        // No partitioning: one whole-function region (threshold that
+        // selects nothing forces the whole-region fallback).
+        let whole_cfg = FactConfig {
+            partition: PartitionConfig {
+                threshold_fraction: f64::INFINITY,
+            },
+            ..base_cfg.clone()
+        };
+        let no_partition = run_with(&tlib_full, &whole_cfg).expect("ablation runs");
+
+        // No scheduling feedback = the Flamel baseline.
+        let no_feedback = flamel(&b.function, &lib, &rules, &b.allocation, &b.traces, &sched)
+            .expect("flamel runs");
+
+        let m1_full = m1(&b.function, &lib, &rules, &b.allocation, &b.traces, &sched)
+            .expect("m1 runs");
+        let m1_weak = m1(&b.function, &lib, &rules, &b.allocation, &b.traces, &weak_sched)
+            .expect("m1 weak runs");
+
+        rows.push(AblationRow {
+            circuit: b.name.to_string(),
+            full: full.estimate.average_schedule_length,
+            no_feedback: no_feedback.estimate.average_schedule_length,
+            no_crossbb: no_crossbb.estimate.average_schedule_length,
+            no_partition: no_partition.estimate.average_schedule_length,
+            evals_partitioned: full.evaluated,
+            evals_whole: no_partition.evaluated,
+            weak_scheduler: m1_weak.estimate.average_schedule_length,
+            m1: m1_full.estimate.average_schedule_length,
+        });
+    }
+    rows
+}
+
+/// Renders the ablation table.
+pub fn report(rows: &[AblationRow]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Ablations — average schedule length (cycles; lower is better)\n\n",
+    );
+    s.push_str(&format!(
+        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10}\n",
+        "Circuit", "FACT", "no-feedbk", "no-crossbb", "no-partition", "weak-sched", "M1"
+    ));
+    s.push_str(&format!("{}\n", "-".repeat(76)));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>8.1} {:>10.1} {:>10.1} {:>12.1} {:>10.1} {:>10.1}\n",
+            r.circuit, r.full, r.no_feedback, r.no_crossbb, r.no_partition, r.weak_scheduler, r.m1
+        ));
+    }
+    s.push_str("\ncandidate evaluations (partitioned vs whole-function):\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<10} {:>6} vs {:>6}\n",
+            r.circuit, r.evals_partitioned, r.evals_whole
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_preserve_expected_orderings() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // Scheduling feedback never hurts.
+            assert!(
+                r.full <= r.no_feedback * 1.02,
+                "{}: full {} vs no-feedback {}",
+                r.circuit,
+                r.full,
+                r.no_feedback
+            );
+            // The full scheduler substrate dominates the weak one.
+            assert!(
+                r.m1 <= r.weak_scheduler * 1.02,
+                "{}: m1 {} vs weak {}",
+                r.circuit,
+                r.m1,
+                r.weak_scheduler
+            );
+        }
+        // Somewhere the feedback matters strictly (Test2's neutral rewrite).
+        assert!(rows.iter().any(|r| r.full < 0.95 * r.no_feedback));
+    }
+}

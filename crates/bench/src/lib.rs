@@ -1,0 +1,28 @@
+//! # fact-bench — reproduction harness for every table and figure
+//!
+//! Each paper artifact has a driver here and a `cargo bench` target that
+//! prints it:
+//!
+//! | Paper artifact | Driver | Bench target |
+//! |---|---|---|
+//! | Table 2 (+ Table 3 inputs) | [`table2`] | `table2` |
+//! | Table 1 + Example 1 walkthrough | [`example1`] | `example1_power` |
+//! | Figure 1 (TEST1 CDFG + STG) | [`fig1`] | `fig1_test1` |
+//! | Figures 2–3 + Example 2 (Test2) | [`fig2`] | `fig2_test2` |
+//! | Figure 4 + Example 3 (cross-BB) | [`fig4`] | `fig4_crossbb` |
+//! | Design-choice ablations | [`ablation`] | `ablation` |
+//! | Resource-sensitivity sweep | [`sweep`] | `sweep` |
+//!
+//! The drivers return structured results so integration tests can assert
+//! the paper's qualitative findings (who wins, rough factors) without
+//! parsing printed text.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod example1;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod sweep;
+pub mod table2;

@@ -1,0 +1,300 @@
+//! The comparison baselines of §5.
+//!
+//! * **M1** — "just takes the input CDFG through behavioral synthesis,
+//!   giving it access to only those transformations supported by our
+//!   scheduling algorithm": the full Wavesched-class scheduler (implicit
+//!   unrolling, functional pipelining across ifs, concurrent loops) with
+//!   *no* library transformations.
+//! * **Flamel** (Trickey 1987, reimplemented) — "applies the same
+//!   transformation suite … and also has the ability to transcend basic
+//!   blocks", but selects transformations with a *schedule-blind*
+//!   structural objective: first fewer (area-weighted) operations, then a
+//!   shorter unconstrained critical path. It therefore takes op-reducing
+//!   rewrites (constant propagation, factoring, hoisting) and tree-height
+//!   reductions, but never the resource-shape-neutral rewrites that only
+//!   scheduling information can justify (the paper's Example 2), and never
+//!   op-increasing ones (loop unrolling).
+
+use crate::objective::Objective;
+use fact_estim::{evaluate, evaluate_power_mode, Estimate};
+use fact_ir::{Function, OpKind};
+use fact_sched::{schedule, Allocation, FuLibrary, SchedOptions, ScheduleResult, SelectionRules};
+use fact_sim::{check_equivalence, profile, TraceSet};
+use fact_xform::{Region, TransformKind, TransformLibrary};
+
+/// Result of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The behavior that was synthesized (transformed for Flamel).
+    pub function: Function,
+    /// Its schedule.
+    pub schedule: ScheduleResult,
+    /// Its estimate.
+    pub estimate: Estimate,
+    /// Transformation steps taken (empty for M1).
+    pub applied: Vec<String>,
+}
+
+/// Synthesizes `f` with scheduling only (method **M1**).
+///
+/// # Errors
+/// Propagates scheduling/analysis failures as strings (benchmark drivers
+/// report them per row).
+pub fn m1(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    sched_opts: &SchedOptions,
+) -> Result<BaselineResult, String> {
+    let prof = profile(f, traces);
+    let sr = schedule(f, library, rules, alloc, &prof, sched_opts).map_err(|e| e.to_string())?;
+    let est = evaluate(&sr, library, sched_opts.clock_ns)?;
+    Ok(BaselineResult {
+        function: f.clone(),
+        schedule: sr,
+        estimate: est,
+        applied: Vec::new(),
+    })
+}
+
+/// The structural (schedule-blind) cost Flamel minimizes:
+/// `(weighted op count, unconstrained critical path in ns)`.
+fn structural_cost(f: &Function, library: &FuLibrary, rules: &SelectionRules) -> (f64, f64) {
+    // Weighted op count: weight by unit area when bindable, 1 otherwise.
+    let selection = match fact_sched::FuSelection::from_rules(f, rules) {
+        Ok(s) => s,
+        Err(_) => return (f64::INFINITY, f64::INFINITY),
+    };
+    let mut count = 0.0;
+    for b in f.block_ids() {
+        for &op in &f.block(b).ops {
+            match &f.op(op).kind {
+                OpKind::Bin(..) | OpKind::Un(..) => {
+                    count += selection
+                        .fu_of(op)
+                        .map(|fu| library.spec(fu).area)
+                        .unwrap_or(1.0);
+                }
+                OpKind::Load { .. } | OpKind::Store { .. } => count += 1.0,
+                _ => {}
+            }
+        }
+    }
+    // Unconstrained (infinite-resource) critical path: longest delay chain
+    // through data edges, ignoring control structure beyond block order.
+    let mut depth: Vec<f64> = vec![0.0; f.num_ops()];
+    for b in f.block_ids() {
+        for &op in &f.block(b).ops {
+            let own = match &f.op(op).kind {
+                OpKind::Bin(..) | OpKind::Un(..) => selection
+                    .fu_of(op)
+                    .map(|fu| library.spec(fu).delay_ns)
+                    .unwrap_or(0.0),
+                OpKind::Load { .. } | OpKind::Store { .. } => library.memory_delay_ns,
+                _ => 0.0,
+            };
+            let base = f
+                .op(op)
+                .kind
+                .operands()
+                .iter()
+                .map(|v| depth[v.index()])
+                .fold(0.0, f64::max);
+            depth[op.index()] = base + own;
+        }
+    }
+    let cp = depth.iter().copied().fold(0.0, f64::max);
+    (count, cp)
+}
+
+/// Synthesizes `f` with the Flamel-style baseline: greedy schedule-blind
+/// transformation to a structural fixed point, then full scheduling.
+///
+/// # Errors
+/// Propagates scheduling/analysis failures.
+pub fn flamel(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    sched_opts: &SchedOptions,
+) -> Result<BaselineResult, String> {
+    let tlib = TransformLibrary::full();
+    let mut current = f.clone();
+    let mut cost = structural_cost(&current, library, rules);
+    let mut applied = Vec::new();
+
+    for _ in 0..24 {
+        let mut best: Option<(Function, (f64, f64), String)> = None;
+        for cand in tlib.all_candidates(&current, &Region::whole()) {
+            // Flamel never unrolls: unrolling increases op count, which a
+            // structural objective can only reject; skip enumerating it.
+            if cand.kind == TransformKind::LoopUnroll {
+                continue;
+            }
+            let c = structural_cost(&cand.function, library, rules);
+            let better = c.0 < cost.0 - 1e-9 || (c.0 < cost.0 + 1e-9 && c.1 < cost.1 - 1e-9);
+            if better {
+                match &best {
+                    Some((_, bc, _))
+                        if !(c.0 < bc.0 - 1e-9 || (c.0 < bc.0 + 1e-9 && c.1 < bc.1 - 1e-9)) => {}
+                    _ => best = Some((cand.function, c, cand.description)),
+                }
+            }
+        }
+        match best {
+            Some((g, c, desc)) => {
+                // Safety: never accept a non-equivalent rewrite.
+                if check_equivalence(f, &g, traces, 0xF1A3).is_err() {
+                    break;
+                }
+                current = g;
+                cost = c;
+                applied.push(desc);
+            }
+            None => break,
+        }
+    }
+
+    let prof = profile(&current, traces);
+    let sr =
+        schedule(&current, library, rules, alloc, &prof, sched_opts).map_err(|e| e.to_string())?;
+    let est = evaluate(&sr, library, sched_opts.clock_ns)?;
+    Ok(BaselineResult {
+        function: current,
+        schedule: sr,
+        estimate: est,
+        applied,
+    })
+}
+
+/// Evaluates an already-chosen baseline function in power mode against a
+/// base schedule length (used for the P columns of Table 2).
+///
+/// # Errors
+/// Propagates scheduling/analysis failures.
+pub fn power_of(
+    result: &BaselineResult,
+    library: &FuLibrary,
+    clock_ns: f64,
+    base_cycles: f64,
+) -> Result<Estimate, String> {
+    evaluate_power_mode(&result.schedule, library, clock_ns, base_cycles)
+}
+
+/// Score helper shared by report code.
+pub fn score(objective: Objective, est: &Estimate) -> f64 {
+    objective.score(est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::section5_library;
+    use fact_lang::compile;
+    use fact_sim::{generate, InputSpec};
+
+    fn alloc_of(lib: &FuLibrary, pairs: &[(&str, u32)]) -> Allocation {
+        let mut a = Allocation::new();
+        for (n, c) in pairs {
+            a.set(lib.by_name(n).unwrap(), *c);
+        }
+        a
+    }
+
+    #[test]
+    fn m1_schedules_without_transforming() {
+        let f = compile("proc f(a, b, c) { out y = a * b + a * c; }").unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(&lib, &[("a1", 1), ("mt1", 1)]);
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("c".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+            ],
+            5,
+            3,
+        );
+        let r = m1(&f, &lib, &rules, &alloc, &traces, &SchedOptions::default()).unwrap();
+        assert!(r.applied.is_empty());
+        assert!(r.estimate.average_schedule_length > 0.0);
+    }
+
+    #[test]
+    fn flamel_takes_op_reducing_rewrites() {
+        // a*b + a*c: factoring removes a multiplier — structural win.
+        let f = compile("proc f(a, b, c) { out y = a * b + a * c; }").unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(&lib, &[("a1", 1), ("mt1", 1)]);
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("c".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+            ],
+            20,
+            3,
+        );
+        let r = flamel(&f, &lib, &rules, &alloc, &traces, &SchedOptions::default()).unwrap();
+        assert!(!r.applied.is_empty(), "{:?}", r.applied);
+        let muls = r
+            .function
+            .block_ids()
+            .flat_map(|b| r.function.block(b).ops.clone())
+            .filter(|&op| {
+                matches!(
+                    r.function.op(op).kind,
+                    OpKind::Bin(fact_ir::BinOp::Mul, ..)
+                )
+            })
+            .count();
+        assert_eq!(muls, 1);
+    }
+
+    #[test]
+    fn flamel_skips_neutral_rewrites() {
+        // Example 2's rewrite is op-count and critical-path neutral: the
+        // schedule-blind baseline must leave it alone.
+        let f = compile("proc f(y1, y2, y3, y4) { out y = (y1 + y2) - (y3 + y4); }").unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(&lib, &[("a1", 2), ("sb1", 2)]);
+        let traces = generate(
+            &[
+                ("y1".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("y2".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("y3".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("y4".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+            ],
+            10,
+            3,
+        );
+        let r = flamel(&f, &lib, &rules, &alloc, &traces, &SchedOptions::default()).unwrap();
+        // No structural improvement exists (adds and subs share area).
+        assert!(r.applied.is_empty(), "{:?}", r.applied);
+    }
+
+    #[test]
+    fn flamel_reduces_tree_height() {
+        let f = compile("proc f(a, b, c, d, e2, g, h, i2) { out y = a + b + c + d + e2 + g + h + i2; }")
+            .unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(&lib, &[("a1", 5)]);
+        let names = ["a", "b", "c", "d", "e2", "g", "h", "i2"];
+        let specs: Vec<_> = names
+            .iter()
+            .map(|n| (n.to_string(), InputSpec::Uniform { lo: 0, hi: 9 }))
+            .collect();
+        let traces = generate(&specs, 10, 3);
+        let r = flamel(&f, &lib, &rules, &alloc, &traces, &SchedOptions::default()).unwrap();
+        // Rebalancing shortens the unconstrained critical path.
+        assert!(
+            r.applied.iter().any(|d| d.contains("re-associate")),
+            "{:?}",
+            r.applied
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Synthesis objectives: throughput or power (paper Figure 5 input
+//! "objective (performance or power)").
+
+use fact_estim::Estimate;
+
+/// What the optimization maximizes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Objective {
+    /// Maximize throughput = minimize average schedule length.
+    Throughput,
+    /// Minimize power at iso-performance: faster schedules are converted
+    /// into Vdd reductions against the untransformed baseline (§2.2).
+    Power,
+}
+
+impl Objective {
+    /// The scalar score of an estimate under this objective; higher is
+    /// better.
+    pub fn score(self, est: &Estimate) -> f64 {
+        match self {
+            Objective::Throughput => -est.average_schedule_length,
+            Objective::Power => -est.power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::EnergyBreakdown;
+
+    fn est(len: f64, power: f64) -> Estimate {
+        Estimate {
+            average_schedule_length: len,
+            energy_vdd2: 1.0,
+            breakdown: EnergyBreakdown::default(),
+            vdd: 5.0,
+            clock_ns: 25.0,
+            power,
+            throughput: 1000.0 / len,
+        }
+    }
+
+    #[test]
+    fn throughput_prefers_shorter_schedules() {
+        let a = est(100.0, 5.0);
+        let b = est(80.0, 9.0);
+        assert!(Objective::Throughput.score(&b) > Objective::Throughput.score(&a));
+    }
+
+    #[test]
+    fn power_prefers_lower_power() {
+        let a = est(100.0, 5.0);
+        let b = est(80.0, 9.0);
+        assert!(Objective::Power.score(&a) > Objective::Power.score(&b));
+    }
+}

@@ -1,0 +1,243 @@
+//! STG partitioning (paper §4.1).
+//!
+//! Transition *relative frequencies* — `P(being in Source(e)) · P(e taken)`
+//! — rank the edges of the scheduled STG; edges above a threshold seed
+//! "STG blocks" that grow and fuse exactly as §4.1 prescribes. Each STG
+//! block is then mapped back to the IR blocks whose operations it
+//! schedules, yielding the [`Region`]s the transformation search focuses
+//! on ("this enables our algorithm to direct its focus on the critical
+//! sections of the behavior").
+
+use fact_estim::MarkovAnalysis;
+use fact_ir::{BlockId, Function};
+use fact_sched::{ScheduleResult, StateId, Stg};
+use fact_xform::Region;
+use std::collections::{HashMap, HashSet};
+
+/// A group of STG states selected for joint optimization.
+#[derive(Clone, Debug)]
+pub struct StgBlock {
+    /// Member states.
+    pub states: HashSet<StateId>,
+    /// Total relative frequency of the edges that formed the block
+    /// (hotness; used to order optimization effort).
+    pub hotness: f64,
+}
+
+/// Partitioning configuration.
+#[derive(Clone, Debug)]
+pub struct PartitionConfig {
+    /// An edge joins the partition when its relative frequency is at least
+    /// `threshold_fraction · max_frequency`.
+    pub threshold_fraction: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            threshold_fraction: 0.25,
+        }
+    }
+}
+
+/// Partitions the STG into blocks per §4.1.
+///
+/// Edges are ranked by relative frequency; those above the threshold are
+/// processed in decreasing order: an edge with neither endpoint in a block
+/// starts a new block, an edge with one endpoint extends that block, and
+/// an edge bridging two blocks fuses them. The done state never joins a
+/// block.
+pub fn partition(stg: &Stg, markov: &MarkovAnalysis, config: &PartitionConfig) -> Vec<StgBlock> {
+    // Rank edges by relative frequency.
+    let mut ranked: Vec<(f64, StateId, StateId)> = stg
+        .transitions()
+        .iter()
+        .filter(|t| t.to != stg.done() && t.from != stg.done())
+        .map(|t| (markov.prob(t.from) * t.prob, t.from, t.to))
+        .filter(|(f, _, _)| *f > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let Some(&(max_freq, _, _)) = ranked.first() else {
+        return Vec::new();
+    };
+    let threshold = max_freq * config.threshold_fraction;
+
+    // Union-find over states.
+    let mut block_of: HashMap<StateId, usize> = HashMap::new();
+    let mut blocks: Vec<StgBlock> = Vec::new();
+
+    for (freq, from, to) in ranked {
+        if freq < threshold {
+            break;
+        }
+        match (block_of.get(&from).copied(), block_of.get(&to).copied()) {
+            (None, None) => {
+                let id = blocks.len();
+                let mut states = HashSet::new();
+                states.insert(from);
+                states.insert(to);
+                blocks.push(StgBlock {
+                    states,
+                    hotness: freq,
+                });
+                block_of.insert(from, id);
+                block_of.insert(to, id);
+            }
+            (Some(b), None) => {
+                blocks[b].states.insert(to);
+                blocks[b].hotness += freq;
+                block_of.insert(to, b);
+            }
+            (None, Some(b)) => {
+                blocks[b].states.insert(from);
+                blocks[b].hotness += freq;
+                block_of.insert(from, b);
+            }
+            (Some(b1), Some(b2)) => {
+                if b1 != b2 {
+                    // Fuse b2 into b1.
+                    let moved: Vec<StateId> = blocks[b2].states.drain().collect();
+                    let h = blocks[b2].hotness;
+                    blocks[b2].hotness = 0.0;
+                    for s in moved {
+                        blocks[b1].states.insert(s);
+                        block_of.insert(s, b1);
+                    }
+                    blocks[b1].hotness += h + freq;
+                } else {
+                    blocks[b1].hotness += freq;
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<StgBlock> = blocks.into_iter().filter(|b| !b.states.is_empty()).collect();
+    out.sort_by(|a, b| b.hotness.partial_cmp(&a.hotness).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Maps an STG block back to a [`Region`] over the blocks of `original`.
+///
+/// The STG references the scheduler's (possibly if-converted) function;
+/// operation ids are stable across that conversion, so ops scheduled in
+/// the STG block are located in `original` directly. Operations the
+/// scheduler synthesized (muxes) have no counterpart and are skipped.
+pub fn region_of_block(original: &Function, sr: &ScheduleResult, block: &StgBlock) -> Region {
+    let op_blocks = original.op_blocks();
+    let mut blocks: HashSet<BlockId> = HashSet::new();
+    for &s in &block.states {
+        for sop in &sr.stg.state(s).ops {
+            if sop.op.index() < op_blocks.len() {
+                if let Some(b) = op_blocks[sop.op.index()] {
+                    blocks.insert(b);
+                }
+            }
+        }
+    }
+    if blocks.is_empty() {
+        Region::whole()
+    } else {
+        Region::of_blocks(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::analyze;
+
+    /// entry -> cold -> hotloop(self 0.9) -> done
+    fn sample_stg() -> Stg {
+        let mut stg = Stg::new();
+        let entry = stg.add_state("entry");
+        let cold = stg.add_state("cold");
+        let hot = stg.add_state("hot");
+        stg.set_entry(entry);
+        stg.add_transition(entry, cold, 1.0, "");
+        stg.add_transition(cold, hot, 1.0, "");
+        stg.add_transition(hot, hot, 0.9, "");
+        let done = stg.done();
+        stg.add_transition(hot, done, 0.1, "");
+        stg
+    }
+
+    #[test]
+    fn hot_self_loop_forms_a_block() {
+        let stg = sample_stg();
+        let m = analyze(&stg).unwrap();
+        let blocks = partition(&stg, &m, &PartitionConfig::default());
+        assert!(!blocks.is_empty());
+        // The hottest block contains the self-looping state.
+        let hot_state = StateId(3);
+        assert!(blocks[0].states.contains(&hot_state));
+    }
+
+    #[test]
+    fn low_threshold_merges_everything_reachable() {
+        let stg = sample_stg();
+        let m = analyze(&stg).unwrap();
+        let blocks = partition(
+            &stg,
+            &m,
+            &PartitionConfig {
+                threshold_fraction: 0.0,
+            },
+        );
+        // All transient states end up connected into one block.
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].states.len(), 3);
+    }
+
+    #[test]
+    fn high_threshold_selects_only_the_hottest() {
+        let stg = sample_stg();
+        let m = analyze(&stg).unwrap();
+        let blocks = partition(
+            &stg,
+            &m,
+            &PartitionConfig {
+                threshold_fraction: 0.99,
+            },
+        );
+        assert_eq!(blocks.len(), 1);
+        // Only the self-loop edge passes: block = {hot}.
+        assert_eq!(blocks[0].states.len(), 1);
+    }
+
+    #[test]
+    fn blocks_are_sorted_by_hotness() {
+        // Two disjoint self-loops with different heat.
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, a, 0.5, "");
+        stg.add_transition(a, b, 0.5, "");
+        stg.add_transition(b, b, 0.9, "");
+        let done = stg.done();
+        stg.add_transition(b, done, 0.1, "");
+        let m = analyze(&stg).unwrap();
+        let blocks = partition(
+            &stg,
+            &m,
+            &PartitionConfig {
+                threshold_fraction: 0.9,
+            },
+        );
+        assert!(!blocks.is_empty());
+        for w in blocks.windows(2) {
+            assert!(w[0].hotness >= w[1].hotness);
+        }
+    }
+
+    #[test]
+    fn empty_stg_partitions_to_nothing() {
+        let mut stg = Stg::new();
+        let e = stg.add_state("e");
+        stg.set_entry(e);
+        let done = stg.done();
+        stg.add_transition(e, done, 1.0, "");
+        let m = analyze(&stg).unwrap();
+        assert!(partition(&stg, &m, &PartitionConfig::default()).is_empty());
+    }
+}

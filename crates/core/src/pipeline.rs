@@ -1,0 +1,395 @@
+//! The FACT driver: the full flow of paper Figure 5.
+//!
+//! 1. schedule the input CDFG (existing CFI scheduler);
+//! 2. derive state probabilities from input traces and partition the STG
+//!    into blocks (§4.1);
+//! 3. (through 7) per block, run the `Apply_transforms` search (§4.2),
+//!    where every candidate is *rescheduled and re-estimated* — scheduling
+//!    information guides transformation selection, the paper's central
+//!    claim.
+
+use crate::objective::Objective;
+use crate::partition::{partition, region_of_block, PartitionConfig};
+use crate::search::{apply_transforms, SearchConfig, SearchResult};
+use fact_estim::{evaluate, evaluate_power_mode, markov_of, Estimate};
+use fact_ir::Function;
+use fact_sched::{schedule, Allocation, FuLibrary, SchedOptions, ScheduleResult, SelectionRules};
+use fact_sim::{check_equivalence, profile, BranchProfile, TraceSet};
+use fact_xform::{Region, TransformLibrary};
+use std::fmt;
+
+/// Configuration of a FACT run.
+#[derive(Clone, Debug)]
+pub struct FactConfig {
+    /// Objective to optimize.
+    pub objective: Objective,
+    /// Scheduler options (clock period, scheduler transformations).
+    pub sched: SchedOptions,
+    /// Search knobs.
+    pub search: SearchConfig,
+    /// Partitioning knobs.
+    pub partition: PartitionConfig,
+    /// Validate every accepted improvement against the original behavior
+    /// by randomized equivalence checking (defense in depth; the
+    /// transformations are individually verified too).
+    pub check_equivalence: bool,
+    /// Optimize at most this many STG blocks (hottest first).
+    pub max_blocks: usize,
+}
+
+impl Default for FactConfig {
+    fn default() -> Self {
+        FactConfig {
+            objective: Objective::Throughput,
+            sched: SchedOptions::default(),
+            search: SearchConfig::default(),
+            partition: PartitionConfig::default(),
+            check_equivalence: true,
+            max_blocks: 3,
+        }
+    }
+}
+
+/// The result of a FACT run.
+#[derive(Clone, Debug)]
+pub struct FactResult {
+    /// The optimized behavior.
+    pub best: Function,
+    /// Its schedule.
+    pub schedule: ScheduleResult,
+    /// Its estimate (power mode: at the scaled voltage).
+    pub estimate: Estimate,
+    /// The untransformed design's estimate (the comparison base).
+    pub baseline: Estimate,
+    /// Transformation steps on the winning path, per optimized block.
+    pub applied: Vec<String>,
+    /// Total candidates evaluated by the search.
+    pub evaluated: usize,
+    /// Number of STG blocks optimized.
+    pub blocks_optimized: usize,
+}
+
+/// FACT failure.
+#[derive(Debug)]
+pub enum FactError {
+    /// The original behavior failed to schedule.
+    Schedule(fact_sched::ScheduleError),
+    /// The original behavior's STG failed Markov analysis.
+    Analysis(String),
+}
+
+impl fmt::Display for FactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            FactError::Analysis(m) => write!(f, "analysis failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FactError {}
+
+/// Schedules + estimates one candidate; `None` when the candidate cannot
+/// be realized under the allocation (e.g. a strength-reduced shift with no
+/// shifter).
+#[allow(clippy::too_many_arguments)]
+fn eval_candidate(
+    g: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    config: &FactConfig,
+    base_cycles: f64,
+) -> Option<(ScheduleResult, Estimate)> {
+    let prof: BranchProfile = profile(g, traces);
+    if prof.runs_ok == 0 {
+        return None;
+    }
+    let sr = schedule(g, library, rules, alloc, &prof, &config.sched).ok()?;
+    let est = match config.objective {
+        Objective::Throughput => evaluate(&sr, library, config.sched.clock_ns).ok()?,
+        Objective::Power => {
+            let est =
+                evaluate_power_mode(&sr, library, config.sched.clock_ns, base_cycles).ok()?;
+            // The paper's power mode holds performance at the baseline
+            // ("our aim is to keep the performance … the same while
+            // reducing power"): slower candidates are not admissible, or
+            // the energy/time quotient would reward mere slowdown.
+            if est.average_schedule_length > base_cycles * 1.001 {
+                return None;
+            }
+            est
+        }
+    };
+    Some((sr, est))
+}
+
+/// Runs FACT on `f`.
+///
+/// # Errors
+/// Fails only if the *original* behavior cannot be scheduled or analyzed;
+/// failing candidates are merely skipped.
+pub fn optimize(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    tlib: &TransformLibrary,
+    config: &FactConfig,
+) -> Result<FactResult, FactError> {
+    // Step 1: schedule the input behavior.
+    let prof = profile(f, traces);
+    let sr0 = schedule(f, library, rules, alloc, &prof, &config.sched)
+        .map_err(FactError::Schedule)?;
+    let markov0 = markov_of(&sr0).map_err(FactError::Analysis)?;
+    let base_cycles = markov0.average_schedule_length;
+    let baseline = evaluate(&sr0, library, config.sched.clock_ns).map_err(FactError::Analysis)?;
+
+    // Step 2: partition the STG into blocks, hottest first.
+    let blocks = partition(&sr0.stg, &markov0, &config.partition);
+
+    // Steps 3-7: optimize each block by search; blocks share the evolving
+    // incumbent so improvements compound.
+    let mut current = f.clone();
+    let mut applied: Vec<String> = Vec::new();
+    let mut evaluated = 0usize;
+    let mut blocks_optimized = 0usize;
+
+    let regions: Vec<Region> = if blocks.is_empty() {
+        vec![Region::whole()]
+    } else {
+        blocks
+            .iter()
+            .take(config.max_blocks)
+            .map(|b| region_of_block(f, &sr0, b))
+            .collect()
+    };
+
+    for region in &regions {
+        let mut eval = |g: &Function| -> Option<f64> {
+            if config.check_equivalence && check_equivalence(f, g, traces, 0xC0FFEE).is_err() {
+                return None;
+            }
+            let (_, est) =
+                eval_candidate(g, library, rules, alloc, traces, config, base_cycles)?;
+            Some(config.objective.score(&est))
+        };
+        let SearchResult {
+            best,
+            best_score,
+            evaluated: n,
+            applied: path,
+            ..
+        } = apply_transforms(&current, region, tlib, &config.search, &mut eval);
+        evaluated += n;
+        if best_score > f64::NEG_INFINITY && !path.is_empty() {
+            current = best;
+            applied.extend(path);
+            blocks_optimized += 1;
+        } else if path.is_empty() {
+            blocks_optimized += 1; // searched, nothing beat the incumbent
+        }
+    }
+
+    // Final schedule + estimate of the winner.
+    let (schedule_result, estimate) = eval_candidate(
+        &current, library, rules, alloc, traces, config, base_cycles,
+    )
+    .ok_or_else(|| FactError::Analysis("final candidate failed to schedule".to_string()))?;
+
+    Ok(FactResult {
+        best: current,
+        schedule: schedule_result,
+        estimate,
+        baseline,
+        applied,
+        evaluated,
+        blocks_optimized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::section5_library;
+    use fact_lang::compile;
+    use fact_sim::{generate, InputSpec};
+
+    fn quick_config(objective: Objective) -> FactConfig {
+        FactConfig {
+            objective,
+            search: SearchConfig {
+                max_moves: 2,
+                in_set_size: 2,
+                max_rounds: 3,
+                max_evaluations: 60,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn alloc_of(lib: &FuLibrary, pairs: &[(&str, u32)]) -> Allocation {
+        let mut a = Allocation::new();
+        for (n, c) in pairs {
+            a.set(lib.by_name(n).unwrap(), *c);
+        }
+        a
+    }
+
+    #[test]
+    fn throughput_mode_improves_a_factorable_loop() {
+        // Per-iteration 2 multiplies with 1 multiplier: II = 2. Factoring
+        // (a*i + b*i -> i*(a+b)) drops to 1 multiply: II = 1; the
+        // recurrences (accumulate, increment) stay single-cycle.
+        let src = r#"
+            proc f(n, a, b) {
+                var s = 0;
+                var i = 0;
+                while (i < n) {
+                    s = s + (a * i + b * i);
+                    i = i + 1;
+                }
+                out s = s;
+            }
+        "#;
+        let f = compile(src).unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(
+            &lib,
+            &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 2), ("sb1", 1)],
+        );
+        let traces = generate(
+            &[
+                ("n".to_string(), InputSpec::Constant(20)),
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+            ],
+            6,
+            11,
+        );
+        let tlib = TransformLibrary::full();
+        let r = optimize(
+            &f,
+            &lib,
+            &rules,
+            &alloc,
+            &traces,
+            &tlib,
+            &quick_config(Objective::Throughput),
+        )
+        .unwrap();
+        assert!(
+            r.estimate.average_schedule_length < r.baseline.average_schedule_length,
+            "expected improvement: {} vs baseline {}",
+            r.estimate.average_schedule_length,
+            r.baseline.average_schedule_length
+        );
+        assert!(!r.applied.is_empty());
+        // And the winner is still the same behavior.
+        check_equivalence(&f, &r.best, &traces, 5).unwrap();
+    }
+
+    #[test]
+    fn power_mode_scales_voltage_on_improvement() {
+        let src = r#"
+            proc f(n, a, b) {
+                var s = 0;
+                var i = 0;
+                while (i < n) {
+                    s = s + (a * i + b * i);
+                    i = i + 1;
+                }
+                out s = s;
+            }
+        "#;
+        let f = compile(src).unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(
+            &lib,
+            &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 2), ("sb1", 1)],
+        );
+        let traces = generate(
+            &[
+                ("n".to_string(), InputSpec::Constant(20)),
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+            ],
+            6,
+            11,
+        );
+        let tlib = TransformLibrary::full();
+        let r = optimize(
+            &f,
+            &lib,
+            &rules,
+            &alloc,
+            &traces,
+            &tlib,
+            &quick_config(Objective::Power),
+        )
+        .unwrap();
+        // Power mode reports at a scaled (or reference) voltage and beats
+        // or matches the baseline's power.
+        assert!(r.estimate.vdd <= fact_estim::VDD_REF + 1e-9);
+        assert!(r.estimate.power <= r.baseline.power + 1e-9);
+    }
+
+    #[test]
+    fn unoptimizable_behavior_returns_baseline() {
+        let f = compile("proc f(a, b) { out y = a * b; }").unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(&lib, &[("mt1", 1)]);
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+            ],
+            5,
+            3,
+        );
+        let tlib = TransformLibrary::full();
+        let r = optimize(
+            &f,
+            &lib,
+            &rules,
+            &alloc,
+            &traces,
+            &tlib,
+            &quick_config(Objective::Throughput),
+        )
+        .unwrap();
+        assert!(
+            (r.estimate.average_schedule_length - r.baseline.average_schedule_length).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn missing_units_fail_cleanly() {
+        let f = compile("proc f(a, b) { out y = a * b; }").unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = Allocation::new(); // nothing allocated
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Constant(1)),
+                ("b".to_string(), InputSpec::Constant(1)),
+            ],
+            2,
+            3,
+        );
+        let tlib = TransformLibrary::full();
+        let err = optimize(
+            &f,
+            &lib,
+            &rules,
+            &alloc,
+            &traces,
+            &tlib,
+            &quick_config(Objective::Throughput),
+        );
+        assert!(matches!(err, Err(FactError::Schedule(_))));
+    }
+}

@@ -1,0 +1,222 @@
+//! Table formatting for the benchmark harness (Table 2 style rows) and a
+//! consolidated per-design quality report (throughput / power / area).
+
+use fact_estim::{estimate_area, AreaReport, Estimate};
+use fact_sched::{Allocation, FuLibrary, ScheduleResult};
+use std::fmt::Write;
+
+/// A consolidated quality report of one scheduled design point: the three
+/// metrics the paper's introduction names (throughput, power, and
+/// compactness).
+#[derive(Clone, Debug)]
+pub struct DesignReport {
+    /// Average schedule length in cycles.
+    pub cycles: f64,
+    /// Throughput in the paper's unit (cycles⁻¹ × 1000).
+    pub throughput: f64,
+    /// Energy per execution, Vdd² units.
+    pub energy_vdd2: f64,
+    /// Average power at the estimate's voltage.
+    pub power: f64,
+    /// Supply voltage of the estimate.
+    pub vdd: f64,
+    /// Area breakdown.
+    pub area: AreaReport,
+}
+
+impl DesignReport {
+    /// Builds the report from an estimate and its schedule.
+    pub fn new(
+        estimate: &Estimate,
+        schedule: &ScheduleResult,
+        library: &FuLibrary,
+        alloc: &Allocation,
+    ) -> Self {
+        DesignReport {
+            cycles: estimate.average_schedule_length,
+            throughput: estimate.throughput,
+            energy_vdd2: estimate.energy_vdd2,
+            power: estimate.power,
+            vdd: estimate.vdd,
+            area: estimate_area(schedule, library, alloc),
+        }
+    }
+
+    /// Renders a compact multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "cycles {:.2} | throughput {:.2} | energy {:.2} Vdd^2 | \
+             power {:.3} @ {:.2} V | area {:.1} (FU {:.1} + {} regs {:.1} + mem {:.1})",
+            self.cycles,
+            self.throughput,
+            self.energy_vdd2,
+            self.power,
+            self.vdd,
+            self.area.total(),
+            self.area.functional_units,
+            self.area.register_count,
+            self.area.registers,
+            self.area.memories,
+        )
+    }
+}
+
+/// One Table 2 row: throughput (cycles⁻¹ × 1000) under M1 / Flamel / FACT
+/// and power (model units) under M1 / FACT, as in the paper.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Clock period (ns).
+    pub clk_ns: f64,
+    /// Throughput-optimized results.
+    pub t_m1: Option<f64>,
+    /// Flamel throughput.
+    pub t_flamel: Option<f64>,
+    /// FACT throughput.
+    pub t_fact: Option<f64>,
+    /// M1 power (at iso-throughput base).
+    pub p_m1: Option<f64>,
+    /// FACT power after Vdd scaling.
+    pub p_fact: Option<f64>,
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x >= 100.0 => format!("{x:.0}"),
+        Some(x) if x >= 10.0 => format!("{x:.1}"),
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders rows in the paper's Table 2 layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>4} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        "Circuit", "Clk", "T(M1)", "T(Fl)", "T(FACT)", "P(M1)", "P(FACT)"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(68));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>4} | {:>8} {:>8} {:>8} | {:>9} {:>9}",
+            r.circuit,
+            r.clk_ns,
+            fmt_opt(r.t_m1),
+            fmt_opt(r.t_flamel),
+            fmt_opt(r.t_fact),
+            fmt_opt(r.p_m1),
+            fmt_opt(r.p_fact),
+        );
+    }
+    s
+}
+
+/// Geometric-mean ratio of paired columns, skipping missing entries.
+/// Returns `None` when no pair is complete.
+pub fn geomean_ratio(pairs: &[(Option<f64>, Option<f64>)]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for &(num, den) in pairs {
+        if let (Some(a), Some(b)) = (num, den) {
+            if a > 0.0 && b > 0.0 {
+                log_sum += (a / b).ln();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::section5_library;
+    use fact_sim::{generate, profile, InputSpec};
+
+    #[test]
+    fn design_report_combines_all_three_metrics() {
+        let f = fact_lang::compile("proc f(a, b) { out y = a * b + a; }").unwrap();
+        let (lib, rules) = section5_library();
+        let mut alloc = Allocation::new();
+        alloc.set(lib.by_name("a1").unwrap(), 1);
+        alloc.set(lib.by_name("mt1").unwrap(), 1);
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 9 }),
+            ],
+            4,
+            5,
+        );
+        let prof = profile(&f, &traces);
+        let sr = fact_sched::schedule(
+            &f,
+            &lib,
+            &rules,
+            &alloc,
+            &prof,
+            &fact_sched::SchedOptions::default(),
+        )
+        .unwrap();
+        let est = fact_estim::evaluate(&sr, &lib, 25.0).unwrap();
+        let report = DesignReport::new(&est, &sr, &lib, &alloc);
+        assert!(report.cycles > 0.0);
+        assert!(report.area.total() > 0.0);
+        let text = report.render();
+        assert!(text.contains("throughput"));
+        assert!(text.contains("area"));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            Table2Row {
+                circuit: "GCD".into(),
+                clk_ns: 25.0,
+                t_m1: Some(6.3),
+                t_flamel: Some(10.1),
+                t_fact: Some(16.9),
+                p_m1: Some(2.8),
+                p_fact: Some(0.9),
+            },
+            Table2Row {
+                circuit: "FIR".into(),
+                clk_ns: 25.0,
+                t_m1: Some(167.0),
+                t_flamel: None,
+                t_fact: Some(1000.0),
+                p_m1: None,
+                p_fact: None,
+            },
+        ];
+        let text = render_table2(&rows);
+        assert!(text.contains("GCD"));
+        assert!(text.contains("16.9"));
+        assert!(text.contains("1000"));
+        assert!(text.contains('-'));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn geomean_of_equal_pairs_is_one() {
+        let pairs = vec![(Some(2.0), Some(2.0)), (Some(5.0), Some(5.0))];
+        let g = geomean_ratio(&pairs).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_missing() {
+        let pairs = vec![(Some(4.0), Some(2.0)), (None, Some(3.0))];
+        let g = geomean_ratio(&pairs).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geomean_ratio(&[(None, None)]).is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! The §5 benchmark suite: GCD, FIR, Test2, SINTRAN, IGF, PPS (and the
+//! §2 walkthrough example TEST1), with per-benchmark allocations following
+//! Table 3 and input-trace specifications.
+//!
+//! The paper does not publish benchmark sources; these are re-authored
+//! from the standard HLS-literature definitions (see DESIGN.md §3). Where
+//! Table 3's allocation makes every library transformation moot under our
+//! scheduler (which is stronger than the paper's M1 in some respects), the
+//! allocation is adjusted and the deviation is noted in EXPERIMENTS.md.
+
+use fact_ir::Function;
+use fact_lang::compile;
+use fact_sched::{Allocation, FuLibrary};
+use fact_sim::{generate, InputSpec, TraceSet};
+
+/// A ready-to-run benchmark.
+pub struct Benchmark {
+    /// Short name matching Table 2.
+    pub name: &'static str,
+    /// The behavioral description.
+    pub function: Function,
+    /// Allocation constraints (Table 3).
+    pub allocation: Allocation,
+    /// Typical input traces.
+    pub traces: TraceSet,
+}
+
+fn alloc_of(lib: &FuLibrary, pairs: &[(&str, u32)]) -> Allocation {
+    let mut a = Allocation::new();
+    for (name, count) in pairs {
+        a.set(
+            lib.by_name(name)
+                .unwrap_or_else(|| panic!("library lacks unit {name}")),
+            *count,
+        );
+    }
+    a
+}
+
+fn traces_of(specs: &[(&str, InputSpec)], n: usize, seed: u64) -> TraceSet {
+    let s: Vec<_> = specs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    generate(&s, n, seed)
+}
+
+/// Source of the paper's TEST1 (Figure 1(a)).
+pub const TEST1_SRC: &str = r#"
+proc test1(c1, c2) {
+    var i = 0;
+    var a = 0;
+    array x[128];
+    while (c2 > i) {
+        if (i < c1) { a = 13 * (a + 7); } else { a = a + 17; }
+        i = i + 1;
+        x[i] = a;
+    }
+    out a = a;
+}
+"#;
+
+/// Greatest common divisor by repeated subtraction.
+pub const GCD_SRC: &str = r#"
+proc gcd(a, b) {
+    while (a != b) {
+        if (a > b) { a = a - b; } else { b = b - a; }
+    }
+    out g = a;
+}
+"#;
+
+/// 16-tap symmetric FIR filter, direct form. The symmetric pair
+/// `ci·x[i] + ci·xr[i]` factors to `ci·(x[i] + xr[i])` — but only after a
+/// re-association makes the two products adjacent, which is why a
+/// schedule-blind greedy (Flamel) misses it.
+pub const FIR_SRC: &str = r#"
+proc fir(n) {
+    array c[16];
+    array x[16];
+    array xr[16];
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+        var ci = c[i];
+        acc = acc + ci * x[i] + ci * xr[i];
+        i = i + 1;
+    }
+    out y = acc;
+}
+"#;
+
+/// The paper's TEST2 (Figure 2(a), abstracted): L1 feeds L2 through `x1`;
+/// L3 is independent with the Example-2 body `(y1+y2) - (y3+y4)`.
+pub const TEST2_SRC: &str = r#"
+proc test2(n1, n2, n3) {
+    array x[64];
+    array x1[64];
+    array x2[64];
+    array y1[256];
+    array y2[256];
+    array y3[256];
+    array y4[256];
+    array y[256];
+    var i = 0;
+    while (i < n1) { x1[i] = x[i] + 3; i = i + 1; }
+    var j = 0;
+    while (j < n2) { x2[j] = x1[j] + x[j]; j = j + 1; }
+    var m = 0;
+    while (m < n3) { y[m] = (y1[m] + y2[m]) - (y3[m] + y4[m]); m = m + 1; }
+    out d = y[0];
+}
+"#;
+
+/// Sine transform: nested product-accumulate with a factorable inner pair
+/// (`xj·wk + xj·k`), an invariant that emerges after factoring (`wk + k`),
+/// and a directly factorable outer expression (`acc·wk + acc·3`) that even
+/// the structural baseline can find.
+pub const SINTRAN_SRC: &str = r#"
+proc sintran(n) {
+    array x[16];
+    array w[16];
+    array s[16];
+    var k = 0;
+    while (k < n) {
+        var wk = w[k];
+        var acc = 0;
+        var j = 0;
+        while (j < n) {
+            var xj = x[j];
+            acc = acc + xj * wk + xj * k;
+            j = j + 1;
+        }
+        s[k] = acc * wk + acc * 3;
+        k = k + 1;
+    }
+    out d = s[0];
+}
+"#;
+
+/// Incomplete gamma function: truncated series with a linear recurrence
+/// and a factorable term update.
+pub const IGF_SRC: &str = r#"
+proc igf(a, n) {
+    var term = 4096;
+    var sum = 0;
+    var i = 0;
+    while (i < n) {
+        term = term + a;
+        sum = sum + (term * a + term * 3);
+        i = i + 1;
+    }
+    out g = sum >> 2;
+}
+"#;
+
+/// Parallel prefix sum (reduction form): a 16-input summation written as a
+/// sequential chain; tree-height reduction parallelizes it across the five
+/// allocated adders.
+pub const PPS_SRC: &str = r#"
+proc pps(x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15, x16) {
+    out s = x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8
+          + x9 + x10 + x11 + x12 + x13 + x14 + x15 + x16;
+}
+"#;
+
+/// Builds the whole suite against the given (§5) library.
+///
+/// # Panics
+/// Panics if a benchmark fails to compile (a bug in this crate) or if the
+/// library lacks a unit the allocations reference.
+pub fn suite(lib: &FuLibrary) -> Vec<Benchmark> {
+    vec![
+        gcd(lib),
+        fir(lib),
+        test2(lib),
+        sintran(lib),
+        igf(lib),
+        pps(lib),
+    ]
+}
+
+/// GCD benchmark (Table 3: 2 sb1, 1 cp1, 1 e1).
+pub fn gcd(lib: &FuLibrary) -> Benchmark {
+    Benchmark {
+        name: "GCD",
+        function: compile(GCD_SRC).expect("GCD compiles"),
+        allocation: alloc_of(lib, &[("sb1", 2), ("cp1", 1), ("e1", 1)]),
+        traces: traces_of(
+            &[
+                ("a", InputSpec::Uniform { lo: 1, hi: 64 }),
+                ("b", InputSpec::Uniform { lo: 1, hi: 64 }),
+            ],
+            12,
+            101,
+        ),
+    }
+}
+
+/// FIR benchmark (Table 3 row adapted: 2 a1, 1 mt1, 1 cp1, 1 i1).
+pub fn fir(lib: &FuLibrary) -> Benchmark {
+    Benchmark {
+        name: "FIR",
+        function: compile(FIR_SRC).expect("FIR compiles"),
+        allocation: alloc_of(lib, &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 1)]),
+        traces: traces_of(&[("n", InputSpec::Constant(16))], 4, 102),
+    }
+}
+
+/// Test2 benchmark (Table 3: 2 a1, 2 sb1, 2 cp1, 2 i1).
+pub fn test2(lib: &FuLibrary) -> Benchmark {
+    Benchmark {
+        name: "Test2",
+        function: compile(TEST2_SRC).expect("Test2 compiles"),
+        allocation: alloc_of(lib, &[("a1", 2), ("sb1", 2), ("cp1", 2), ("i1", 2)]),
+        traces: traces_of(
+            &[
+                ("n1", InputSpec::Constant(50)),
+                ("n2", InputSpec::Constant(50)),
+                ("n3", InputSpec::Constant(125)),
+            ],
+            3,
+            103,
+        ),
+    }
+}
+
+/// SINTRAN benchmark (Table 3 row adapted: mt1 reduced to 1 so the
+/// multiplier is the contended resource; see EXPERIMENTS.md).
+pub fn sintran(lib: &FuLibrary) -> Benchmark {
+    Benchmark {
+        name: "SINTRAN",
+        function: compile(SINTRAN_SRC).expect("SINTRAN compiles"),
+        allocation: alloc_of(
+            lib,
+            &[("a1", 4), ("sb1", 4), ("mt1", 1), ("cp1", 1), ("i1", 1)],
+        ),
+        traces: traces_of(&[("n", InputSpec::Constant(12))], 3, 104),
+    }
+}
+
+/// IGF benchmark (Table 3 row adapted: the multiplier is the contended
+/// unit; see EXPERIMENTS.md).
+pub fn igf(lib: &FuLibrary) -> Benchmark {
+    Benchmark {
+        name: "IGF",
+        function: compile(IGF_SRC).expect("IGF compiles"),
+        allocation: alloc_of(
+            lib,
+            &[
+                ("a1", 3),
+                ("sb1", 1),
+                ("mt1", 1),
+                ("cp1", 1),
+                ("i1", 1),
+                ("s1", 1),
+            ],
+        ),
+        traces: traces_of(
+            &[
+                ("a", InputSpec::Uniform { lo: 1, hi: 9 }),
+                ("n", InputSpec::Constant(24)),
+            ],
+            6,
+            105,
+        ),
+    }
+}
+
+/// PPS benchmark (Table 3: 5 a1).
+pub fn pps(lib: &FuLibrary) -> Benchmark {
+    let names = [
+        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13",
+        "x14", "x15", "x16",
+    ];
+    let specs: Vec<(&str, InputSpec)> = names
+        .iter()
+        .map(|&n| (n, InputSpec::Uniform { lo: -100, hi: 100 }))
+        .collect();
+    Benchmark {
+        name: "PPS",
+        function: compile(PPS_SRC).expect("PPS compiles"),
+        allocation: alloc_of(lib, &[("a1", 5)]),
+        traces: traces_of(&specs, 10, 106),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_estim::section5_library;
+    use fact_sim::execute;
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_benchmarks_compile_and_execute() {
+        let (lib, _) = section5_library();
+        for b in suite(&lib) {
+            for v in &b.traces.vectors {
+                execute(&b.function, v)
+                    .unwrap_or_else(|e| panic!("{} fails to execute: {e}", b.name));
+            }
+        }
+    }
+
+    #[test]
+    fn suite_has_six_table2_rows() {
+        let (lib, _) = section5_library();
+        let s = suite(&lib);
+        let names: Vec<&str> = s.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["GCD", "FIR", "Test2", "SINTRAN", "IGF", "PPS"]);
+    }
+
+    #[test]
+    fn gcd_computes_gcd() {
+        let (lib, _) = section5_library();
+        let b = gcd(&lib);
+        let env: HashMap<String, i64> =
+            [("a".to_string(), 48), ("b".to_string(), 36)].into();
+        assert_eq!(execute(&b.function, &env).unwrap().outputs[0].1, 12);
+    }
+
+    #[test]
+    fn pps_sums_inputs() {
+        let (lib, _) = section5_library();
+        let b = pps(&lib);
+        let env: HashMap<String, i64> = (1..=16)
+            .map(|i| (format!("x{i}"), i as i64))
+            .collect();
+        assert_eq!(execute(&b.function, &env).unwrap().outputs[0].1, 136);
+    }
+
+    #[test]
+    fn test1_matches_figure_1a() {
+        let f = compile(TEST1_SRC).unwrap();
+        let env: HashMap<String, i64> =
+            [("c1".to_string(), 1), ("c2".to_string(), 3)].into();
+        assert_eq!(execute(&f, &env).unwrap().outputs[0].1, 125);
+    }
+
+    #[test]
+    fn allocations_follow_table3_shape() {
+        let (lib, _) = section5_library();
+        let g = gcd(&lib);
+        assert_eq!(g.allocation.count(lib.by_name("sb1").unwrap()), 2);
+        assert_eq!(g.allocation.count(lib.by_name("cp1").unwrap()), 1);
+        assert_eq!(g.allocation.count(lib.by_name("e1").unwrap()), 1);
+        let p = pps(&lib);
+        assert_eq!(p.allocation.count(lib.by_name("a1").unwrap()), 5);
+    }
+}

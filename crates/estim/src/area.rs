@@ -1,0 +1,159 @@
+//! Area estimation.
+//!
+//! Table 1 characterizes every component for area, and the paper's
+//! introduction names compactness as a design goal alongside throughput
+//! and power. Area here is allocation-driven (the datapath is built from
+//! the allocated units regardless of utilization) plus storage: one
+//! register per value that crosses a state boundary, and one memory block
+//! per declared array.
+
+use fact_sched::{Allocation, FuLibrary, ScheduleResult};
+use std::collections::{HashMap, HashSet};
+
+/// Area of one register (Table 1's `reg1`).
+pub const REGISTER_AREA: f64 = 1.0;
+
+/// Area of one memory block (Table 1's `mem1`).
+pub const MEMORY_AREA: f64 = 8.1;
+
+/// Area breakdown of a design point, in Table 1's relative units.
+#[derive(Clone, Debug, Default)]
+pub struct AreaReport {
+    /// Allocated functional units.
+    pub functional_units: f64,
+    /// Registers holding values across state boundaries.
+    pub registers: f64,
+    /// Memory blocks.
+    pub memories: f64,
+    /// Number of registers counted.
+    pub register_count: usize,
+}
+
+impl AreaReport {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.functional_units + self.registers + self.memories
+    }
+}
+
+/// Estimates the area of a scheduled design.
+///
+/// Functional-unit area is `Σ count(u) · area(u)` over the allocation.
+/// Register count is the number of scheduled operations whose value is
+/// consumed in a different state than it is produced in (phis always
+/// hold state and count once each).
+pub fn estimate_area(
+    sr: &ScheduleResult,
+    library: &FuLibrary,
+    alloc: &Allocation,
+) -> AreaReport {
+    let mut fu_area = 0.0;
+    for (fu, count) in alloc.iter() {
+        fu_area += count as f64 * library.spec(fu).area;
+    }
+
+    // State of each scheduled op (first state it appears in).
+    let mut state_of: HashMap<fact_ir::OpId, fact_sched::StateId> = HashMap::new();
+    for s in sr.stg.state_ids() {
+        for sop in &sr.stg.state(s).ops {
+            state_of.entry(sop.op).or_insert(s);
+        }
+    }
+    // Values needing registers: produced in one state, consumed in another
+    // (or consumed by an unscheduled free op — conservatively registered).
+    let f = &sr.function;
+    let mut registered: HashSet<fact_ir::OpId> = HashSet::new();
+    for b in f.block_ids() {
+        for &user in &f.block(b).ops {
+            let user_state = state_of.get(&user);
+            for v in f.op(user).kind.operands() {
+                match (state_of.get(&v), user_state) {
+                    (Some(ds), Some(us)) if ds != us => {
+                        registered.insert(v);
+                    }
+                    (Some(_), None) | (None, _) => {
+                        // Free producers/consumers (phis, constants, IO):
+                        // phis hold loop state and always need a register.
+                        if matches!(f.op(v).kind, fact_ir::OpKind::Phi(_)) {
+                            registered.insert(v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    AreaReport {
+        functional_units: fu_area,
+        registers: registered.len() as f64 * REGISTER_AREA,
+        memories: f.memories().count() as f64 * MEMORY_AREA,
+        register_count: registered.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::section5_library;
+    use fact_lang::compile;
+    use fact_sched::{schedule, SchedOptions};
+    use fact_sim::{generate, profile, InputSpec};
+
+    fn scheduled(src: &str, pairs: &[(&str, u32)]) -> (ScheduleResult, FuLibrary, Allocation) {
+        let f = compile(src).unwrap();
+        let (lib, rules) = section5_library();
+        let mut alloc = Allocation::new();
+        for (n, c) in pairs {
+            alloc.set(lib.by_name(n).unwrap(), *c);
+        }
+        let specs: Vec<_> = f
+            .inputs()
+            .iter()
+            .map(|(n, _)| (n.clone(), InputSpec::Uniform { lo: 1, hi: 20 }))
+            .collect();
+        let traces = generate(&specs, 5, 3);
+        let prof = profile(&f, &traces);
+        let sr = schedule(&f, &lib, &rules, &alloc, &prof, &SchedOptions::default()).unwrap();
+        (sr, lib, alloc)
+    }
+
+    #[test]
+    fn fu_area_follows_allocation() {
+        let (sr, lib, alloc) =
+            scheduled("proc f(a, b) { out y = a * b + a; }", &[("a1", 2), ("mt1", 1)]);
+        let r = estimate_area(&sr, &lib, &alloc);
+        // 2 adders x 1.5 + 1 multiplier x 3.9.
+        assert!((r.functional_units - (2.0 * 1.5 + 3.9)).abs() < 1e-9);
+        assert_eq!(r.memories, 0.0);
+        assert!(r.total() >= r.functional_units);
+    }
+
+    #[test]
+    fn memories_count_table1_blocks() {
+        let (sr, lib, alloc) = scheduled(
+            "proc f(i) { array x[8]; array y[8]; x[0] = i; y[0] = i; }",
+            &[],
+        );
+        let r = estimate_area(&sr, &lib, &alloc);
+        assert!((r.memories - 2.0 * MEMORY_AREA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_state_needs_registers() {
+        let (sr, lib, alloc) = scheduled(
+            "proc f(n) { var i = 0; var s = 0; while (i < n) { s = s + i; i = i + 1; } out s = s; }",
+            &[("a1", 1), ("i1", 1), ("cp1", 1)],
+        );
+        let r = estimate_area(&sr, &lib, &alloc);
+        // At least the two loop phis hold state.
+        assert!(r.register_count >= 2, "{}", r.register_count);
+    }
+
+    #[test]
+    fn straightline_single_state_needs_no_cross_state_registers() {
+        let (sr, lib, alloc) = scheduled("proc f(a) { out y = a + a; }", &[("a1", 1)]);
+        let r = estimate_area(&sr, &lib, &alloc);
+        assert_eq!(r.register_count, 0);
+    }
+}

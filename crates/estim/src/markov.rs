@@ -1,0 +1,279 @@
+//! Markov analysis of the STG, following Bhattacharya, Dey and Brglez
+//! (DAC 1994, the paper's reference \[10\]).
+//!
+//! The STG with profiled transition probabilities is an absorbing Markov
+//! chain: the `done` state absorbs, every other state is transient. The
+//! expected number of visits to each transient state gives (a) the
+//! *average schedule length* — the expected number of cycles to complete
+//! one execution of the behavior — and (b) the *state probabilities* used
+//! to weight per-state energy (paper §2.2, Example 1).
+
+use fact_sched::{StateId, Stg};
+
+/// Result of the absorbing-chain analysis.
+#[derive(Clone, Debug)]
+pub struct MarkovAnalysis {
+    /// Expected visits per state per execution (0 for `done`).
+    pub expected_visits: Vec<f64>,
+    /// Probability of being in each state, conditioned on not being done:
+    /// `visits[s] / total_visits`.
+    pub state_probs: Vec<f64>,
+    /// Expected total cycles per execution (sum of visits).
+    pub average_schedule_length: f64,
+}
+
+impl MarkovAnalysis {
+    /// Expected visits to `s`.
+    pub fn visits(&self, s: StateId) -> f64 {
+        self.expected_visits[s.index()]
+    }
+
+    /// Steady-state probability of `s`.
+    pub fn prob(&self, s: StateId) -> f64 {
+        self.state_probs[s.index()]
+    }
+}
+
+/// Analyzes `stg`, solving the expected-visits system
+/// `v = e_entry + Qᵀ v` by dense Gaussian elimination (STGs in this domain
+/// have tens of states).
+///
+/// # Errors
+/// Returns an error if the linear system is singular — which happens
+/// exactly when some probability mass can never reach `done` (a closed
+/// cycle with no exit), a structurally invalid schedule.
+pub fn analyze(stg: &Stg) -> Result<MarkovAnalysis, String> {
+    let n = stg.num_states();
+    let done = stg.done().index();
+
+    // Build (I - Qᵀ) v = e, where Q[i][j] = P(i -> j) over transient
+    // states. Row `done` is forced to v[done] = 0.
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut rhs = vec![0.0f64; n];
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for t in stg.transitions() {
+        let (i, j) = (t.from.index(), t.to.index());
+        if j != done {
+            a[j][i] -= t.prob;
+        }
+    }
+    rhs[stg.entry().index()] += 1.0;
+    // v[done] = 0.
+    for x in a[done].iter_mut() {
+        *x = 0.0;
+    }
+    a[done][done] = 1.0;
+    rhs[done] = 0.0;
+
+    let v = solve(&mut a, &mut rhs)?;
+    let total: f64 = v.iter().sum();
+    let probs: Vec<f64> = if total > 0.0 {
+        v.iter().map(|&x| x / total).collect()
+    } else {
+        vec![0.0; n]
+    };
+    Ok(MarkovAnalysis {
+        expected_visits: v,
+        state_probs: probs,
+        average_schedule_length: total,
+    })
+}
+
+/// Analyzes `stg` preferring the scheduler's *empirical* expected-visit
+/// annotations (profiled block-visit averages, exact by linearity of
+/// expectation) when every state reachable from the entry carries one.
+/// Otherwise falls back to the first-order Markov solution of [`analyze`].
+///
+/// The empirical counts make candidate comparisons immune to a known
+/// first-order-Markov artifact: restructuring a loop (e.g. unrolling it)
+/// changes the *order* of the chain and hence the estimate, without
+/// changing the physical behavior.
+///
+/// # Errors
+/// Propagates [`analyze`] failures when falling back.
+pub fn analyze_preferring_empirical(stg: &Stg) -> Result<MarkovAnalysis, String> {
+    // Reachable states from the entry.
+    let n = stg.num_states();
+    let mut reach = vec![false; n];
+    let mut stack = vec![stg.entry()];
+    reach[stg.entry().index()] = true;
+    while let Some(s) = stack.pop() {
+        for t in stg.outgoing(s) {
+            if !reach[t.to.index()] {
+                reach[t.to.index()] = true;
+                stack.push(t.to);
+            }
+        }
+    }
+    let mut visits = vec![0.0f64; n];
+    for s in stg.state_ids() {
+        if s == stg.done() || !reach[s.index()] {
+            continue;
+        }
+        match stg.state(s).expected_visits {
+            Some(v) => visits[s.index()] = v,
+            None => return analyze(stg),
+        }
+    }
+    let total: f64 = visits.iter().sum();
+    if total <= 0.0 {
+        return analyze(stg);
+    }
+    let probs = visits.iter().map(|&v| v / total).collect();
+    Ok(MarkovAnalysis {
+        expected_visits: visits,
+        state_probs: probs,
+        average_schedule_length: total,
+    })
+}
+
+/// Gaussian elimination with partial pivoting. Consumes its inputs.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, String> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[best][col].abs() {
+                best = row;
+            }
+        }
+        if a[best][col].abs() < 1e-12 {
+            return Err(format!(
+                "singular system at column {col}: a closed cycle never reaches done"
+            ));
+        }
+        a.swap(col, best);
+        b.swap(col, best);
+        // Eliminate.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // a[row] and a[col] alias
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in row + 1..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_chain_visits_each_once() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 1.0, "");
+        let done = stg.done();
+        stg.add_transition(b, done, 1.0, "");
+        let m = analyze(&stg).unwrap();
+        assert!((m.visits(a) - 1.0).abs() < 1e-9);
+        assert!((m.visits(b) - 1.0).abs() < 1e-9);
+        assert!((m.average_schedule_length - 2.0).abs() < 1e-9);
+        assert!((m.prob(a) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_self_loop_has_expected_visits() {
+        // Self-loop with q = 0.9: expected visits = 1 / (1-q) = 10.
+        let mut stg = Stg::new();
+        let k = stg.add_state("k");
+        stg.set_entry(k);
+        stg.add_transition(k, k, 0.9, "");
+        let done = stg.done();
+        stg.add_transition(k, done, 0.1, "");
+        let m = analyze(&stg).unwrap();
+        assert!((m.visits(k) - 10.0).abs() < 1e-9);
+        assert!((m.average_schedule_length - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_probabilities_weight_paths() {
+        // entry -> (p=0.25: long 3-state path | p=0.75: 1-state path) -> done
+        let mut stg = Stg::new();
+        let e = stg.add_state("e");
+        let l1 = stg.add_state("l1");
+        let l2 = stg.add_state("l2");
+        let l3 = stg.add_state("l3");
+        let s1 = stg.add_state("s1");
+        stg.set_entry(e);
+        stg.add_transition(e, l1, 0.25, "");
+        stg.add_transition(e, s1, 0.75, "");
+        stg.add_transition(l1, l2, 1.0, "");
+        stg.add_transition(l2, l3, 1.0, "");
+        let done = stg.done();
+        stg.add_transition(l3, done, 1.0, "");
+        stg.add_transition(s1, done, 1.0, "");
+        let m = analyze(&stg).unwrap();
+        // E[len] = 1 + 0.25*3 + 0.75*1 = 2.5
+        assert!((m.average_schedule_length - 2.5).abs() < 1e-9);
+        assert!((m.visits(l2) - 0.25).abs() < 1e-9);
+        assert!((m.visits(s1) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_loop_multiplies_visits() {
+        // outer self-loops through an inner state: entry -> i; i -> i (0.5),
+        // i -> o (0.5); o -> i (0.5), o -> done (0.5).
+        let mut stg = Stg::new();
+        let i = stg.add_state("i");
+        let o = stg.add_state("o");
+        stg.set_entry(i);
+        stg.add_transition(i, i, 0.5, "");
+        stg.add_transition(i, o, 0.5, "");
+        stg.add_transition(o, i, 0.5, "");
+        let done = stg.done();
+        stg.add_transition(o, done, 0.5, "");
+        let m = analyze(&stg).unwrap();
+        // Solve by hand: v_i = 1 + 0.5 v_i + 0.5 v_o; v_o = 0.5 v_i.
+        // => v_i = 1 + 0.5 v_i + 0.25 v_i => v_i = 4, v_o = 2.
+        assert!((m.visits(i) - 4.0).abs() < 1e-9);
+        assert!((m.visits(o) - 2.0).abs() < 1e-9);
+        assert!((m.average_schedule_length - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_cycle_is_singular() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 1.0, "");
+        stg.add_transition(b, a, 1.0, "");
+        assert!(analyze(&stg).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 0.7, "");
+        let done = stg.done();
+        stg.add_transition(a, done, 0.3, "");
+        stg.add_transition(b, a, 1.0, "");
+        let m = analyze(&stg).unwrap();
+        let sum: f64 = m.state_probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

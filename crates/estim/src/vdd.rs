@@ -1,0 +1,116 @@
+//! Supply-voltage scaling (paper §2.2, Example 1).
+//!
+//! Gate delay follows `Delay = k · Vdd / (Vdd − Vt)²` (Weste &
+//! Eshraghian, the paper's reference \[11\]). When a transformation makes
+//! the schedule shorter than the untransformed baseline, the paper trades
+//! that slack for power by lowering `Vdd` until performance returns to the
+//! baseline, then reports `P = E·Vdd_new² / (baseline time)`.
+
+/// Reference supply voltage (the paper schedules at 5 V).
+pub const VDD_REF: f64 = 5.0;
+
+/// Threshold voltage (the paper assumes 1 V).
+pub const VT: f64 = 1.0;
+
+/// The (unnormalized) delay factor `Vdd / (Vdd − Vt)²`.
+///
+/// # Panics
+/// Panics if `vdd <= VT` (the transistor would not switch).
+pub fn delay_factor(vdd: f64) -> f64 {
+    assert!(vdd > VT, "vdd {vdd} must exceed the threshold voltage {VT}");
+    vdd / ((vdd - VT) * (vdd - VT))
+}
+
+/// Solves for the scaled supply voltage at which a design whose schedule
+/// shortened from `base_cycles` to `new_cycles` (at [`VDD_REF`]) again
+/// takes exactly the baseline's wall-clock time:
+///
+/// `delay_factor(ref)/delay_factor(new) = new_cycles / base_cycles`
+///
+/// (the paper's equation in Example 1, with 119.11/151.30 on the right).
+/// Returns [`VDD_REF`] when the new schedule is not faster — voltage is
+/// never scaled *up*.
+///
+/// Solved by bisection on the monotone-decreasing `delay_factor`.
+pub fn scale_voltage(base_cycles: f64, new_cycles: f64) -> f64 {
+    if new_cycles <= 0.0 || new_cycles.is_nan() || new_cycles >= base_cycles {
+        return VDD_REF;
+    }
+    let target = delay_factor(VDD_REF) * base_cycles / new_cycles;
+    // delay_factor decreases with vdd on (VT, inf) for vdd > 2·... it is
+    // decreasing for vdd > VT? d/dv [v/(v-t)^2] < 0 when v > -t... check:
+    // derivative sign = ((v-t)^2 - v·2(v-t)) = (v-t)(v-t-2v) = (v-t)(-v-t) < 0
+    // for v > t. So the factor decreases monotonically: a larger target
+    // (slower allowed) means a smaller vdd.
+    let mut lo = VT + 1e-6;
+    let mut hi = VDD_REF;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if delay_factor(mid) > target {
+            lo = mid; // too slow: raise voltage
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Power after Vdd scaling, in the paper's formulation:
+/// `E · Vdd_new² / (base_cycles · clock_ns)` — the energy of the
+/// transformed design delivered over the baseline's time budget.
+pub fn scaled_power(energy_vdd2: f64, base_cycles: f64, new_cycles: f64, clock_ns: f64) -> (f64, f64) {
+    let vdd = scale_voltage(base_cycles, new_cycles);
+    let time = base_cycles.max(new_cycles) * clock_ns;
+    (energy_vdd2 * vdd * vdd / time, vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_factor_decreases_with_voltage() {
+        assert!(delay_factor(3.0) > delay_factor(4.0));
+        assert!(delay_factor(4.0) > delay_factor(5.0));
+    }
+
+    #[test]
+    fn papers_example1_numbers() {
+        // 119.11 cycles transformed vs 151.30 baseline → Vdd_new = 4.29 V.
+        let v = scale_voltage(151.30, 119.11);
+        assert!((v - 4.29).abs() < 0.01, "got {v}");
+    }
+
+    #[test]
+    fn no_speedup_means_no_scaling() {
+        assert_eq!(scale_voltage(100.0, 100.0), VDD_REF);
+        assert_eq!(scale_voltage(100.0, 120.0), VDD_REF);
+        assert_eq!(scale_voltage(100.0, 0.0), VDD_REF);
+    }
+
+    #[test]
+    fn scaled_voltage_recovers_baseline_time() {
+        let v = scale_voltage(200.0, 100.0);
+        // 100 cycles at the slower clock == 200 cycles at the reference.
+        let ratio = delay_factor(v) / delay_factor(VDD_REF);
+        assert!((ratio - 2.0).abs() < 1e-6);
+        assert!(v < VDD_REF);
+        assert!(v > VT);
+    }
+
+    #[test]
+    fn papers_example1_power() {
+        // E = 665.58·Vdd², baseline 151.30 cycles: P = 665.58·4.29²/(151.30·T).
+        let (p, v) = scaled_power(665.58, 151.30, 119.11, 1.0);
+        assert!((v - 4.29).abs() < 0.01);
+        assert!((p - 665.58 * v * v / 151.30).abs() < 1e-9);
+        // Paper quotes ≈ 80.96 per cycle_time unit.
+        assert!((p - 80.96).abs() < 0.5, "got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn delay_factor_rejects_subthreshold() {
+        let _ = delay_factor(0.5);
+    }
+}

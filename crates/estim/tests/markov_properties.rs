@@ -1,0 +1,109 @@
+//! Property-based tests of the Markov analysis: conservation laws that
+//! must hold for any valid absorbing STG, and agreement between the
+//! analytic solution and empirical annotations on geometric chains.
+
+use fact_estim::{analyze, analyze_preferring_empirical};
+use fact_sched::Stg;
+use proptest::prelude::*;
+
+/// A random layered chain: `n` states in a line; each state goes forward
+/// with probability p_i and restarts from the entry with 1-p_i; the last
+/// state always exits to done. Every state reaches done, so the chain is
+/// a valid absorbing process.
+fn chain_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.05f64..0.95, 1..7)
+}
+
+fn build(ps: &[f64]) -> Stg {
+    let mut stg = Stg::new();
+    let states: Vec<_> = (0..ps.len())
+        .map(|i| stg.add_state(format!("s{i}")))
+        .collect();
+    stg.set_entry(states[0]);
+    let done = stg.done();
+    for (i, &p) in ps.iter().enumerate() {
+        let next = if i + 1 < ps.len() { states[i + 1] } else { done };
+        stg.add_transition(states[i], next, p, "fwd");
+        stg.add_transition(states[i], states[0], 1.0 - p, "restart");
+    }
+    stg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn conservation_laws_hold(ps in chain_strategy()) {
+        let stg = build(&ps);
+        stg.validate().unwrap();
+        let m = analyze(&stg).unwrap();
+        // All visits non-negative; entry visited at least once.
+        for s in stg.state_ids() {
+            prop_assert!(m.visits(s) >= -1e-9);
+        }
+        prop_assert!(m.visits(stg.entry()) >= 1.0 - 1e-9);
+        // Total length = sum of visits, finite and >= chain length... at
+        // least 1 visit to the entry.
+        prop_assert!(m.average_schedule_length.is_finite());
+        prop_assert!(m.average_schedule_length >= ps.len() as f64 - 1e-9);
+        // Flow conservation: visits(s) = inflow(s) (+1 for entry).
+        for s in stg.state_ids() {
+            if s == stg.done() {
+                continue;
+            }
+            let inflow: f64 = stg
+                .transitions()
+                .iter()
+                .filter(|t| t.to == s)
+                .map(|t| m.visits(t.from) * t.prob)
+                .sum();
+            let expected = inflow + if s == stg.entry() { 1.0 } else { 0.0 };
+            prop_assert!((m.visits(s) - expected).abs() < 1e-6,
+                "state {s}: visits {} vs inflow {expected}", m.visits(s));
+        }
+        // Probabilities sum to one.
+        let total: f64 = m.state_probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_annotations_override_when_complete(ps in chain_strategy()) {
+        let mut stg = build(&ps);
+        // Annotate every reachable state with synthetic visit counts.
+        let ids: Vec<_> = stg.state_ids().collect();
+        let done = stg.done();
+        for (i, s) in ids.iter().enumerate() {
+            if *s != done {
+                stg.state_mut(*s).expected_visits = Some(1.0 + i as f64);
+            }
+        }
+        let m = analyze_preferring_empirical(&stg).unwrap();
+        for (i, s) in ids.iter().enumerate() {
+            if *s != done {
+                prop_assert!((m.visits(*s) - (1.0 + i as f64)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_falls_back_when_incomplete(ps in chain_strategy()) {
+        let stg = build(&ps); // no annotations at all
+        let analytic = analyze(&stg).unwrap();
+        let preferred = analyze_preferring_empirical(&stg).unwrap();
+        prop_assert!(
+            (analytic.average_schedule_length - preferred.average_schedule_length).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn geometric_loop_matches_closed_form(q in 0.01f64..0.99) {
+        let mut stg = Stg::new();
+        let k = stg.add_state("k");
+        stg.set_entry(k);
+        stg.add_transition(k, k, q, "");
+        let done = stg.done();
+        stg.add_transition(k, done, 1.0 - q, "");
+        let m = analyze(&stg).unwrap();
+        prop_assert!((m.visits(k) - 1.0 / (1.0 - q)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dominator-tree construction (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::reverse_postorder;
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// The dominator tree of a function's CFG.
+///
+/// `idom[entry] == entry`; unreachable blocks have no immediate dominator.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let rpo = reverse_postorder(f);
+        let n = f.num_blocks();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = f.entry();
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_index[x.index()] > rpo_index[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_index[y.index()] > rpo_index[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry block);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` iff `a` dominates `b` (every path from entry to `b`
+    /// passes through `a`; reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut x = b;
+        loop {
+            if x == a {
+                return true;
+            }
+            match self.idom[x.index()] {
+                Some(i) if i != x => x = i,
+                _ => return x == a,
+            }
+        }
+    }
+
+    /// Returns `true` iff `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The blocks in reverse postorder (reachable only).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder, or `usize::MAX` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+
+    /// The nearest common dominator of two reachable blocks.
+    pub fn common_dominator(&self, a: BlockId, b: BlockId) -> BlockId {
+        let mut x = a;
+        let mut y = b;
+        while x != y {
+            while self.rpo_index[x.index()] > self.rpo_index[y.index()] {
+                x = self.idom[x.index()].expect("reachable");
+            }
+            while self.rpo_index[y.index()] > self.rpo_index[x.index()] {
+                y = self.idom[y.index()].expect("reachable");
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Terminator;
+
+    /// Classic example: entry -> a -> (b|c) -> d, d -> a (loop), d -> exit.
+    fn sample() -> (Function, [BlockId; 6]) {
+        let mut f = Function::new("dom");
+        let entry = f.entry();
+        let a = f.add_block("a");
+        let b = f.add_block("b");
+        let c = f.add_block("c");
+        let d = f.add_block("d");
+        let exit = f.add_block("exit");
+        let c1 = f.emit_input(entry, "c1");
+        let c2 = f.emit_input(entry, "c2");
+        f.set_terminator(entry, Terminator::Jump(a));
+        f.set_terminator(
+            a,
+            Terminator::Branch {
+                cond: c1,
+                on_true: b,
+                on_false: c,
+            },
+        );
+        f.set_terminator(b, Terminator::Jump(d));
+        f.set_terminator(c, Terminator::Jump(d));
+        f.set_terminator(
+            d,
+            Terminator::Branch {
+                cond: c2,
+                on_true: a,
+                on_false: exit,
+            },
+        );
+        f.set_terminator(exit, Terminator::Return(None));
+        (f, [entry, a, b, c, d, exit])
+    }
+
+    #[test]
+    fn idoms_of_diamond_with_loop() {
+        let (f, [entry, a, b, c, d, exit]) = sample();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(entry), Some(entry));
+        assert_eq!(dt.idom(a), Some(entry));
+        assert_eq!(dt.idom(b), Some(a));
+        assert_eq!(dt.idom(c), Some(a));
+        assert_eq!(dt.idom(d), Some(a)); // join point dominated by a, not b/c
+        assert_eq!(dt.idom(exit), Some(d));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, [entry, a, b, _c, d, exit]) = sample();
+        let dt = DomTree::compute(&f);
+        assert!(dt.dominates(a, a));
+        assert!(dt.dominates(entry, exit));
+        assert!(dt.dominates(a, d));
+        assert!(!dt.dominates(b, d));
+        assert!(dt.strictly_dominates(a, b));
+        assert!(!dt.strictly_dominates(a, a));
+    }
+
+    #[test]
+    fn common_dominator_of_siblings() {
+        let (f, [_, a, b, c, d, _]) = sample();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.common_dominator(b, c), a);
+        assert_eq!(dt.common_dominator(b, d), a);
+        assert_eq!(dt.common_dominator(d, d), d);
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let (mut f, _) = sample();
+        let dead = f.add_block("dead");
+        f.set_terminator(dead, Terminator::Return(None));
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(dead), None);
+    }
+}

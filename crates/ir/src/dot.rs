@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export of CDFGs, in the style of the paper's Figure 1(b):
+//! continuous arcs for data dependencies, dashed arcs for control flow.
+
+use crate::func::{Function, Terminator};
+use crate::pretty::op_short_label;
+use std::fmt::Write;
+
+/// Renders `f` as a Graphviz digraph.
+///
+/// Blocks become clusters; data dependencies are solid edges between op
+/// nodes; control flow between blocks is drawn dashed, labelled `+`/`-`
+/// for branch polarity like the paper's Figure 1(b).
+pub fn function_to_dot(f: &Function) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", f.name());
+    let _ = writeln!(s, "  compound=true; node [shape=ellipse, fontsize=10];");
+    for b in f.block_ids() {
+        if f.block(b).ops.is_empty() && !matches!(f.block(b).term, Terminator::Branch { .. }) {
+            // still emit an anchor node so control edges have endpoints
+        }
+        let _ = writeln!(s, "  subgraph cluster_{} {{", b.index());
+        let label = f
+            .block(b)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("{b}"));
+        let _ = writeln!(s, "    label=\"{label}\";");
+        let _ = writeln!(s, "    anchor_{} [shape=point, style=invis];", b.index());
+        for &op in &f.block(b).ops {
+            let _ = writeln!(
+                s,
+                "    op_{} [label=\"{}\"];",
+                op.index(),
+                op_short_label(f, op).replace('"', "'")
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    // Data edges.
+    for b in f.block_ids() {
+        for &op in &f.block(b).ops {
+            for src in f.op(op).kind.operands() {
+                let _ = writeln!(s, "  op_{} -> op_{};", src.index(), op.index());
+            }
+        }
+    }
+    // Control edges (dashed), labelled with branch polarity.
+    for b in f.block_ids() {
+        match &f.block(b).term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(
+                    s,
+                    "  anchor_{} -> anchor_{} [style=dashed, ltail=cluster_{}, lhead=cluster_{}];",
+                    b.index(),
+                    t.index(),
+                    b.index(),
+                    t.index()
+                );
+            }
+            Terminator::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "  op_{} -> anchor_{} [style=dashed, label=\"+\", lhead=cluster_{}];",
+                    cond.index(),
+                    on_true.index(),
+                    on_true.index()
+                );
+                let _ = writeln!(
+                    s,
+                    "  op_{} -> anchor_{} [style=dashed, label=\"-\", lhead=cluster_{}];",
+                    cond.index(),
+                    on_false.index(),
+                    on_false.index()
+                );
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinOp;
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut f = Function::new("t");
+        let e = f.entry();
+        let t = f.add_block("then");
+        let a = f.emit_input(e, "a");
+        let c = f.emit_bin(e, BinOp::Lt, a, a);
+        f.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: c,
+                on_true: t,
+                on_false: t,
+            },
+        );
+        f.set_terminator(t, Terminator::Return(None));
+        let dot = function_to_dot(&f);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("label=\"+\""));
+        assert!(dot.contains("label=\"-\""));
+        assert!(dot.trim_end().ends_with('}'));
+        // Balanced braces.
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "{dot}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Index newtypes used throughout the IR.
+//!
+//! All IR entities are stored in arenas owned by a
+//! [`Function`](crate::Function); these newtypes are typed indices into
+//! those arenas. They are [`Copy`], ordered, hashable, and cheap to pass
+//! around, and they render compactly (`b3`, `v17`, `m0`) in printouts.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a basic block within a [`Function`](crate::Function).
+    BlockId,
+    "b"
+);
+
+id_type!(
+    /// Identifies an operation within a [`Function`](crate::Function).
+    ///
+    /// Every operation defines exactly one value, so an `OpId` doubles as
+    /// the id of the value it defines (the paper's token). Operations whose
+    /// result is never read (e.g. stores) still carry an id for uniformity.
+    OpId,
+    "v"
+);
+
+id_type!(
+    /// Identifies a memory (array) within a [`Function`](crate::Function).
+    ///
+    /// The paper maps each array to its own memory, so memories with
+    /// different ids may be accessed concurrently.
+    MemId,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(BlockId(3).to_string(), "b3");
+        assert_eq!(OpId(17).to_string(), "v17");
+        assert_eq!(MemId(0).to_string(), "m0");
+    }
+
+    #[test]
+    fn round_trips_index() {
+        let id = OpId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(OpId::from(42usize), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(BlockId(1) < BlockId(2));
+        let mut set = HashSet::new();
+        set.insert(OpId(1));
+        set.insert(OpId(1));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(BlockId::default(), BlockId(0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Human-readable text form of the IR.
+
+use crate::func::{Function, Terminator};
+use crate::ids::{BlockId, OpId};
+use crate::op::OpKind;
+use std::fmt;
+
+/// Writes a full textual dump of `f` to the formatter.
+///
+/// The format is stable enough for snapshot-style assertions in tests:
+/// one block per section, one op per line, `name:` prefixes for labels.
+pub fn write_function(w: &mut impl fmt::Write, f: &Function) -> fmt::Result {
+    writeln!(w, "func @{} {{", f.name())?;
+    for (m, mem) in f.memories() {
+        writeln!(w, "  memory {m} = {}[{}]", mem.name, mem.size)?;
+    }
+    for b in f.block_ids() {
+        write_block(w, f, b)?;
+    }
+    writeln!(w, "}}")
+}
+
+fn write_block(w: &mut impl fmt::Write, f: &Function, b: BlockId) -> fmt::Result {
+    let block = f.block(b);
+    match &block.name {
+        Some(n) => writeln!(w, "{b} ({n}):")?,
+        None => writeln!(w, "{b}:")?,
+    }
+    for &op in &block.ops {
+        write!(w, "  {op} = ")?;
+        write_op(w, f, op)?;
+        if let Some(l) = &f.op(op).label {
+            write!(w, "  ; {l}")?;
+        }
+        writeln!(w)?;
+    }
+    match &block.term {
+        Terminator::Jump(t) => writeln!(w, "  jump {t}"),
+        Terminator::Branch {
+            cond,
+            on_true,
+            on_false,
+        } => writeln!(w, "  br {cond} ? {on_true} : {on_false}"),
+        Terminator::Return(Some(v)) => writeln!(w, "  ret {v}"),
+        Terminator::Return(None) => writeln!(w, "  ret"),
+    }
+}
+
+fn write_op(w: &mut impl fmt::Write, f: &Function, op: OpId) -> fmt::Result {
+    match &f.op(op).kind {
+        OpKind::Const(c) => write!(w, "const {c}"),
+        OpKind::Input(n) => write!(w, "input \"{n}\""),
+        OpKind::Bin(b, x, y) => write!(w, "{x} {b} {y}"),
+        OpKind::Un(u, x) => write!(w, "{u}{x}"),
+        OpKind::Mux {
+            cond,
+            on_true,
+            on_false,
+        } => write!(w, "mux {cond} ? {on_true} : {on_false}"),
+        OpKind::Phi(incoming) => {
+            write!(w, "phi ")?;
+            for (i, (b, v)) in incoming.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ", ")?;
+                }
+                write!(w, "[{b}: {v}]")?;
+            }
+            Ok(())
+        }
+        OpKind::Load { mem, addr } => write!(w, "load {mem}[{addr}]"),
+        OpKind::Store { mem, addr, value } => write!(w, "store {mem}[{addr}] = {value}"),
+        OpKind::Output(n, v) => write!(w, "output \"{n}\" = {v}"),
+    }
+}
+
+/// Returns the display label of an op: its explicit label if set, else a
+/// short description (`+`, `*`, `phi`, `ld`, ...). Used by STG printers.
+pub fn op_short_label(f: &Function, op: OpId) -> String {
+    if let Some(l) = &f.op(op).label {
+        return l.clone();
+    }
+    match &f.op(op).kind {
+        OpKind::Const(c) => format!("#{c}"),
+        OpKind::Input(n) => format!("in:{n}"),
+        OpKind::Bin(b, ..) => b.symbol().to_string(),
+        OpKind::Un(u, _) => u.symbol().to_string(),
+        OpKind::Mux { .. } => "mux".to_string(),
+        OpKind::Phi(_) => "phi".to_string(),
+        OpKind::Load { mem, .. } => format!("ld:{}", f.memory(*mem).name),
+        OpKind::Store { mem, .. } => format!("st:{}", f.memory(*mem).name),
+        OpKind::Output(n, _) => format!("out:{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinOp;
+
+    #[test]
+    fn dump_contains_blocks_ops_and_terms() {
+        let mut f = Function::new("t");
+        let e = f.entry();
+        f.add_memory("x", 16);
+        let a = f.emit_input(e, "a");
+        let c = f.emit_const(e, 3);
+        let s = f.emit_bin(e, BinOp::Add, a, c);
+        f.emit_output(e, "y", s);
+        let text = f.to_string();
+        assert!(text.contains("func @t"), "{text}");
+        assert!(text.contains("memory m0 = x[16]"), "{text}");
+        assert!(text.contains("input \"a\""), "{text}");
+        assert!(text.contains("const 3"), "{text}");
+        assert!(text.contains('+'), "{text}");
+        assert!(text.contains("output \"y\""), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn labels_are_printed_as_comments() {
+        let mut f = Function::new("t");
+        let e = f.entry();
+        let a = f.emit_input(e, "a");
+        let op = f.emit(
+            e,
+            crate::op::Op::with_label(OpKind::Bin(BinOp::Mul, a, a), "*1"),
+        );
+        let text = f.to_string();
+        assert!(text.contains("; *1"), "{text}");
+        assert_eq!(op_short_label(&f, op), "*1");
+        assert_eq!(op_short_label(&f, a), "in:a");
+    }
+}

@@ -1,0 +1,308 @@
+//! In-place rewriting utilities shared by all transformations: use
+//! replacement, dead-code elimination, phi simplification, and constant
+//! folding of individual operations.
+
+use crate::cfg::reachable;
+use crate::func::{Function, Terminator};
+use crate::ids::OpId;
+use crate::op::OpKind;
+use std::collections::HashSet;
+
+/// Replaces every use of `from` with `to`, in operand lists and branch
+/// conditions. Does not touch the definition of `from` itself.
+pub fn replace_all_uses(f: &mut Function, from: OpId, to: OpId) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let ops = f.block(b).ops.clone();
+        for op in ops {
+            f.op_mut(op)
+                .kind
+                .map_operands(|v| if v == from { to } else { v });
+        }
+        if let Terminator::Branch { cond, .. } = &mut f.block_mut(b).term {
+            if *cond == from {
+                *cond = to;
+            }
+        }
+    }
+}
+
+/// Removes operations whose values are unused and that have no side
+/// effects, iterating to a fixed point. Also prunes unreachable blocks'
+/// contents. Returns the number of operations removed.
+///
+/// Dead phis (including mutually-recursive dead phi cycles) are removed
+/// because liveness is seeded only from side-effecting ops, terminators,
+/// and return values.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let reach = reachable(f);
+    let mut live: HashSet<OpId> = HashSet::new();
+    let mut work: Vec<OpId> = Vec::new();
+
+    for b in f.block_ids() {
+        if !reach[b.index()] {
+            continue;
+        }
+        for &op in &f.block(b).ops {
+            if f.op(op).kind.has_side_effect() {
+                work.push(op);
+            }
+        }
+        match &f.block(b).term {
+            Terminator::Branch { cond, .. } => work.push(*cond),
+            Terminator::Return(Some(v)) => work.push(*v),
+            _ => {}
+        }
+    }
+
+    let mut buf = Vec::new();
+    while let Some(op) = work.pop() {
+        if live.insert(op) {
+            buf.clear();
+            f.op(op).kind.operands_into(&mut buf);
+            work.extend(buf.iter().copied());
+        }
+    }
+
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let block = f.block_mut(b);
+        if !reach[b.index()] {
+            removed += block.ops.len();
+            block.ops.clear();
+            continue;
+        }
+        let before = block.ops.len();
+        block.ops.retain(|op| live.contains(op));
+        removed += before - block.ops.len();
+    }
+    removed
+}
+
+/// Simplifies trivial phis: a phi whose incoming values are all the same
+/// value `v` (or the phi itself) is replaced by `v`. Iterates to a fixed
+/// point; returns the number of phis simplified.
+pub fn simplify_phis(f: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut replaced = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let ops = f.block(b).ops.clone();
+            for op in ops {
+                let unique = match &f.op(op).kind {
+                    OpKind::Phi(incoming) => {
+                        let mut unique: Option<OpId> = None;
+                        let mut trivial = true;
+                        for &(_, v) in incoming {
+                            if v == op {
+                                continue;
+                            }
+                            match unique {
+                                None => unique = Some(v),
+                                Some(u) if u == v => {}
+                                Some(_) => {
+                                    trivial = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if trivial {
+                            unique
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(v) = unique {
+                    replace_all_uses(f, op, v);
+                    let block = f.block_mut(b);
+                    block.ops.retain(|&o| o != op);
+                    total += 1;
+                    replaced = true;
+                }
+            }
+        }
+        if !replaced {
+            return total;
+        }
+    }
+}
+
+/// Attempts to evaluate `op` to a constant given that all of its operands
+/// are `Const` operations. Returns the folded value if so.
+pub fn try_fold(f: &Function, op: OpId) -> Option<i64> {
+    let const_of = |v: OpId| match f.op(v).kind {
+        OpKind::Const(c) => Some(c),
+        _ => None,
+    };
+    match &f.op(op).kind {
+        OpKind::Bin(b, x, y) => Some(b.eval(const_of(*x)?, const_of(*y)?)),
+        OpKind::Un(u, x) => Some(u.eval(const_of(*x)?)),
+        OpKind::Mux {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let c = const_of(*cond)?;
+            if c != 0 {
+                const_of(*on_true)
+            } else {
+                const_of(*on_false)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Number of binary/unary/mux/load/store "datapath" operations (those that
+/// occupy functional units or memory ports), excluding constants, inputs,
+/// phis, and outputs. A cheap structural cost measure used by the
+/// schedule-blind baseline.
+pub fn datapath_op_count(f: &Function) -> usize {
+    f.block_ids()
+        .flat_map(|b| f.block(b).ops.iter())
+        .filter(|&&op| {
+            matches!(
+                f.op(op).kind,
+                OpKind::Bin(..)
+                    | OpKind::Un(..)
+                    | OpKind::Mux { .. }
+                    | OpKind::Load { .. }
+                    | OpKind::Store { .. }
+            )
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinOp;
+    use crate::verify::verify;
+
+    #[test]
+    fn replace_all_uses_rewrites_operands_and_branches() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let t = f.add_block("t");
+        let x = f.emit_input(e, "x");
+        let y = f.emit_input(e, "y");
+        let s = f.emit_bin(e, BinOp::Add, x, x);
+        f.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: x,
+                on_true: t,
+                on_false: t,
+            },
+        );
+        f.set_terminator(t, Terminator::Return(None));
+        replace_all_uses(&mut f, x, y);
+        assert_eq!(f.op(s).kind, OpKind::Bin(BinOp::Add, y, y));
+        assert_eq!(f.block(e).term.condition(), Some(y));
+    }
+
+    #[test]
+    fn dce_removes_unused_chain_but_keeps_effects() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.emit_input(e, "a");
+        let dead1 = f.emit_const(e, 5);
+        let dead2 = f.emit_bin(e, BinOp::Mul, dead1, dead1);
+        let live = f.emit_bin(e, BinOp::Add, a, a);
+        f.emit_output(e, "y", live);
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2);
+        assert!(!f.block(e).ops.contains(&dead2));
+        assert!(f.block(e).ops.contains(&live));
+        verify(&f).unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_branch_conditions() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let t = f.add_block("t");
+        let c = f.emit_input(e, "c");
+        f.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: c,
+                on_true: t,
+                on_false: t,
+            },
+        );
+        f.set_terminator(t, Terminator::Return(None));
+        eliminate_dead_code(&mut f);
+        assert!(f.block(e).ops.contains(&c));
+    }
+
+    #[test]
+    fn dce_clears_unreachable_blocks() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let dead = f.add_block("dead");
+        let x = f.emit_const(dead, 3);
+        f.emit_output(dead, "y", x);
+        f.set_terminator(dead, Terminator::Return(None));
+        f.set_terminator(e, Terminator::Return(None));
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 2);
+        assert!(f.block(dead).ops.is_empty());
+    }
+
+    #[test]
+    fn trivial_phi_is_simplified() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let t = f.add_block("t");
+        let el = f.add_block("e");
+        let m = f.add_block("m");
+        let c = f.emit_input(e, "c");
+        let v = f.emit_const(e, 7);
+        f.set_terminator(
+            e,
+            Terminator::Branch {
+                cond: c,
+                on_true: t,
+                on_false: el,
+            },
+        );
+        f.set_terminator(t, Terminator::Jump(m));
+        f.set_terminator(el, Terminator::Jump(m));
+        let p = f.emit_phi(m, vec![(t, v), (el, v)]);
+        f.emit_output(m, "y", p);
+        f.set_terminator(m, Terminator::Return(None));
+        assert_eq!(simplify_phis(&mut f), 1);
+        assert!(!f.block(m).ops.contains(&p));
+        verify(&f).unwrap();
+        // The output now references v directly.
+        let out = f.block(m).ops[0];
+        assert_eq!(f.op(out).kind, OpKind::Output("y".into(), v));
+    }
+
+    #[test]
+    fn fold_evaluates_constant_expressions() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.emit_const(e, 6);
+        let b = f.emit_const(e, 7);
+        let m = f.emit_bin(e, BinOp::Mul, a, b);
+        let x = f.emit_input(e, "x");
+        let nm = f.emit_bin(e, BinOp::Mul, a, x);
+        assert_eq!(try_fold(&f, m), Some(42));
+        assert_eq!(try_fold(&f, nm), None);
+        assert_eq!(try_fold(&f, a), None); // constants fold to nothing new
+    }
+
+    #[test]
+    fn datapath_count_ignores_overhead_ops() {
+        let mut f = Function::new("f");
+        let e = f.entry();
+        let a = f.emit_input(e, "a");
+        let c = f.emit_const(e, 1);
+        let s = f.emit_bin(e, BinOp::Add, a, c);
+        f.emit_output(e, "y", s);
+        assert_eq!(datapath_op_count(&f), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the CFG analyses on randomly generated graphs:
+//! dominator-tree axioms, loop-structure invariants, and traversal
+//! orderings must hold for *any* control-flow graph the IR can express.
+
+use fact_ir::{cfg, DomTree, Function, LoopForest, Terminator};
+use proptest::prelude::*;
+
+/// A compact recipe for a random CFG: per block, a terminator choice.
+#[derive(Clone, Debug)]
+enum TermPlan {
+    Jump(usize),
+    Branch(usize, usize),
+    Return,
+}
+
+fn cfg_strategy(max_blocks: usize) -> impl Strategy<Value = Vec<TermPlan>> {
+    (2..=max_blocks).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => (0..n).prop_map(TermPlan::Jump),
+                3 => (0..n, 0..n).prop_map(|(a, b)| TermPlan::Branch(a, b)),
+                1 => Just(TermPlan::Return),
+            ],
+            n,
+        )
+    })
+}
+
+fn build(plans: &[TermPlan]) -> Function {
+    let mut f = Function::new("rand_cfg");
+    let entry = f.entry();
+    let cond = f.emit_input(entry, "c");
+    let mut blocks = vec![entry];
+    for i in 1..plans.len() {
+        blocks.push(f.add_block(format!("b{i}")));
+    }
+    for (i, plan) in plans.iter().enumerate() {
+        let term = match plan {
+            TermPlan::Jump(t) => Terminator::Jump(blocks[*t]),
+            TermPlan::Branch(a, b) => Terminator::Branch {
+                cond,
+                on_true: blocks[*a],
+                on_false: blocks[*b],
+            },
+            TermPlan::Return => Terminator::Return(None),
+        };
+        f.set_terminator(blocks[i], term);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dominator_axioms_hold(plans in cfg_strategy(8)) {
+        let f = build(&plans);
+        let dom = DomTree::compute(&f);
+        let reach = cfg::reachable(&f);
+        let entry = f.entry();
+        for b in f.block_ids() {
+            if !reach[b.index()] {
+                prop_assert!(dom.idom(b).is_none() || b == entry);
+                continue;
+            }
+            // The entry dominates every reachable block.
+            prop_assert!(dom.dominates(entry, b));
+            // Reflexivity.
+            prop_assert!(dom.dominates(b, b));
+            // The immediate dominator strictly dominates (except entry).
+            if b != entry {
+                let idom = dom.idom(b).expect("reachable blocks have idoms");
+                prop_assert!(dom.strictly_dominates(idom, b));
+            }
+        }
+    }
+
+    #[test]
+    fn common_dominator_is_symmetric_and_dominating(plans in cfg_strategy(8)) {
+        let f = build(&plans);
+        let dom = DomTree::compute(&f);
+        let reach = cfg::reachable(&f);
+        let reachable: Vec<_> = f.block_ids().filter(|b| reach[b.index()]).collect();
+        for &a in &reachable {
+            for &b in &reachable {
+                let c1 = dom.common_dominator(a, b);
+                let c2 = dom.common_dominator(b, a);
+                prop_assert_eq!(c1, c2);
+                prop_assert!(dom.dominates(c1, a));
+                prop_assert!(dom.dominates(c1, b));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_headers_dominate_their_bodies(plans in cfg_strategy(8)) {
+        let f = build(&plans);
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        for l in forest.loops() {
+            for &b in &l.body {
+                prop_assert!(dom.dominates(l.header, b),
+                    "header {} must dominate body block {b}", l.header);
+            }
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+                // The latch really has a back edge to the header.
+                prop_assert!(f.block(latch).term.successors().contains(&l.header));
+            }
+            for &(from, to) in &l.exits {
+                prop_assert!(l.contains(from));
+                prop_assert!(!l.contains(to));
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_is_a_permutation_of_reachable_blocks(plans in cfg_strategy(8)) {
+        let f = build(&plans);
+        let rpo = cfg::reverse_postorder(&f);
+        let reach = cfg::reachable(&f);
+        let expected = reach.iter().filter(|&&r| r).count();
+        prop_assert_eq!(rpo.len(), expected);
+        let mut sorted = rpo.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), rpo.len());
+        prop_assert_eq!(rpo.first().copied(), Some(f.entry()));
+    }
+
+    #[test]
+    fn reachability_matrix_is_transitively_closed(plans in cfg_strategy(6)) {
+        let f = build(&plans);
+        let r = cfg::reachability_matrix(&f);
+        let n = f.num_blocks();
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if r[a][b] && r[b][c] {
+                        prop_assert!(r[a][c], "{a}->{b}->{c} but not {a}->{c}");
+                    }
+                }
+            }
+        }
+    }
+}

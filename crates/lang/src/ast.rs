@@ -1,0 +1,121 @@
+//! Abstract syntax tree of the behavioral description language.
+//!
+//! The language is a small C-like notation sufficient to express every
+//! benchmark in the paper (Figure 1(a), Figure 2(a), and the §5 suite):
+//! scalar `var`s, per-array memories, `if`/`while`/`for`/`do-while`
+//! control flow, and explicit `out` statements that define the observable
+//! behavior used for functional-equivalence checking.
+
+use fact_ir::{BinOp, UnOp};
+
+/// A complete behavioral description (one procedure).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: String,
+    /// Input parameter names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var name = expr;` — declares and initializes a scalar.
+    VarDecl(String, Expr),
+    /// `array name[size];` — declares an array mapped to its own memory.
+    ArrayDecl(String, u32),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `name[index] = expr;`
+    StoreStmt {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if (cond) { then } else { alt }` — `alt` may be empty.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond` is non-zero.
+        then_body: Vec<Stmt>,
+        /// Taken when `cond` is zero.
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`
+    While {
+        /// Loop condition, tested before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `do { body } while (cond);`
+    DoWhile {
+        /// Loop body, executed at least once.
+        body: Vec<Stmt>,
+        /// Loop condition, tested after each iteration.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) { body }` where init/step are assignments.
+    For {
+        /// Initialization assignment.
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step assignment.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `out name = expr;` — emits an observable output.
+    Out(String, Expr),
+    /// `return;`
+    Return,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Scalar variable or input reference.
+    Var(String),
+    /// Array element read: `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_builder_nests() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Var("a".into()),
+            Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Var("b".into())),
+        );
+        match e {
+            Expr::Bin(BinOp::Add, l, r) => {
+                assert_eq!(*l, Expr::Var("a".into()));
+                assert!(matches!(*r, Expr::Bin(BinOp::Mul, ..)));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or lowering a behavioral
+/// description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+}
+
+impl ParseError {
+    /// Creates an error at a known line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+
+    /// Creates an error without location information.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        assert_eq!(ParseError::at(3, "oops").to_string(), "line 3: oops");
+        assert_eq!(ParseError::new("oops").to_string(), "oops");
+    }
+}

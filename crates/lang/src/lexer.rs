@@ -1,0 +1,196 @@
+//! Hand-written lexer for the behavioral description language.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes `source`.
+///
+/// Line comments start with `//` and run to end of line. Whitespace is
+/// insignificant.
+///
+/// # Errors
+/// Returns an error on unknown characters or malformed integer literals.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    let keyword = |s: &str| -> Option<Token> {
+        Some(match s {
+            "proc" => Token::Proc,
+            "var" => Token::Var,
+            "array" => Token::Array,
+            "if" => Token::If,
+            "else" => Token::Else,
+            "while" => Token::While,
+            "for" => Token::For,
+            "do" => Token::Do,
+            "out" => Token::Out,
+            "in" => Token::In,
+            "return" => Token::Return,
+            _ => return None,
+        })
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let token = keyword(&word).unwrap_or(Token::Ident(word));
+            tokens.push(Spanned { token, line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let value: i64 = text
+                .parse()
+                .map_err(|_| ParseError::at(line, format!("integer literal `{text}` overflows")))?;
+            tokens.push(Spanned {
+                token: Token::Int(value),
+                line,
+            });
+            continue;
+        }
+        let two = if i + 1 < bytes.len() {
+            Some((bytes[i], bytes[i + 1]))
+        } else {
+            None
+        };
+        let (token, len) = match two {
+            Some(('<', '=')) => (Token::Le, 2),
+            Some(('>', '=')) => (Token::Ge, 2),
+            Some(('=', '=')) => (Token::EqEq, 2),
+            Some(('!', '=')) => (Token::Ne, 2),
+            Some(('&', '&')) => (Token::AmpAmp, 2),
+            Some(('|', '|')) => (Token::PipePipe, 2),
+            Some(('<', '<')) => (Token::Shl, 2),
+            Some(('>', '>')) => (Token::Shr, 2),
+            _ => match c {
+                '(' => (Token::LParen, 1),
+                ')' => (Token::RParen, 1),
+                '{' => (Token::LBrace, 1),
+                '}' => (Token::RBrace, 1),
+                '[' => (Token::LBracket, 1),
+                ']' => (Token::RBracket, 1),
+                ';' => (Token::Semi, 1),
+                ',' => (Token::Comma, 1),
+                '=' => (Token::Assign, 1),
+                '+' => (Token::Plus, 1),
+                '-' => (Token::Minus, 1),
+                '*' => (Token::Star, 1),
+                '/' => (Token::Slash, 1),
+                '%' => (Token::Percent, 1),
+                '<' => (Token::Lt, 1),
+                '>' => (Token::Gt, 1),
+                '&' => (Token::Amp, 1),
+                '|' => (Token::Pipe, 1),
+                '^' => (Token::Caret, 1),
+                '~' => (Token::Tilde, 1),
+                '!' => (Token::Bang, 1),
+                other => {
+                    return Err(ParseError::at(
+                        line,
+                        format!("unexpected character `{other}`"),
+                    ))
+                }
+            },
+        };
+        tokens.push(Spanned { token, line });
+        i += len;
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("proc while foo"),
+            vec![
+                Token::Proc,
+                Token::While,
+                Token::Ident("foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators_greedily() {
+        assert_eq!(
+            kinds("<= < << = == && & !="),
+            vec![
+                Token::Le,
+                Token::Lt,
+                Token::Shl,
+                Token::Assign,
+                Token::EqEq,
+                Token::AmpAmp,
+                Token::Amp,
+                Token::Ne,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("a // comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(kinds("42 0"), vec![Token::Int(42), Token::Int(0), Token::Eof]);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+        assert_eq!(err.line, Some(1));
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflows"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # fact-lang — behavioral description language frontend
+//!
+//! A small C-like language sufficient to express every benchmark in the
+//! paper (the `TEST1` fragment of Figure 1(a), `TEST2` of Figure 2(a), and
+//! the §5 suite: GCD, FIR, SINTRAN, IGF, PPS). Programs are parsed to an
+//! [`ast::Proc`] and lowered to the SSA CDFG of [`fact_ir`].
+//!
+//! # Examples
+//!
+//! ```
+//! let f = fact_lang::compile(
+//!     "proc gcd_step(a, b) { var d = a - b; out d = d; }",
+//! )?;
+//! assert_eq!(f.name(), "gcd_step");
+//! # Ok::<(), fact_lang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+pub mod printer;
+pub mod token;
+
+pub use error::ParseError;
+pub use lexer::lex;
+pub use lower::{compile, lower};
+pub use parser::parse;
+pub use printer::{print_expr, print_proc};

@@ -1,0 +1,519 @@
+//! Lowering from the AST to the SSA CDFG.
+//!
+//! The lowering is structured (the language has no `goto`), so SSA form is
+//! built directly: at every `if` merge point, phis reconcile the branch
+//! values of each live scalar; at every loop header, phis are created
+//! eagerly for all live scalars and completed once the latch value is
+//! known. Trivial phis (variables not modified in the loop) are cleaned up
+//! by [`fact_ir::rewrite::simplify_phis`] afterwards, exactly like the
+//! "incomplete phi" step of Braun et al.'s on-the-fly SSA construction.
+
+use crate::ast::{Expr, Proc, Stmt};
+use crate::error::ParseError;
+use fact_ir::rewrite::{eliminate_dead_code, simplify_phis};
+use fact_ir::{BinOp, BlockId, Function, MemId, Op, OpId, OpKind, Terminator};
+use std::collections::{BTreeMap, HashMap};
+
+/// Lowers a parsed procedure to a verified SSA [`Function`].
+///
+/// # Errors
+/// Returns an error on references to undeclared variables or arrays, or on
+/// duplicate array declarations.
+pub fn lower(proc: &Proc) -> Result<Function, ParseError> {
+    let mut cx = Lowerer {
+        f: Function::new(proc.name.clone()),
+        arrays: HashMap::new(),
+        cur: BlockId::default(),
+        label_counters: HashMap::new(),
+        store_counter: 0,
+    };
+    cx.cur = cx.f.entry();
+
+    let mut vars: Vars = BTreeMap::new();
+    for input in &proc.inputs {
+        let id = cx.f.emit_input(cx.cur, input.clone());
+        vars.insert(input.clone(), id);
+    }
+
+    cx.lower_stmts(&proc.body, &mut vars)?;
+
+    simplify_phis(&mut cx.f);
+    eliminate_dead_code(&mut cx.f);
+    fact_ir::verify::verify(&cx.f)
+        .map_err(|e| ParseError::new(format!("internal lowering error: {e}")))?;
+    Ok(cx.f)
+}
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+/// Propagates parse and lowering errors.
+///
+/// # Examples
+///
+/// ```
+/// let f = fact_lang::compile("proc inc(x) { out y = x + 1; }")?;
+/// assert_eq!(f.name(), "inc");
+/// # Ok::<(), fact_lang::ParseError>(())
+/// ```
+pub fn compile(source: &str) -> Result<Function, ParseError> {
+    lower(&crate::parser::parse(source)?)
+}
+
+/// Current SSA value of each scalar variable. `BTreeMap` keeps phi
+/// creation order deterministic.
+type Vars = BTreeMap<String, OpId>;
+
+struct Lowerer {
+    f: Function,
+    arrays: HashMap<String, MemId>,
+    cur: BlockId,
+    label_counters: HashMap<&'static str, u32>,
+    store_counter: u32,
+}
+
+impl Lowerer {
+    fn bin_label(&mut self, op: BinOp) -> String {
+        let sym = op.symbol();
+        // Leak-free static mapping: count per symbol using the symbol's
+        // 'static str from BinOp::symbol.
+        let n = self.label_counters.entry(sym).or_insert(0);
+        *n += 1;
+        format!("{sym}{n}")
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], vars: &mut Vars) -> Result<(), ParseError> {
+        for s in stmts {
+            self.lower_stmt(s, vars)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, vars: &mut Vars) -> Result<(), ParseError> {
+        match stmt {
+            Stmt::VarDecl(name, init) | Stmt::Assign(name, init) => {
+                if matches!(stmt, Stmt::Assign(..)) && !vars.contains_key(name) {
+                    return Err(ParseError::new(format!(
+                        "assignment to undeclared variable `{name}`"
+                    )));
+                }
+                let v = self.lower_expr(init, vars)?;
+                vars.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::ArrayDecl(name, size) => {
+                if self.arrays.contains_key(name) {
+                    return Err(ParseError::new(format!("array `{name}` declared twice")));
+                }
+                let mem = self.f.add_memory(name.clone(), *size);
+                self.arrays.insert(name.clone(), mem);
+                Ok(())
+            }
+            Stmt::StoreStmt {
+                array,
+                index,
+                value,
+            } => {
+                let mem = *self.arrays.get(array).ok_or_else(|| {
+                    ParseError::new(format!("store to undeclared array `{array}`"))
+                })?;
+                let idx = self.lower_expr(index, vars)?;
+                let val = self.lower_expr(value, vars)?;
+                self.store_counter += 1;
+                let label = format!("S{}", self.store_counter);
+                self.f.emit(
+                    self.cur,
+                    Op::with_label(
+                        OpKind::Store {
+                            mem,
+                            addr: idx,
+                            value: val,
+                        },
+                        label,
+                    ),
+                );
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.lower_if(cond, then_body, else_body, vars),
+            Stmt::While { cond, body } => self.lower_while(cond, body, vars),
+            Stmt::DoWhile { body, cond } => self.lower_do_while(body, cond, vars),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The for-header assignment implicitly declares its
+                // induction variable if it is not already in scope.
+                if let Stmt::Assign(name, e) = &**init {
+                    if !vars.contains_key(name) {
+                        self.lower_stmt(&Stmt::VarDecl(name.clone(), e.clone()), vars)?;
+                    } else {
+                        self.lower_stmt(init, vars)?;
+                    }
+                } else {
+                    self.lower_stmt(init, vars)?;
+                }
+                let mut full_body = body.clone();
+                full_body.push((**step).clone());
+                self.lower_while(cond, &full_body, vars)
+            }
+            Stmt::Out(name, value) => {
+                let v = self.lower_expr(value, vars)?;
+                self.f.emit_output(self.cur, name.clone(), v);
+                Ok(())
+            }
+            Stmt::Return => {
+                self.f.set_terminator(self.cur, Terminator::Return(None));
+                // Anything after `return` is unreachable; park it in a
+                // fresh dead block so lowering can continue harmlessly.
+                self.cur = self.f.add_block("unreachable");
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        vars: &mut Vars,
+    ) -> Result<(), ParseError> {
+        let c = self.lower_expr(cond, vars)?;
+        let then_b = self.f.add_block("if.then");
+        let else_b = self.f.add_block("if.else");
+        let merge = self.f.add_block("if.merge");
+        self.f.set_terminator(
+            self.cur,
+            Terminator::Branch {
+                cond: c,
+                on_true: then_b,
+                on_false: else_b,
+            },
+        );
+
+        let mut then_vars = vars.clone();
+        self.cur = then_b;
+        self.lower_stmts(then_body, &mut then_vars)?;
+        let then_end = self.cur;
+        self.f.set_terminator(then_end, Terminator::Jump(merge));
+
+        let mut else_vars = vars.clone();
+        self.cur = else_b;
+        self.lower_stmts(else_body, &mut else_vars)?;
+        let else_end = self.cur;
+        self.f.set_terminator(else_end, Terminator::Jump(merge));
+
+        self.cur = merge;
+        // Reconcile every scalar live before the `if`; declarations made
+        // inside a branch go out of scope here.
+        for (name, &before) in vars.clone().iter() {
+            let tv = *then_vars.get(name).unwrap_or(&before);
+            let ev = *else_vars.get(name).unwrap_or(&before);
+            if tv != ev {
+                let phi = self.f.emit_phi(merge, vec![(then_end, tv), (else_end, ev)]);
+                vars.insert(name.clone(), phi);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_while(
+        &mut self,
+        cond: &Expr,
+        body: &[Stmt],
+        vars: &mut Vars,
+    ) -> Result<(), ParseError> {
+        let pred = self.cur;
+        let header = self.f.add_block("while.header");
+        let body_b = self.f.add_block("while.body");
+        let exit = self.f.add_block("while.exit");
+        self.f.set_terminator(pred, Terminator::Jump(header));
+
+        // Eagerly create a phi per live scalar; complete after the body.
+        let mut phis: Vec<(String, OpId)> = Vec::new();
+        for (name, &val) in vars.iter() {
+            let phi = self.f.emit_phi(header, vec![(pred, val)]);
+            phis.push((name.clone(), phi));
+        }
+        for (name, phi) in &phis {
+            vars.insert(name.clone(), *phi);
+        }
+
+        self.cur = header;
+        let c = self.lower_expr(cond, vars)?;
+        self.f.set_terminator(
+            header,
+            Terminator::Branch {
+                cond: c,
+                on_true: body_b,
+                on_false: exit,
+            },
+        );
+
+        let mut body_vars = vars.clone();
+        self.cur = body_b;
+        self.lower_stmts(body, &mut body_vars)?;
+        let latch = self.cur;
+        self.f.set_terminator(latch, Terminator::Jump(header));
+
+        for (name, phi) in &phis {
+            let latch_val = *body_vars.get(name).expect("scalar remains in scope");
+            if let OpKind::Phi(incoming) = &mut self.f.op_mut(*phi).kind {
+                incoming.push((latch, latch_val));
+            }
+        }
+
+        self.cur = exit;
+        Ok(())
+    }
+
+    fn lower_do_while(
+        &mut self,
+        body: &[Stmt],
+        cond: &Expr,
+        vars: &mut Vars,
+    ) -> Result<(), ParseError> {
+        let pred = self.cur;
+        let body_b = self.f.add_block("do.body");
+        let exit = self.f.add_block("do.exit");
+        self.f.set_terminator(pred, Terminator::Jump(body_b));
+
+        let mut phis: Vec<(String, OpId)> = Vec::new();
+        for (name, &val) in vars.iter() {
+            let phi = self.f.emit_phi(body_b, vec![(pred, val)]);
+            phis.push((name.clone(), phi));
+        }
+        for (name, phi) in &phis {
+            vars.insert(name.clone(), *phi);
+        }
+
+        self.cur = body_b;
+        let mut body_vars = vars.clone();
+        self.lower_stmts(body, &mut body_vars)?;
+        let c = self.lower_expr(cond, &mut body_vars)?;
+        let latch = self.cur;
+        self.f.set_terminator(
+            latch,
+            Terminator::Branch {
+                cond: c,
+                on_true: body_b,
+                on_false: exit,
+            },
+        );
+
+        for (name, phi) in &phis {
+            let latch_val = *body_vars.get(name).expect("scalar remains in scope");
+            if let OpKind::Phi(incoming) = &mut self.f.op_mut(*phi).kind {
+                incoming.push((latch, latch_val));
+            }
+        }
+
+        // Post-loop, each scalar holds the value computed by the final
+        // iteration: the branch leaves from `latch`, and the body chain
+        // from `body_b` to `latch` dominates `exit`, so the body-end values
+        // are directly usable there.
+        for (name, _) in &phis {
+            let v = *body_vars.get(name).expect("scalar remains in scope");
+            vars.insert(name.clone(), v);
+        }
+
+        self.cur = exit;
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, vars: &mut Vars) -> Result<OpId, ParseError> {
+        match expr {
+            Expr::Int(v) => Ok(self.f.emit_const(self.cur, *v)),
+            Expr::Var(name) => vars.get(name).copied().ok_or_else(|| {
+                ParseError::new(format!("reference to undeclared variable `{name}`"))
+            }),
+            Expr::Index(array, idx) => {
+                let mem = *self.arrays.get(array).ok_or_else(|| {
+                    ParseError::new(format!("read of undeclared array `{array}`"))
+                })?;
+                let i = self.lower_expr(idx, vars)?;
+                Ok(self.f.emit_load(self.cur, mem, i))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let a = self.lower_expr(lhs, vars)?;
+                let b = self.lower_expr(rhs, vars)?;
+                let label = self.bin_label(*op);
+                Ok(self
+                    .f
+                    .emit(self.cur, Op::with_label(OpKind::Bin(*op, a, b), label)))
+            }
+            Expr::Un(op, inner) => {
+                let a = self.lower_expr(inner, vars)?;
+                Ok(self.f.emit_un(self.cur, *op, a))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_ir::verify::verify;
+
+    fn c(src: &str) -> Function {
+        compile(src).unwrap()
+    }
+
+    #[test]
+    fn straightline_lowering() {
+        let f = c("proc f(a, b) { var s = a + b; out y = s * 2; }");
+        verify(&f).unwrap();
+        let h = f.op_histogram();
+        assert_eq!(h["input"], 2);
+        assert_eq!(h["bin"], 2);
+        assert_eq!(h["output"], 1);
+    }
+
+    #[test]
+    fn if_produces_phi() {
+        let f = c("proc f(a) { var y = 0; if (a > 0) { y = 1; } else { y = 2; } out y = y; }");
+        verify(&f).unwrap();
+        assert_eq!(f.op_histogram().get("phi"), Some(&1));
+    }
+
+    #[test]
+    fn if_without_change_produces_no_phi() {
+        let f = c("proc f(a) { var y = 5; if (a > 0) { var z = 1; out z = z; } out y = y; }");
+        verify(&f).unwrap();
+        assert_eq!(f.op_histogram().get("phi"), None);
+    }
+
+    #[test]
+    fn while_loop_has_loop_phi() {
+        let f = c("proc f(n) { var i = 0; while (i < n) { i = i + 1; } out i = i; }");
+        verify(&f).unwrap();
+        // i gets a phi at the header; n does not (simplified away).
+        assert_eq!(f.op_histogram().get("phi"), Some(&1));
+        let dom = fact_ir::DomTree::compute(&f);
+        let loops = fact_ir::LoopForest::compute(&f, &dom);
+        assert_eq!(loops.loops().len(), 1);
+    }
+
+    #[test]
+    fn test1_lowering_matches_figure_1b_shape() {
+        let f = c(r#"
+            proc test1(in c1, in c2) {
+                var i = 0;
+                var a = 0;
+                array x[64];
+                while (c2 > i) {
+                    if (i < c1) {
+                        var t1 = a + 7;
+                        a = 13 * t1;
+                    } else {
+                        a = a + 17;
+                    }
+                    i = i + 1;
+                    x[i] = a;
+                }
+            }
+        "#);
+        verify(&f).unwrap();
+        let h = f.op_histogram();
+        // Ops of Figure 1(b): >1, <1, +1, *1, +2, ++ (an add), S (store),
+        // plus a join (phi) for `a` at the if-merge and loop phis for i, a.
+        assert_eq!(h["store"], 1);
+        assert_eq!(h["bin"], 6);
+        assert_eq!(h["phi"], 3);
+        assert_eq!(f.memories().count(), 1);
+        // Loop structure present.
+        let dom = fact_ir::DomTree::compute(&f);
+        let loops = fact_ir::LoopForest::compute(&f, &dom);
+        assert_eq!(loops.loops().len(), 1);
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while() {
+        let f = c("proc f(n) { var s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } out s = s; }");
+        verify(&f).unwrap();
+        let dom = fact_ir::DomTree::compute(&f);
+        let loops = fact_ir::LoopForest::compute(&f, &dom);
+        assert_eq!(loops.loops().len(), 1);
+        assert_eq!(f.op_histogram()["phi"], 2); // i and s
+    }
+
+    #[test]
+    fn do_while_exit_uses_latch_values() {
+        let f = c("proc f(n) { var i = n; do { i = i - 1; } while (i > 0); out i = i; }");
+        verify(&f).unwrap();
+        let dom = fact_ir::DomTree::compute(&f);
+        let loops = fact_ir::LoopForest::compute(&f, &dom);
+        assert_eq!(loops.loops().len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_lower() {
+        let f = c(r#"
+            proc f(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    for (j = 0; j < i; j = j + 1) {
+                        s = s + j;
+                    }
+                }
+                out s = s;
+            }
+        "#);
+        verify(&f).unwrap();
+        let dom = fact_ir::DomTree::compute(&f);
+        let loops = fact_ir::LoopForest::compute(&f, &dom);
+        assert_eq!(loops.loops().len(), 2);
+    }
+
+    #[test]
+    fn array_load_store_roundtrip_ir() {
+        let f = c("proc f(i) { array x[8]; x[i] = 3; out y = x[i]; }");
+        verify(&f).unwrap();
+        let h = f.op_histogram();
+        assert_eq!(h["store"], 1);
+        assert_eq!(h["load"], 1);
+    }
+
+    #[test]
+    fn labels_number_operator_instances() {
+        let f = c("proc f(a) { out y = a + a + a; }");
+        let labels: Vec<String> = f
+            .block_ids()
+            .flat_map(|b| f.block(b).ops.clone())
+            .filter_map(|op| f.op(op).label.clone())
+            .collect();
+        assert_eq!(labels, vec!["+1", "+2"]);
+    }
+
+    #[test]
+    fn undeclared_variable_errors() {
+        assert!(compile("proc f(a) { out y = b; }").is_err());
+        assert!(compile("proc f(a) { b = 3; }").is_err());
+        assert!(compile("proc f(a) { x[0] = 1; }").is_err());
+        assert!(compile("proc f(a) { out y = x[0]; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_array_errors() {
+        assert!(compile("proc f(a) { array x[4]; array x[4]; }").is_err());
+    }
+
+    #[test]
+    fn return_parks_following_code() {
+        let f = c("proc f(a) { out y = a; return; }");
+        verify(&f).unwrap();
+    }
+
+    #[test]
+    fn branch_declared_var_goes_out_of_scope() {
+        // `t1` declared in the then-branch must not leak to the merge.
+        let err = compile("proc f(a) { if (a) { var t1 = 1; } else { } out y = t1; }");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,507 @@
+//! Recursive-descent parser for the behavioral description language.
+
+use crate::ast::{Expr, Proc, Stmt};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+use fact_ir::{BinOp, UnOp};
+
+/// Parses a complete procedure from source text.
+///
+/// # Errors
+/// Returns a [`ParseError`] with line information on any syntax error.
+///
+/// # Examples
+///
+/// ```
+/// let src = "proc inc(in x) { out y = x + 1; }";
+/// let p = fact_lang::parse(src)?;
+/// assert_eq!(p.name, "inc");
+/// assert_eq!(p.inputs, vec!["x".to_string()]);
+/// # Ok::<(), fact_lang::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Proc, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let proc = p.proc()?;
+    p.expect(Token::Eof)?;
+    Ok(proc)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                self.line(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(ParseError::at(
+                self.line(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn proc(&mut self) -> Result<Proc, ParseError> {
+        self.expect(Token::Proc)?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut inputs = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                // Optional `in` qualifier before each parameter.
+                let _ = self.eat(&Token::In);
+                inputs.push(self.ident()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(Token::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Proc { name, inputs, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Var => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let init = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::VarDecl(name, init))
+            }
+            Token::Array => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::LBracket)?;
+                let size = match self.advance() {
+                    Token::Int(v) if v > 0 => v as u32,
+                    other => {
+                        return Err(ParseError::at(
+                            self.line(),
+                            format!("expected positive array size, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Token::RBracket)?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::ArrayDecl(name, size))
+            }
+            Token::If => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Token::Else) {
+                    if self.peek() == &Token::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Token::While => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::Do => {
+                self.advance();
+                let body = self.block()?;
+                self.expect(Token::While)?;
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Token::For => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let init = Box::new(self.simple_assign()?);
+                self.expect(Token::Semi)?;
+                let cond = self.expr()?;
+                self.expect(Token::Semi)?;
+                let step = Box::new(self.simple_assign()?);
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Token::Out => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(Token::Assign)?;
+                let value = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Out(name, value))
+            }
+            Token::Return => {
+                self.advance();
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Return)
+            }
+            Token::Ident(_) => {
+                let s = self.assign_or_store()?;
+                self.expect(Token::Semi)?;
+                Ok(s)
+            }
+            other => Err(ParseError::at(
+                self.line(),
+                format!("expected statement, found {other}"),
+            )),
+        }
+    }
+
+    /// `name = expr` without the trailing semicolon (used in `for` headers).
+    fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
+        let s = self.assign_or_store()?;
+        match &s {
+            Stmt::Assign(..) => Ok(s),
+            _ => Err(ParseError::at(
+                self.line(),
+                "for-loop header must use a scalar assignment".to_string(),
+            )),
+        }
+    }
+
+    fn assign_or_store(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        if self.eat(&Token::LBracket) {
+            let index = self.expr()?;
+            self.expect(Token::RBracket)?;
+            self.expect(Token::Assign)?;
+            let value = self.expr()?;
+            Ok(Stmt::StoreStmt {
+                array: name,
+                index,
+                value,
+            })
+        } else {
+            self.expect(Token::Assign)?;
+            let value = self.expr()?;
+            Ok(Stmt::Assign(name, value))
+        }
+    }
+
+    // Expression grammar, lowest to highest precedence:
+    //   || , && , | , ^ , & , == != , < <= > >= , << >> , + - , * / % , unary
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(Token, BinOp)],
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (t, op) in ops {
+                if self.eat(t) {
+                    let rhs = next(self)?;
+                    lhs = Expr::bin(*op, lhs, rhs);
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        // `a || b` lowers to bitwise-or of normalized booleans; the
+        // frontend treats any non-zero as true, and comparisons produce
+        // 0/1, so plain Or is the hardware-style interpretation.
+        self.binary_level(&[(Token::PipePipe, BinOp::Or)], Self::and_expr)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Token::AmpAmp, BinOp::And)], Self::bitor_expr)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Token::Pipe, BinOp::Or)], Self::bitxor_expr)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Token::Caret, BinOp::Xor)], Self::bitand_expr)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Token::Amp, BinOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(Token::EqEq, BinOp::Eq), (Token::Ne, BinOp::Ne)],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (Token::Le, BinOp::Le),
+                (Token::Ge, BinOp::Ge),
+                (Token::Lt, BinOp::Lt),
+                (Token::Gt, BinOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(Token::Shl, BinOp::Shl), (Token::Shr, BinOp::Shr)],
+            Self::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(Token::Plus, BinOp::Add), (Token::Minus, BinOp::Sub)],
+            Self::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (Token::Star, BinOp::Mul),
+                (Token::Slash, BinOp::Div),
+                (Token::Percent, BinOp::Rem),
+            ],
+            Self::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat(&Token::Tilde) {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat(&Token::Bang) {
+            return Ok(Expr::Un(UnOp::LNot, Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            Token::Ident(name) => {
+                self.advance();
+                if self.eat(&Token::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(Token::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError::at(
+                self.line(),
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_test1_from_figure_1a() {
+        let src = r#"
+            proc test1(in c1, in c2) {
+                var i = 0;
+                var a = 0;
+                array x[64];
+                while (c2 > i) {
+                    if (i < c1) {
+                        var t1 = a + 7;
+                        a = 13 * t1;
+                    } else {
+                        a = a + 17;
+                    }
+                    i = i + 1;
+                    x[i] = a;
+                }
+                out a = a;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "test1");
+        assert_eq!(p.inputs, vec!["c1", "c2"]);
+        assert_eq!(p.body.len(), 5);
+        match &p.body[3] {
+            Stmt::While { body, .. } => assert_eq!(body.len(), 3),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("proc f(a,b,c) { out y = a + b * c; }").unwrap();
+        match &p.body[0] {
+            Stmt::Out(_, Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_below_arithmetic() {
+        let p = parse("proc f(a,b) { out y = a + 1 < b; }").unwrap();
+        match &p.body[0] {
+            Stmt::Out(_, Expr::Bin(BinOp::Lt, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Bin(BinOp::Add, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_and_do_while() {
+        let src = r#"
+            proc f(n) {
+                var s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i; }
+                do { s = s - 1; } while (s > 0);
+                out s = s;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(p.body[1], Stmt::For { .. }));
+        assert!(matches!(p.body[2], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_array_store_and_load() {
+        let src = "proc f(i) { array x[8]; x[i] = x[i] + 1; }";
+        let p = parse(src).unwrap();
+        match &p.body[1] {
+            Stmt::StoreStmt { array, value, .. } => {
+                assert_eq!(array, "x");
+                assert!(matches!(value, Expr::Bin(BinOp::Add, ..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "proc f(a) { var y = 0; if (a < 0) { y = 1; } else if (a > 0) { y = 2; } else { y = 3; } out y = y; }";
+        let p = parse(src).unwrap();
+        match &p.body[1] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unary_operators() {
+        let p = parse("proc f(a) { out y = -a + ~a + !a; }").unwrap();
+        assert!(matches!(p.body[0], Stmt::Out(..)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("proc f(a) {\n  var x = ;\n}").unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("proc f(a) { var x = 1 }").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("proc f(a) { } garbage").is_err());
+    }
+}

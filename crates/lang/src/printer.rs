@@ -1,0 +1,219 @@
+//! Source emission: turning an AST back into parseable text.
+//!
+//! Useful for debugging transformed benchmarks and for the parser's
+//! roundtrip property tests (`parse(print(p)) == p`).
+
+use crate::ast::{Expr, Proc, Stmt};
+use fact_ir::{BinOp, UnOp};
+use std::fmt::Write;
+
+/// Renders a procedure as parseable source text.
+pub fn print_proc(p: &Proc) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "proc {}(", p.name);
+    for (i, input) in p.inputs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "in {input}");
+    }
+    s.push_str(") {\n");
+    for stmt in &p.body {
+        print_stmt(&mut s, stmt, 1);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn indent(s: &mut String, depth: usize) {
+    for _ in 0..depth {
+        s.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &mut String, stmt: &Stmt, depth: usize) {
+    indent(s, depth);
+    match stmt {
+        Stmt::VarDecl(name, init) => {
+            let _ = writeln!(s, "var {name} = {};", print_expr(init));
+        }
+        Stmt::ArrayDecl(name, size) => {
+            let _ = writeln!(s, "array {name}[{size}];");
+        }
+        Stmt::Assign(name, value) => {
+            let _ = writeln!(s, "{name} = {};", print_expr(value));
+        }
+        Stmt::StoreStmt {
+            array,
+            index,
+            value,
+        } => {
+            let _ = writeln!(s, "{array}[{}] = {};", print_expr(index), print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(s, "if ({}) {{", print_expr(cond));
+            for t in then_body {
+                print_stmt(s, t, depth + 1);
+            }
+            indent(s, depth);
+            if else_body.is_empty() {
+                s.push_str("}\n");
+            } else {
+                s.push_str("} else {\n");
+                for e in else_body {
+                    print_stmt(s, e, depth + 1);
+                }
+                indent(s, depth);
+                s.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(s, "while ({}) {{", print_expr(cond));
+            for b in body {
+                print_stmt(s, b, depth + 1);
+            }
+            indent(s, depth);
+            s.push_str("}\n");
+        }
+        Stmt::DoWhile { body, cond } => {
+            s.push_str("do {\n");
+            for b in body {
+                print_stmt(s, b, depth + 1);
+            }
+            indent(s, depth);
+            let _ = writeln!(s, "}} while ({});", print_expr(cond));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let header = |st: &Stmt| match st {
+                Stmt::Assign(n, e) => format!("{n} = {}", print_expr(e)),
+                other => panic!("for header must be an assignment, got {other:?}"),
+            };
+            let _ = writeln!(
+                s,
+                "for ({}; {}; {}) {{",
+                header(init),
+                print_expr(cond),
+                header(step)
+            );
+            for b in body {
+                print_stmt(s, b, depth + 1);
+            }
+            indent(s, depth);
+            s.push_str("}\n");
+        }
+        Stmt::Out(name, value) => {
+            let _ = writeln!(s, "out {name} = {};", print_expr(value));
+        }
+        Stmt::Return => s.push_str("return;\n"),
+    }
+}
+
+/// Renders an expression, fully parenthesized (parenthesization is the
+/// simplest way to guarantee the roundtrip property at every precedence).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                // Negative literals do not exist in the grammar; emit the
+                // unary-minus form.
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Index(array, idx) => format!("{array}[{}]", print_expr(idx)),
+        Expr::Bin(op, a, b) => format!("({} {} {})", print_expr(a), bin_symbol(*op), print_expr(b)),
+        Expr::Un(op, a) => format!(
+            "({}{})",
+            match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "~",
+                UnOp::LNot => "!",
+            },
+            print_expr(a)
+        ),
+    }
+}
+
+fn bin_symbol(op: BinOp) -> &'static str {
+    op.symbol()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_proc(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "roundtrip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_all_statement_forms() {
+        roundtrip(
+            r#"
+            proc all(a, b) {
+                var x = a + b * 2;
+                array m[16];
+                m[x] = a - 1;
+                if (a < b) { x = x + 1; } else { x = x - 1; }
+                while (x > 0) { x = x - 1; }
+                do { x = x + 1; } while (x < 3);
+                for (i = 0; i < 4; i = i + 1) { x = x + i; }
+                out y = m[0] + x;
+                return;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_operator_precedence() {
+        roundtrip("proc f(a, b, c) { out y = a + b * c - (a ^ b) | c & 3; }");
+        roundtrip("proc f(a, b) { out y = -a * ~b + !a; }");
+        roundtrip("proc f(a, b) { out y = a << 2 >> 1 < b == 0; }");
+    }
+
+    #[test]
+    fn roundtrips_the_benchmark_suite_sources() {
+        for src in [
+            // Match fact-core's suite sources structurally (re-declared
+            // here to avoid a dependency cycle).
+            "proc gcd(a, b) { while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } } out g = a; }",
+            "proc pps(x1, x2, x3) { out s = x1 + x2 + x3; }",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn negative_literals_print_parseably() {
+        let p = Proc {
+            name: "f".into(),
+            inputs: vec!["a".into()],
+            body: vec![Stmt::Out("y".into(), Expr::Int(-5))],
+        };
+        let printed = print_proc(&p);
+        let p2 = parse(&printed).unwrap();
+        // -5 reparses as Neg(5): semantically identical.
+        match &p2.body[0] {
+            Stmt::Out(_, e) => {
+                assert_eq!(print_expr(e), "(-5)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

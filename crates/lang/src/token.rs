@@ -1,0 +1,153 @@
+//! Tokens of the behavioral description language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `proc`
+    Proc,
+    /// `var`
+    Var,
+    /// `array`
+    Array,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `do`
+    Do,
+    /// `out`
+    Out,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Proc => f.write_str("`proc`"),
+            Token::Var => f.write_str("`var`"),
+            Token::Array => f.write_str("`array`"),
+            Token::If => f.write_str("`if`"),
+            Token::Else => f.write_str("`else`"),
+            Token::While => f.write_str("`while`"),
+            Token::For => f.write_str("`for`"),
+            Token::Do => f.write_str("`do`"),
+            Token::Out => f.write_str("`out`"),
+            Token::In => f.write_str("`in`"),
+            Token::Return => f.write_str("`return`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::LBrace => f.write_str("`{`"),
+            Token::RBrace => f.write_str("`}`"),
+            Token::LBracket => f.write_str("`[`"),
+            Token::RBracket => f.write_str("`]`"),
+            Token::Semi => f.write_str("`;`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Assign => f.write_str("`=`"),
+            Token::Plus => f.write_str("`+`"),
+            Token::Minus => f.write_str("`-`"),
+            Token::Star => f.write_str("`*`"),
+            Token::Slash => f.write_str("`/`"),
+            Token::Percent => f.write_str("`%`"),
+            Token::Lt => f.write_str("`<`"),
+            Token::Le => f.write_str("`<=`"),
+            Token::Gt => f.write_str("`>`"),
+            Token::Ge => f.write_str("`>=`"),
+            Token::EqEq => f.write_str("`==`"),
+            Token::Ne => f.write_str("`!=`"),
+            Token::Amp => f.write_str("`&`"),
+            Token::AmpAmp => f.write_str("`&&`"),
+            Token::Pipe => f.write_str("`|`"),
+            Token::PipePipe => f.write_str("`||`"),
+            Token::Caret => f.write_str("`^`"),
+            Token::Tilde => f.write_str("`~`"),
+            Token::Bang => f.write_str("`!`"),
+            Token::Shl => f.write_str("`<<`"),
+            Token::Shr => f.write_str("`>>`"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token together with its source line (1-based), for diagnostics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}

@@ -1,0 +1,104 @@
+//! Property: printing any AST yields source that reparses to the same AST,
+//! and lowering it produces verifiable SSA.
+
+use fact_ir::{BinOp, UnOp};
+use fact_lang::ast::{Expr, Proc, Stmt};
+use fact_lang::{lower, parse, print_proc};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        (0usize..NAMES.len()).prop_map(|i| Expr::Var(NAMES[i].to_string())),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Rem),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Xor),
+                    Just(BinOp::Shl),
+                    Just(BinOp::Shr),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (
+                prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::LNot)],
+                inner
+            )
+                .prop_map(|(op, a)| Expr::Un(op, Box::new(a))),
+        ]
+    })
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign =
+        (0usize..NAMES.len(), expr()).prop_map(|(i, e)| Stmt::Assign(NAMES[i].to_string(), e));
+    let out = expr().prop_map(|e| Stmt::Out("y".to_string(), e));
+    if depth == 0 {
+        prop_oneof![assign, out].boxed()
+    } else {
+        let body = proptest::collection::vec(stmt(depth - 1), 1..3);
+        let iff = (expr(), body.clone(), proptest::collection::vec(stmt(depth - 1), 0..3))
+            .prop_map(|(cond, then_body, else_body)| Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        let wl = (expr(), body.clone()).prop_map(|(cond, body)| Stmt::While { cond, body });
+        let dw = (body, expr()).prop_map(|(body, cond)| Stmt::DoWhile { body, cond });
+        prop_oneof![3 => assign, 2 => out, 1 => iff, 1 => wl, 1 => dw].boxed()
+    }
+}
+
+fn procs() -> impl Strategy<Value = Proc> {
+    proptest::collection::vec(stmt(2), 1..5).prop_map(|body| {
+        // Declare the variable pool up front so every name resolves.
+        let mut full: Vec<Stmt> = NAMES
+            .iter()
+            .map(|n| Stmt::VarDecl(n.to_string(), Expr::Int(1)))
+            .collect();
+        full.extend(body);
+        Proc {
+            name: "rt".to_string(),
+            inputs: vec!["p".to_string()],
+            body: full,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(p in procs()) {
+        let printed = print_proc(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&p, &reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn printed_programs_lower_and_verify(p in procs()) {
+        // Loops generated here may not terminate dynamically; this
+        // property is purely static: lowering + IR verification succeed.
+        let f = lower(&p).expect("lowering succeeds");
+        fact_ir::verify::verify(&f).expect("verifies");
+    }
+}

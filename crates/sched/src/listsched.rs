@@ -1,0 +1,660 @@
+//! Resource-constrained list scheduling of one basic block, with operator
+//! chaining under a clock-period constraint and multi-cycle operations.
+//!
+//! This is the innermost engine of the scheduler: each basic block is
+//! compiled into a sequence of states (cycles). Within a state, operations
+//! chain — an operation may start as soon as its same-state operands
+//! finish, provided the chain fits in the clock period (the paper's
+//! Example 1 schedules `++1` (13ns) chained with `<1` (12ns) in one 25ns
+//! state). Operations slower than the clock occupy multiple consecutive
+//! states on their functional unit.
+
+use crate::resources::{Allocation, FuLibrary, FuSelection};
+use fact_ir::{Function, BlockId, MemId, OpId, OpKind};
+use std::collections::HashMap;
+
+/// The schedule of one basic block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockSchedule {
+    /// Operations *starting* in each state, in issue order.
+    pub states: Vec<Vec<OpId>>,
+    /// For each scheduled datapath op: `(start_state, start_ns, end_state,
+    /// finish_ns_within_end_state)`.
+    pub placement: HashMap<OpId, OpPlacement>,
+}
+
+/// Where one operation landed in the block schedule.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct OpPlacement {
+    /// State in which the op starts.
+    pub start_state: usize,
+    /// Start offset within the start state, in ns.
+    pub start_ns: f64,
+    /// State in which the op's result becomes available.
+    pub end_state: usize,
+    /// Offset within `end_state` at which the result is ready, in ns. A
+    /// value of 0 means "ready at the start of `end_state`" (multi-cycle
+    /// results and results from earlier states).
+    pub ready_ns: f64,
+}
+
+impl BlockSchedule {
+    /// Number of states (cycles) the block occupies.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the block needs no cycles (only free operations).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Scheduling error.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SchedError {
+    /// An operation's unit has zero allocated instances.
+    NoInstances {
+        /// The unschedulable op.
+        op: OpId,
+        /// Name of the starved unit type.
+        fu_name: String,
+    },
+    /// An operation cannot fit in the clock period even alone.
+    ClockTooShort {
+        /// The offending op.
+        op: OpId,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoInstances { op, fu_name } => {
+                write!(f, "op {op} needs unit `{fu_name}` but none are allocated")
+            }
+            SchedError::ClockTooShort { op } => {
+                write!(f, "op {op} does not fit in the clock period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Returns the intra-block dependency lists: for each op in the block, the
+/// ops (also in the block) it must follow.
+///
+/// Includes data dependencies and memory/output ordering: a store depends
+/// on every earlier access to the same memory; a load depends on the
+/// latest earlier store to the same memory; outputs stay in program order
+/// relative to each other (the output stream is observable).
+pub fn block_dependencies(f: &Function, block: BlockId) -> HashMap<OpId, Vec<OpId>> {
+    let ops = &f.block(block).ops;
+    let in_block: HashMap<OpId, usize> =
+        ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let mut deps: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    let mut last_store: HashMap<MemId, OpId> = HashMap::new();
+    let mut accesses_since_store: HashMap<MemId, Vec<OpId>> = HashMap::new();
+    let mut last_output: Option<OpId> = None;
+
+    for &op in ops {
+        let mut d: Vec<OpId> = f
+            .op(op)
+            .kind
+            .operands()
+            .into_iter()
+            .filter(|v| in_block.contains_key(v) && in_block[v] < in_block[&op])
+            .collect();
+        match &f.op(op).kind {
+            OpKind::Load { mem, .. } => {
+                if let Some(&s) = last_store.get(mem) {
+                    d.push(s);
+                }
+                accesses_since_store.entry(*mem).or_default().push(op);
+            }
+            OpKind::Store { mem, .. } => {
+                if let Some(&s) = last_store.get(mem) {
+                    d.push(s);
+                }
+                for &a in accesses_since_store.entry(*mem).or_default().iter() {
+                    d.push(a);
+                }
+                accesses_since_store.insert(*mem, Vec::new());
+                last_store.insert(*mem, op);
+            }
+            OpKind::Output(..) => {
+                if let Some(prev) = last_output {
+                    d.push(prev);
+                }
+                last_output = Some(op);
+            }
+            _ => {}
+        }
+        d.sort();
+        d.dedup();
+        deps.insert(op, d);
+    }
+    deps
+}
+
+/// The scheduling context shared across a block.
+struct Ctx<'a> {
+    f: &'a Function,
+    library: &'a FuLibrary,
+    selection: &'a FuSelection,
+    alloc: &'a Allocation,
+}
+
+impl Ctx<'_> {
+    /// Delay in ns of a datapath op; `None` for free ops.
+    fn delay(&self, op: OpId) -> Option<f64> {
+        match &self.f.op(op).kind {
+            OpKind::Bin(..) | OpKind::Un(..) => {
+                self.selection.fu_of(op).map(|fu| self.library.spec(fu).delay_ns)
+            }
+            OpKind::Load { .. } | OpKind::Store { .. } => Some(self.library.memory_delay_ns),
+            // Muxes are steering logic: modeled as free (their cost is in
+            // the interconnect overhead), like phis/constants/IO.
+            _ => None,
+        }
+    }
+}
+
+/// Schedules the operations of `block` under the given resources and
+/// clock period.
+///
+/// # Errors
+/// Returns [`SchedError::NoInstances`] when an op's unit has no allocated
+/// instances, and [`SchedError::ClockTooShort`] when a single-cycle-class
+/// op (memory access) exceeds the clock period.
+pub fn schedule_block(
+    f: &Function,
+    block: BlockId,
+    library: &FuLibrary,
+    selection: &FuSelection,
+    alloc: &Allocation,
+    clk: f64,
+) -> Result<BlockSchedule, SchedError> {
+    let ops: Vec<OpId> = f.block(block).ops.clone();
+    schedule_ops(f, &ops, &block_dependencies(f, block), library, selection, alloc, clk)
+}
+
+/// Schedules an explicit op list with explicit dependencies. Used both for
+/// whole blocks and for fused regions (if-converted loop bodies, rotation
+/// candidates).
+///
+/// # Errors
+/// See [`schedule_block`].
+pub fn schedule_ops(
+    f: &Function,
+    ops: &[OpId],
+    deps: &HashMap<OpId, Vec<OpId>>,
+    library: &FuLibrary,
+    selection: &FuSelection,
+    alloc: &Allocation,
+    clk: f64,
+) -> Result<BlockSchedule, SchedError> {
+    let cx = Ctx {
+        f,
+        library,
+        selection,
+        alloc,
+    };
+
+    // Priority: longest downstream chain in ns (critical-path first).
+    let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for (&op, ds) in deps {
+        for &d in ds {
+            succs.entry(d).or_default().push(op);
+        }
+    }
+    let mut priority: HashMap<OpId, f64> = HashMap::new();
+    // Process in reverse topological (program) order: deps point backward,
+    // so reverse program order works.
+    for &op in ops.iter().rev() {
+        let own = cx.delay(op).unwrap_or(0.0);
+        let down = succs
+            .get(&op)
+            .map(|ss| {
+                ss.iter()
+                    .map(|s| priority.get(s).copied().unwrap_or(0.0))
+                    .fold(0.0, f64::max)
+            })
+            .unwrap_or(0.0);
+        priority.insert(op, own + down);
+    }
+
+    let mut remaining_deps: HashMap<OpId, usize> =
+        ops.iter().map(|&o| (o, deps.get(&o).map_or(0, Vec::len))).collect();
+    let mut ready: Vec<OpId> = ops
+        .iter()
+        .copied()
+        .filter(|o| remaining_deps[o] == 0)
+        .collect();
+    let mut placement: HashMap<OpId, OpPlacement> = HashMap::new();
+    let mut states: Vec<Vec<OpId>> = Vec::new();
+    // Per-state resource usage: FU counts and memory-port usage.
+    let mut fu_busy: Vec<HashMap<crate::resources::FuId, u32>> = Vec::new();
+    let mut mem_busy: Vec<HashMap<MemId, u32>> = Vec::new();
+    let mut scheduled = 0usize;
+    let mut cur_state = 0usize;
+
+    let ensure_state = |states: &mut Vec<Vec<OpId>>,
+                        fu_busy: &mut Vec<HashMap<crate::resources::FuId, u32>>,
+                        mem_busy: &mut Vec<HashMap<MemId, u32>>,
+                        s: usize| {
+        while states.len() <= s {
+            states.push(Vec::new());
+            fu_busy.push(HashMap::new());
+            mem_busy.push(HashMap::new());
+        }
+    };
+
+    while scheduled < ops.len() {
+        // Sort ready ops by priority (desc), then id for determinism.
+        ready.sort_by(|a, b| {
+            priority[b]
+                .partial_cmp(&priority[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+
+        let mut placed_any = false;
+        let mut next_ready: Vec<OpId> = Vec::new();
+
+        for &op in &ready {
+            // Earliest data-ready point considering placed deps.
+            let mut ready_state = cur_state;
+            let mut ready_ns: f64 = 0.0;
+            let mut deps_placed = true;
+            for &d in deps.get(&op).into_iter().flatten() {
+                match placement.get(&d) {
+                    Some(p) => {
+                        let (ds, dn) = (p.end_state, p.ready_ns);
+                        if ds > ready_state {
+                            ready_state = ds;
+                            ready_ns = dn;
+                        } else if ds == ready_state {
+                            ready_ns = ready_ns.max(dn);
+                        }
+                    }
+                    None => {
+                        deps_placed = false;
+                        break;
+                    }
+                }
+            }
+            if !deps_placed {
+                // Dep scheduled later in this same pass round; retry later.
+                next_ready.push(op);
+                continue;
+            }
+            if ready_state < cur_state {
+                ready_state = cur_state;
+                ready_ns = 0.0;
+            } else if ready_state == cur_state {
+                // keep ready_ns
+            } else {
+                // Not ready until a future state; defer.
+                next_ready.push(op);
+                continue;
+            }
+
+            match cx.delay(op) {
+                None => {
+                    // Free op: completes instantly at its ready point.
+                    placement.insert(
+                        op,
+                        OpPlacement {
+                            start_state: ready_state,
+                            start_ns: ready_ns,
+                            end_state: ready_state,
+                            ready_ns,
+                        },
+                    );
+                    // Free ops are recorded in the state they resolve in,
+                    // if any states exist; they never create states.
+                    scheduled += 1;
+                    placed_any = true;
+                    for s in succs.get(&op).into_iter().flatten() {
+                        let r = remaining_deps.get_mut(s).unwrap();
+                        *r -= 1;
+                        if *r == 0 {
+                            next_ready.push(*s);
+                        }
+                    }
+                    continue;
+                }
+                Some(delay) => {
+                    // Resource lookup.
+                    enum Res {
+                        Fu(crate::resources::FuId),
+                        Mem(MemId),
+                    }
+                    let res = match &cx.f.op(op).kind {
+                        OpKind::Load { mem, .. } | OpKind::Store { mem, .. } => Res::Mem(*mem),
+                        _ => {
+                            let fu = cx.selection.fu_of(op).expect("datapath op has unit");
+                            if cx.alloc.count(fu) == 0 {
+                                return Err(SchedError::NoInstances {
+                                    op,
+                                    fu_name: cx.library.spec(fu).name.clone(),
+                                });
+                            }
+                            Res::Fu(fu)
+                        }
+                    };
+                    if matches!(res, Res::Mem(_)) && delay > clk {
+                        return Err(SchedError::ClockTooShort { op });
+                    }
+
+                    // Multi-cycle span when the op alone exceeds the clock.
+                    let span = (delay / clk).ceil().max(1.0) as usize;
+                    let chainable = span == 1;
+
+                    // Candidate start: the ready point, but multi-cycle ops
+                    // and ops that no longer fit by chaining move to the
+                    // next state boundary.
+                    let (start_state, start_ns) = if chainable && ready_ns + delay <= clk + 1e-9 {
+                        (ready_state, ready_ns)
+                    } else {
+                        (
+                            if ready_ns > 1e-12 {
+                                ready_state + 1
+                            } else {
+                                ready_state
+                            },
+                            0.0,
+                        )
+                    };
+                    if start_state > cur_state {
+                        next_ready.push(op);
+                        continue;
+                    }
+
+                    // Resource availability over [start_state, +span).
+                    ensure_state(&mut states, &mut fu_busy, &mut mem_busy, start_state + span - 1);
+                    let available = (0..span).all(|k| match &res {
+                        Res::Fu(fu) => {
+                            fu_busy[start_state + k].get(fu).copied().unwrap_or(0)
+                                < cx.alloc.count(*fu)
+                        }
+                        Res::Mem(m) => {
+                            mem_busy[start_state + k].get(m).copied().unwrap_or(0) < 1
+                        }
+                    });
+                    if !available {
+                        next_ready.push(op);
+                        continue;
+                    }
+                    for k in 0..span {
+                        match &res {
+                            Res::Fu(fu) => {
+                                *fu_busy[start_state + k].entry(*fu).or_insert(0) += 1
+                            }
+                            Res::Mem(m) => {
+                                *mem_busy[start_state + k].entry(*m).or_insert(0) += 1
+                            }
+                        }
+                    }
+                    let (end_state, end_ns) = if span == 1 {
+                        (start_state, start_ns + delay)
+                    } else {
+                        // Result usable from the start of the state after
+                        // the span (no chaining out of multi-cycle ops).
+                        (start_state + span - 1, clk)
+                    };
+                    states[start_state].push(op);
+                    placement.insert(
+                        op,
+                        OpPlacement {
+                            start_state,
+                            start_ns,
+                            end_state,
+                            ready_ns: if end_ns >= clk - 1e-9 { 0.0 } else { end_ns },
+                        },
+                    );
+                    // Results landing exactly at the clock edge are
+                    // consumed from a register at the start of the next
+                    // state.
+                    if end_ns >= clk - 1e-9 {
+                        let p = placement.get_mut(&op).unwrap();
+                        p.end_state += 1;
+                        p.ready_ns = 0.0;
+                    }
+                    scheduled += 1;
+                    placed_any = true;
+                    for s in succs.get(&op).into_iter().flatten() {
+                        let r = remaining_deps.get_mut(s).unwrap();
+                        *r -= 1;
+                        if *r == 0 {
+                            next_ready.push(*s);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Collect still-unplaced ready ops.
+        for &op in &ready {
+            if !placement.contains_key(&op) && !next_ready.contains(&op) {
+                next_ready.push(op);
+            }
+        }
+        ready = next_ready;
+        ready.retain(|o| !placement.contains_key(o));
+
+        if !placed_any {
+            // Nothing placed this round: advance the cycle.
+            cur_state += 1;
+            ensure_state(&mut states, &mut fu_busy, &mut mem_busy, cur_state);
+        }
+    }
+
+    // Trim trailing states with neither issued ops nor live resource
+    // reservations (multi-cycle spans keep their tail states).
+    while !states.is_empty() {
+        let last = states.len() - 1;
+        let busy = !states[last].is_empty()
+            || fu_busy[last].values().any(|&c| c > 0)
+            || mem_busy[last].values().any(|&c| c > 0);
+        if busy {
+            break;
+        }
+        states.pop();
+        fu_busy.pop();
+        mem_busy.pop();
+    }
+
+    Ok(BlockSchedule { states, placement })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{FuSpec, SelectionRules};
+    use fact_lang::compile;
+
+    /// §5 library subset: add 10ns, sub 10ns, mul 23ns, cmp 10ns, incr 5ns.
+    fn setup(src: &str) -> (Function, FuLibrary, FuSelection) {
+        let f = compile(src).unwrap();
+        let mut lib = FuLibrary::new(0.3, 3.0, 1.9, 15.0);
+        let add = lib.add(FuSpec { name: "a1".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
+        let sub = lib.add(FuSpec { name: "sb1".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
+        let mul = lib.add(FuSpec { name: "mt1".into(), energy_coeff: 2.3, delay_ns: 23.0, area: 3.9 });
+        let cmp = lib.add(FuSpec { name: "cp1".into(), energy_coeff: 1.1, delay_ns: 10.0, area: 1.3 });
+        let incr = lib.add(FuSpec { name: "i1".into(), energy_coeff: 0.7, delay_ns: 5.0, area: 1.1 });
+        let rules = SelectionRules {
+            add: Some(add),
+            sub: Some(sub),
+            mul: Some(mul),
+            cmp: Some(cmp),
+            eq: Some(cmp),
+            incr: Some(incr),
+            ..Default::default()
+        };
+        let sel = FuSelection::from_rules(&f, &rules).unwrap();
+        (f, lib, sel)
+    }
+
+    fn alloc(lib: &FuLibrary, pairs: &[(&str, u32)]) -> Allocation {
+        let mut a = Allocation::new();
+        for (name, n) in pairs {
+            a.set(lib.by_name(name).unwrap(), *n);
+        }
+        a
+    }
+
+    #[test]
+    fn chains_two_adds_in_one_state() {
+        // 10 + 10 = 20ns <= 25ns: one state.
+        let (f, lib, sel) = setup("proc f(a, b, c) { out y = a + b + c; }");
+        let a = alloc(&lib, &[("a1", 2)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn chain_breaks_on_clock() {
+        // Three chained adds = 30ns > 25ns: two states.
+        let (f, lib, sel) = setup("proc f(a, b, c, d) { out y = a + b + c + d; }");
+        let a = alloc(&lib, &[("a1", 3)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn resource_contention_serializes() {
+        // Two independent adds, one adder: two states (no chain possible
+        // since same FU instance busy... chaining uses different ops).
+        let (f, lib, sel) = setup("proc f(a, b, c, d) { out y = a + b; out z = c + d; }");
+        let one = alloc(&lib, &[("a1", 1)]);
+        let s1 = schedule_block(&f, f.entry(), &lib, &sel, &one, 25.0).unwrap();
+        // One adder: both adds can still fit in one 25ns state? No — one
+        // instance can do one op per state; chaining reuses *different*
+        // units. So 2 states.
+        assert_eq!(s1.len(), 2);
+        let two = alloc(&lib, &[("a1", 2)]);
+        let s2 = schedule_block(&f, f.entry(), &lib, &sel, &two, 25.0).unwrap();
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn multiplier_fits_in_25ns() {
+        let (f, lib, sel) = setup("proc f(a, b) { out y = a * b; }");
+        let a = alloc(&lib, &[("mt1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn multicycle_op_spans_states() {
+        // 23ns multiplier with a 15ns clock: 2-cycle op.
+        let (f, lib, sel) = setup("proc f(a, b) { out y = a * b; }");
+        let a = alloc(&lib, &[("mt1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 15.0).unwrap();
+        assert_eq!(s.len(), 2);
+        let mul = *s
+            .placement
+            .iter()
+            .find(|(op, _)| matches!(f.op(**op).kind, OpKind::Bin(fact_ir::BinOp::Mul, ..)))
+            .unwrap()
+            .0;
+        let p = s.placement[&mul];
+        assert_eq!(p.start_state, 0);
+        assert_eq!(p.end_state, 2); // ready at start of state 2 (post-span)
+    }
+
+    #[test]
+    fn add_then_mul_cannot_chain_in_25ns() {
+        // 10 + 23 = 33 > 25: mul starts next state.
+        let (f, lib, sel) = setup("proc f(a, b) { out y = (a + b) * b; }");
+        let a = alloc(&lib, &[("a1", 1), ("mt1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn incr_chains_with_compare_like_figure_1c() {
+        // Incrementer 5ns + comparator 10ns = 15 <= 25: single state, the
+        // paper's S5 chaining.
+        let (f, lib, sel) = setup("proc f(i, c) { out y = (i + 1) < c; }");
+        let a = alloc(&lib, &[("i1", 1), ("cp1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memory_port_limits_one_access_per_cycle() {
+        let (f, lib, sel) = setup("proc f(i) { array x[8]; out y = x[i] + x[i + 1]; }");
+        let a = alloc(&lib, &[("a1", 1), ("i1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        // Two loads of the same memory cannot share a cycle.
+        assert!(s.len() >= 2, "got {} states", s.len());
+    }
+
+    #[test]
+    fn distinct_memories_access_in_parallel() {
+        let (f, lib, sel) =
+            setup("proc f(i) { array x[8]; array y[8]; out o = x[i] + y[i]; }");
+        let a = alloc(&lib, &[("a1", 1)]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        // Loads in cycle 0 (15ns, no chain into add: 15+10=25 <= 25 fits!)
+        // so this can be a single state.
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn store_load_ordering_is_respected() {
+        let (f, lib, sel) = setup("proc f(i, v) { array x[8]; x[i] = v; out y = x[i]; }");
+        let a = alloc(&lib, &[]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        let (store, load) = {
+            let mut st = None;
+            let mut ld = None;
+            for b in f.block_ids() {
+                for &op in &f.block(b).ops {
+                    match f.op(op).kind {
+                        OpKind::Store { .. } => st = Some(op),
+                        OpKind::Load { .. } => ld = Some(op),
+                        _ => {}
+                    }
+                }
+            }
+            (st.unwrap(), ld.unwrap())
+        };
+        assert!(s.placement[&store].start_state < s.placement[&load].start_state);
+    }
+
+    #[test]
+    fn zero_allocation_is_an_error() {
+        let (f, lib, sel) = setup("proc f(a) { out y = a + a; }");
+        let a = alloc(&lib, &[("mt1", 1)]); // no adders
+        let err = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap_err();
+        assert!(matches!(err, SchedError::NoInstances { .. }));
+    }
+
+    #[test]
+    fn free_only_block_is_empty() {
+        let (f, lib, sel) = setup("proc f(a) { out y = a; }");
+        let a = alloc(&lib, &[]);
+        let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dependencies_include_memory_ordering() {
+        let f = compile("proc f(i, v) { array x[8]; x[i] = v; x[i] = v + 1; }").unwrap();
+        let deps = block_dependencies(&f, f.entry());
+        let stores: Vec<OpId> = f
+            .block(f.entry())
+            .ops
+            .iter()
+            .copied()
+            .filter(|&o| matches!(f.op(o).kind, OpKind::Store { .. }))
+            .collect();
+        assert_eq!(stores.len(), 2);
+        assert!(deps[&stores[1]].contains(&stores[0]));
+    }
+}

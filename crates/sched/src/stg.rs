@@ -1,0 +1,472 @@
+//! The state transition graph (STG): the scheduler's output (§2.1).
+//!
+//! States represent clock cycles of the controller; each state lists the
+//! operations executed in that cycle, annotated with the loop iteration
+//! they belong to (Figure 1(c): state `S5` executes `S.0`, `++1_1`, and
+//! `<1_1`). Transitions carry the probability of being taken, derived from
+//! profiled branch probabilities, which drives the Markov analysis of \[10\].
+//!
+//! Kernel states produced by loop pipelining and concurrent-loop phases
+//! additionally carry fractional *rates*: an operation with weight 0.5
+//! executes, on average, every other visit to the state. This keeps the
+//! energy accounting of §2.2 exact for steady-state overlapped schedules
+//! without enumerating the (possibly unbounded) product state space.
+
+use fact_ir::{Function, OpId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a state within an [`Stg`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The raw index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One operation scheduled into a state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScheduledOp {
+    /// The IR operation.
+    pub op: OpId,
+    /// The loop-iteration annotation (0 for the current iteration; 1 for
+    /// next-iteration operations folded in by implicit unrolling).
+    pub iter: u32,
+    /// Expected executions per visit of the state (1.0 for ordinary
+    /// states; fractional in pipelined/parallel kernel states).
+    pub weight: f64,
+}
+
+impl ScheduledOp {
+    /// A once-per-visit scheduled op of the current iteration.
+    pub fn once(op: OpId) -> Self {
+        ScheduledOp {
+            op,
+            iter: 0,
+            weight: 1.0,
+        }
+    }
+}
+
+/// A controller state (one clock cycle).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct State {
+    /// Operations executed in this state.
+    pub ops: Vec<ScheduledOp>,
+    /// Optional display name.
+    pub name: Option<String>,
+    /// Empirical expected visits per execution, when the scheduler can
+    /// derive them from profiled block-visit counts. Exact by linearity of
+    /// expectation; the estimator prefers these over the first-order
+    /// Markov solution when every state carries one (see
+    /// `fact-estim::markov`).
+    pub expected_visits: Option<f64>,
+}
+
+/// A transition between states.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Probability that this transition is taken from `from`.
+    pub prob: f64,
+    /// Display label (condition), e.g. `">1"` or `"!<1"`.
+    pub label: String,
+}
+
+/// A complete state transition graph.
+#[derive(Clone, Debug)]
+pub struct Stg {
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+    entry: StateId,
+    done: StateId,
+}
+
+impl Stg {
+    /// Creates an STG containing only the entry and absorbing done states.
+    ///
+    /// The entry state is a real cycle (controller reset/launch); `done`
+    /// is the absorbing completion marker and costs no cycle.
+    pub fn new() -> Self {
+        let mut stg = Stg {
+            states: Vec::new(),
+            transitions: Vec::new(),
+            entry: StateId(0),
+            done: StateId(0),
+        };
+        stg.done = stg.add_state("done");
+        stg.entry = stg.done;
+        stg
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(State {
+            ops: Vec::new(),
+            name: Some(name.into()),
+            expected_visits: None,
+        });
+        id
+    }
+
+    /// Sets the entry state.
+    pub fn set_entry(&mut self, entry: StateId) {
+        self.entry = entry;
+    }
+
+    /// The entry state.
+    pub fn entry(&self) -> StateId {
+        self.entry
+    }
+
+    /// The absorbing done state.
+    pub fn done(&self) -> StateId {
+        self.done
+    }
+
+    /// Number of states, including `done`.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Accesses a state.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// Mutably accesses a state.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn state_mut(&mut self, id: StateId) -> &mut State {
+        &mut self.states[id.index()]
+    }
+
+    /// Iterates over all state ids (including `done`).
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        prob: f64,
+        label: impl Into<String>,
+    ) {
+        self.transitions.push(Transition {
+            from,
+            to,
+            prob,
+            label: label.into(),
+        });
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Transitions leaving `state`.
+    pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// Redirects every transition into `from` to point at `to`, and every
+    /// transition out of `from` is removed. Used when fusing empty states.
+    pub fn bypass_state(&mut self, from: StateId, to: StateId) {
+        self.transitions.retain(|t| t.from != from);
+        for t in &mut self.transitions {
+            if t.to == from {
+                t.to = to;
+            }
+        }
+        if self.entry == from {
+            self.entry = to;
+        }
+    }
+
+    /// Checks structural sanity: outgoing probabilities of every
+    /// non-absorbing state sum to ~1, all referenced states exist, `done`
+    /// has no outgoing transitions, and every state reaches `done`.
+    ///
+    /// # Errors
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.transitions {
+            if t.from.index() >= self.states.len() || t.to.index() >= self.states.len() {
+                return Err(format!("transition references missing state: {t:?}"));
+            }
+            if !(0.0..=1.0 + 1e-9).contains(&t.prob) {
+                return Err(format!("transition probability out of range: {t:?}"));
+            }
+            if t.from == self.done {
+                return Err("done state must be absorbing".to_string());
+            }
+        }
+        for s in self.state_ids() {
+            if s == self.done {
+                continue;
+            }
+            let total: f64 = self.outgoing(s).map(|t| t.prob).sum();
+            // States disconnected from the live graph may have no
+            // outgoing edges only if nothing reaches them.
+            let has_in = s == self.entry || self.transitions.iter().any(|t| t.to == s);
+            if has_in && (total - 1.0).abs() > 1e-6 {
+                return Err(format!(
+                    "state {s} outgoing probabilities sum to {total}, expected 1"
+                ));
+            }
+        }
+        // Reachability of done from entry.
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry.index()] = true;
+        while let Some(s) = stack.pop() {
+            for t in self.outgoing(s) {
+                if !seen[t.to.index()] {
+                    seen[t.to.index()] = true;
+                    stack.push(t.to);
+                }
+            }
+        }
+        if !seen[self.done.index()] {
+            return Err("done state unreachable from entry".to_string());
+        }
+        Ok(())
+    }
+
+    /// Expected functional-unit usage per state, as `(state, fu-name,
+    /// expected ops)` rows — the per-cycle utilization view of Figure 3.
+    pub fn utilization_table(
+        &self,
+        f: &Function,
+        selection: &crate::resources::FuSelection,
+        library: &crate::resources::FuLibrary,
+    ) -> Vec<(StateId, String, f64)> {
+        let mut rows = Vec::new();
+        for s in self.state_ids() {
+            let mut per_fu: HashMap<String, f64> = HashMap::new();
+            for sop in &self.state(s).ops {
+                if let Some(fu) = selection.fu_of(sop.op) {
+                    *per_fu
+                        .entry(library.spec(fu).name.clone())
+                        .or_insert(0.0) += sop.weight;
+                }
+                if let Some(mem) = f.op(sop.op).kind.memory() {
+                    let name = format!("mem:{}", f.memory(mem).name);
+                    *per_fu.entry(name).or_insert(0.0) += sop.weight;
+                }
+            }
+            let mut entries: Vec<_> = per_fu.into_iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, w) in entries {
+                rows.push((s, name, w));
+            }
+        }
+        rows
+    }
+
+    /// Renders the STG as text in the style of Figure 1(c): one line per
+    /// state listing `label.iter` ops, then transitions with probabilities.
+    pub fn pretty(&self, f: &Function) -> String {
+        let mut out = String::new();
+        for s in self.state_ids() {
+            let st = self.state(s);
+            let name = st.name.clone().unwrap_or_default();
+            let ops: Vec<String> = st
+                .ops
+                .iter()
+                .map(|sop| {
+                    let mut label = fact_ir::pretty::op_short_label(f, sop.op);
+                    if sop.iter > 0 {
+                        label.push_str(&format!("_{}", sop.iter));
+                    }
+                    if (sop.weight - 1.0).abs() > 1e-9 {
+                        label.push_str(&format!("@{:.2}", sop.weight));
+                    }
+                    label
+                })
+                .collect();
+            out.push_str(&format!("{s} [{name}]: {{{}}}\n", ops.join(", ")));
+            for t in self.outgoing(s) {
+                out.push_str(&format!(
+                    "  -> {} ({:.3}){}\n",
+                    t.to,
+                    t.prob,
+                    if t.label.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" on {}", t.label)
+                    }
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the STG as a Graphviz digraph.
+    pub fn to_dot(&self, f: &Function) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph stg {{");
+        let _ = writeln!(s, "  node [shape=box, fontsize=10];");
+        for id in self.state_ids() {
+            let st = self.state(id);
+            let ops: Vec<String> = st
+                .ops
+                .iter()
+                .map(|sop| {
+                    let mut l = fact_ir::pretty::op_short_label(f, sop.op);
+                    if sop.iter > 0 {
+                        l.push_str(&format!("_{}", sop.iter));
+                    }
+                    l
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  s{} [label=\"{}\\n{}\"];",
+                id.0,
+                id,
+                ops.join(" ").replace('"', "'")
+            );
+        }
+        for t in &self.transitions {
+            let _ = writeln!(
+                s,
+                "  s{} -> s{} [label=\"{:.2}\"];",
+                t.from.0, t.to.0, t.prob
+            );
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+impl Default for Stg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Stg {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 1.0, "");
+        let done = stg.done();
+        stg.add_transition(b, done, 1.0, "");
+        stg
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        two_state().validate().unwrap();
+    }
+
+    #[test]
+    fn probabilities_must_sum_to_one() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        stg.set_entry(a);
+        let done = stg.done();
+        stg.add_transition(a, done, 0.6, "");
+        let err = stg.validate().unwrap_err();
+        assert!(err.contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn done_must_be_absorbing() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        stg.set_entry(a);
+        let done = stg.done();
+        stg.add_transition(a, done, 1.0, "");
+        stg.add_transition(done, a, 1.0, "");
+        assert!(stg.validate().is_err());
+    }
+
+    #[test]
+    fn done_must_be_reachable() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        stg.set_entry(a);
+        stg.add_transition(a, a, 1.0, "");
+        let err = stg.validate().unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+    }
+
+    #[test]
+    fn bypass_rewires_transitions() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        let c = stg.add_state("c");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 1.0, "");
+        stg.add_transition(b, c, 1.0, "");
+        let done = stg.done();
+        stg.add_transition(c, done, 1.0, "");
+        stg.bypass_state(b, c);
+        stg.validate().unwrap();
+        assert!(stg.outgoing(a).any(|t| t.to == c));
+        assert_eq!(stg.outgoing(b).count(), 0);
+    }
+
+    #[test]
+    fn self_loop_probabilities_validate() {
+        let mut stg = Stg::new();
+        let k = stg.add_state("kernel");
+        stg.set_entry(k);
+        stg.add_transition(k, k, 0.98, "loop");
+        let done = stg.done();
+        stg.add_transition(k, done, 0.02, "exit");
+        stg.validate().unwrap();
+    }
+
+    #[test]
+    fn pretty_mentions_iteration_annotations() {
+        let mut f = fact_ir::Function::new("t");
+        let e = f.entry();
+        let a = f.emit_input(e, "a");
+        let inc = f.emit(
+            e,
+            fact_ir::Op::with_label(fact_ir::OpKind::Bin(fact_ir::BinOp::Add, a, a), "++1"),
+        );
+        let mut stg = Stg::new();
+        let s = stg.add_state("s");
+        stg.set_entry(s);
+        stg.state_mut(s).ops.push(ScheduledOp {
+            op: inc,
+            iter: 1,
+            weight: 1.0,
+        });
+        let done = stg.done();
+        stg.add_transition(s, done, 1.0, "");
+        let text = stg.pretty(&f);
+        assert!(text.contains("++1_1"), "{text}");
+    }
+}

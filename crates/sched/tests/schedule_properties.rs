@@ -1,0 +1,153 @@
+//! Property-based tests of the list scheduler: for any straight-line
+//! dataflow graph, any (positive) allocation, and any clock period, the
+//! produced schedule must respect data dependencies, chaining timing, and
+//! per-state resource limits.
+
+use fact_sched::listsched::{block_dependencies, schedule_block};
+use fact_sched::{Allocation, FuLibrary, FuSelection, FuSpec, SelectionRules};
+use fact_ir::{BinOp, Function, OpKind};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Recipe: k inputs, then ops each combining two earlier values.
+#[derive(Clone, Debug)]
+struct DfgPlan {
+    inputs: usize,
+    ops: Vec<(u8, usize, usize)>, // (op class, left idx, right idx)
+}
+
+fn dfg_strategy() -> impl Strategy<Value = DfgPlan> {
+    (2usize..5).prop_flat_map(|inputs| {
+        proptest::collection::vec((0u8..4, 0usize..100, 0usize..100), 1..12).prop_map(
+            move |ops| DfgPlan { inputs, ops },
+        )
+    })
+}
+
+fn lib_and_rules() -> (FuLibrary, SelectionRules) {
+    let mut lib = FuLibrary::new(0.3, 3.0, 1.9, 15.0);
+    let add = lib.add(FuSpec { name: "add".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
+    let sub = lib.add(FuSpec { name: "sub".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
+    let mul = lib.add(FuSpec { name: "mul".into(), energy_coeff: 2.3, delay_ns: 23.0, area: 3.9 });
+    let cmp = lib.add(FuSpec { name: "cmp".into(), energy_coeff: 1.1, delay_ns: 12.0, area: 1.3 });
+    let rules = SelectionRules {
+        add: Some(add),
+        sub: Some(sub),
+        mul: Some(mul),
+        cmp: Some(cmp),
+        eq: Some(cmp),
+        ..Default::default()
+    };
+    (lib, rules)
+}
+
+fn build(plan: &DfgPlan) -> Function {
+    let mut f = Function::new("dfg");
+    let e = f.entry();
+    let mut values = Vec::new();
+    for i in 0..plan.inputs {
+        values.push(f.emit_input(e, format!("i{i}")));
+    }
+    for (class, a, b) in &plan.ops {
+        let x = values[a % values.len()];
+        let y = values[b % values.len()];
+        let op = match class {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            _ => BinOp::Lt,
+        };
+        values.push(f.emit_bin(e, op, x, y));
+    }
+    let last = *values.last().expect("nonempty");
+    f.emit_output(e, "y", last);
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn schedules_respect_dependencies_and_resources(
+        plan in dfg_strategy(),
+        adders in 1u32..3,
+        subs in 1u32..3,
+        muls in 1u32..3,
+        cmps in 1u32..3,
+        clk in prop_oneof![Just(15.0f64), Just(25.0), Just(40.0)],
+    ) {
+        let f = build(&plan);
+        let (lib, rules) = lib_and_rules();
+        let sel = FuSelection::from_rules(&f, &rules).unwrap();
+        let mut alloc = Allocation::new();
+        alloc.set(lib.by_name("add").unwrap(), adders);
+        alloc.set(lib.by_name("sub").unwrap(), subs);
+        alloc.set(lib.by_name("mul").unwrap(), muls);
+        alloc.set(lib.by_name("cmp").unwrap(), cmps);
+
+        let sched = schedule_block(&f, f.entry(), &lib, &sel, &alloc, clk).unwrap();
+        let deps = block_dependencies(&f, f.entry());
+
+        // 1. Every datapath op is placed exactly once.
+        let mut placed_in_states: HashMap<fact_ir::OpId, usize> = HashMap::new();
+        for (s, ops) in sched.states.iter().enumerate() {
+            for &op in ops {
+                prop_assert!(placed_in_states.insert(op, s).is_none(),
+                    "op {op} issued twice");
+            }
+        }
+        for b in f.block_ids() {
+            for &op in &f.block(b).ops {
+                if matches!(f.op(op).kind, OpKind::Bin(..)) {
+                    prop_assert!(placed_in_states.contains_key(&op),
+                        "datapath op {op} never issued");
+                }
+            }
+        }
+
+        // 2. Dependencies: a user never starts before its producer's
+        //    result is ready (same-state chaining must respect ns times).
+        for (&user, ds) in &deps {
+            let Some(up) = sched.placement.get(&user) else { continue };
+            for &d in ds {
+                let Some(dp) = sched.placement.get(&d) else { continue };
+                prop_assert!(
+                    (dp.end_state, dp.ready_ns) <= (up.start_state, up.start_ns + 1e-9),
+                    "op {user} starts at ({}, {:.1}) before {d} finishes at ({}, {:.1})",
+                    up.start_state, up.start_ns, dp.end_state, dp.ready_ns
+                );
+            }
+        }
+
+        // 3. Chaining never exceeds the clock period.
+        for (op, p) in &sched.placement {
+            if let Some(fu) = sel.fu_of(*op) {
+                let delay = lib.spec(fu).delay_ns;
+                if delay <= clk {
+                    prop_assert!(p.start_ns + delay <= clk + 1e-6,
+                        "op {op} finishes past the clock edge");
+                }
+            }
+        }
+
+        // 4. Per-state resource usage never exceeds the allocation
+        //    (counting multi-cycle spans).
+        let mut usage: Vec<HashMap<String, u32>> = vec![HashMap::new(); sched.states.len() + 4];
+        for (op, p) in &sched.placement {
+            if let Some(fu) = sel.fu_of(*op) {
+                let spec = lib.spec(fu);
+                let span = (spec.delay_ns / clk).ceil().max(1.0) as usize;
+                for k in 0..span {
+                    *usage[p.start_state + k].entry(spec.name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        for (s, per_fu) in usage.iter().enumerate() {
+            for (name, &count) in per_fu {
+                let limit = alloc.count(lib.by_name(name).unwrap());
+                prop_assert!(count <= limit,
+                    "state {s}: {count} x {name} exceeds allocation {limit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # fact-sim — CDFG simulation, profiling, traces, and equivalence
+//!
+//! Four services built on one interpreter:
+//!
+//! * [`execute`] / [`execute_with`] — reference execution of an IR
+//!   function on named inputs;
+//! * [`trace`] — reproducible input-trace generation, including the
+//!   paper's temporally-correlated Gaussian source (§5);
+//! * [`profile()`] — branch probabilities from typical traces (§4.1);
+//! * [`equiv`] — randomized functional-equivalence checking used to
+//!   validate every transformation (§3).
+
+#![warn(missing_docs)]
+
+pub mod equiv;
+mod interp;
+pub mod profile;
+pub mod trace;
+
+pub use equiv::{check_equivalence, Mismatch};
+pub use interp::{execute, execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
+pub use profile::{profile, profile_with, BranchProfile};
+pub use trace::{generate, InputSpec, TraceSet};

@@ -1,0 +1,216 @@
+//! The transformation model: kinds, candidates, and the library trait.
+//!
+//! Following the paper's Figure 6, a transformation inspects a CDFG and
+//! proposes *candidates* — whole transformed CDFGs. The search engine
+//! (`fact-core`) reschedules and estimates each candidate; nothing here
+//! decides profitability. Candidates may be restricted to a *region* (the
+//! IR blocks corresponding to one STG block of the §4.1 partition), which
+//! is how the algorithm "directs its focus on the critical sections of
+//! the behavior".
+
+use fact_ir::{BlockId, Function};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The transformation classes supported by the framework (paper §1: "our
+/// system currently supports associativity, commutativity, distributivity,
+/// constant propagation, code motion, and loop unrolling").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransformKind {
+    /// Operand swap of a commutative operation.
+    Commutativity,
+    /// Re-association / tree-height rebalancing of associative chains.
+    Associativity,
+    /// `a·b ± a·c ↔ a·(b ± c)`, both directions.
+    Distributivity,
+    /// Constant folding, algebraic identities, strength reduction.
+    ConstantPropagation,
+    /// Loop-invariant code motion (hoisting out of loops).
+    CodeMotion,
+    /// Explicit loop unrolling.
+    LoopUnroll,
+    /// Sinking an operation through joins into predecessor threads — the
+    /// cross-basic-block enabler of §3 Example 3.
+    PhiSink,
+}
+
+impl fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransformKind::Commutativity => "commutativity",
+            TransformKind::Associativity => "associativity",
+            TransformKind::Distributivity => "distributivity",
+            TransformKind::ConstantPropagation => "constant-propagation",
+            TransformKind::CodeMotion => "code-motion",
+            TransformKind::LoopUnroll => "loop-unroll",
+            TransformKind::PhiSink => "phi-sink",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A transformed CDFG proposed for evaluation.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Which transformation produced it.
+    pub kind: TransformKind,
+    /// Human-readable description (for reports and debugging).
+    pub description: String,
+    /// The transformed function (the original is never mutated).
+    pub function: Function,
+}
+
+/// The region a transformation may touch: a set of IR blocks, or the whole
+/// function.
+#[derive(Clone, Debug, Default)]
+pub struct Region {
+    blocks: Option<HashSet<BlockId>>,
+}
+
+impl Region {
+    /// The whole function.
+    pub fn whole() -> Self {
+        Region { blocks: None }
+    }
+
+    /// A restricted set of blocks.
+    pub fn of_blocks(blocks: impl IntoIterator<Item = BlockId>) -> Self {
+        Region {
+            blocks: Some(blocks.into_iter().collect()),
+        }
+    }
+
+    /// Whether the region covers `b`.
+    pub fn covers(&self, b: BlockId) -> bool {
+        match &self.blocks {
+            None => true,
+            Some(set) => set.contains(&b),
+        }
+    }
+
+    /// Whether the region is the whole function.
+    pub fn is_whole(&self) -> bool {
+        self.blocks.is_none()
+    }
+}
+
+/// A transformation that can enumerate candidates.
+pub trait Transform {
+    /// The transformation's class.
+    fn kind(&self) -> TransformKind;
+
+    /// Proposes transformed copies of `f`, touching only `region`.
+    ///
+    /// Implementations must return *functionally equivalent* candidates;
+    /// the test suites enforce this with randomized equivalence checking.
+    fn candidates(&self, f: &Function, region: &Region) -> Vec<Candidate>;
+}
+
+/// A collection of transformations (the paper's `T.lib` in Figure 6).
+pub struct TransformLibrary {
+    transforms: Vec<Box<dyn Transform + Send + Sync>>,
+}
+
+impl TransformLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        TransformLibrary {
+            transforms: Vec::new(),
+        }
+    }
+
+    /// The full library: all seven supported transformations.
+    pub fn full() -> Self {
+        let mut lib = TransformLibrary::new();
+        lib.push(Box::new(crate::algebraic::Commutativity));
+        lib.push(Box::new(crate::algebraic::Associativity));
+        lib.push(Box::new(crate::algebraic::Distributivity));
+        lib.push(Box::new(crate::constprop::ConstantPropagation));
+        lib.push(Box::new(crate::codemotion::CodeMotion));
+        lib.push(Box::new(crate::unroll::LoopUnroll::new(2)));
+        lib.push(Box::new(crate::crossbb::PhiSink));
+        lib
+    }
+
+    /// The paper's suite plus extension transformations (currently
+    /// common-subexpression elimination). Use this when optimizing real
+    /// designs; [`TransformLibrary::full`] keeps the paper's exact suite
+    /// for the reproduction experiments.
+    pub fn extended() -> Self {
+        let mut lib = Self::full();
+        lib.push(Box::new(crate::cse::CommonSubexpression));
+        lib.push(Box::new(crate::distribute::LoopDistribution));
+        lib
+    }
+
+    /// Adds a transformation ("other transformations can easily be
+    /// incorporated within the framework", §1).
+    pub fn push(&mut self, t: Box<dyn Transform + Send + Sync>) {
+        self.transforms.push(t);
+    }
+
+    /// Number of transformations.
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+
+    /// Enumerates candidates from every transformation (Figure 6,
+    /// `Identify_and_apply_candidate_transformations`).
+    pub fn all_candidates(&self, f: &Function, region: &Region) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for t in &self.transforms {
+            out.extend(t.candidates(f, region));
+        }
+        out
+    }
+}
+
+impl Default for TransformLibrary {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_whole_covers_everything() {
+        let r = Region::whole();
+        assert!(r.covers(BlockId(0)));
+        assert!(r.covers(BlockId(99)));
+        assert!(r.is_whole());
+    }
+
+    #[test]
+    fn region_of_blocks_is_selective() {
+        let r = Region::of_blocks([BlockId(1), BlockId(3)]);
+        assert!(r.covers(BlockId(1)));
+        assert!(!r.covers(BlockId(2)));
+        assert!(!r.is_whole());
+    }
+
+    #[test]
+    fn full_library_has_all_seven() {
+        let lib = TransformLibrary::full();
+        assert_eq!(lib.len(), 7);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn extended_library_adds_cse_and_fission() {
+        assert_eq!(TransformLibrary::extended().len(), 9);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(TransformKind::Distributivity.to_string(), "distributivity");
+        assert_eq!(TransformKind::PhiSink.to_string(), "phi-sink");
+    }
+}

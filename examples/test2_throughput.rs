@@ -1,0 +1,73 @@
+//! Example 2 end to end: concurrent loops + the scheduling-guided
+//! sum-of-differences rewrite on Test2 (paper Figure 2).
+//!
+//! Run with `cargo run --example test2_throughput`.
+
+use fact_core::{flamel, m1, optimize, suite, FactConfig, Objective, TransformLibrary};
+use fact_estim::section5_library;
+use fact_sched::SchedOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (library, rules) = section5_library();
+    let bench = suite(&library)
+        .into_iter()
+        .find(|b| b.name == "Test2")
+        .expect("suite contains Test2");
+
+    let m1_res = m1(
+        &bench.function,
+        &library,
+        &rules,
+        &bench.allocation,
+        &bench.traces,
+        &SchedOptions::default(),
+    )?;
+    println!(
+        "M1 (scheduling only):     {:>7.1} cycles, {} concurrent group(s)",
+        m1_res.estimate.average_schedule_length, m1_res.schedule.report.concurrent_groups
+    );
+
+    let fl = flamel(
+        &bench.function,
+        &library,
+        &rules,
+        &bench.allocation,
+        &bench.traces,
+        &SchedOptions::default(),
+    )?;
+    println!(
+        "Flamel (schedule-blind):  {:>7.1} cycles, transforms {:?}",
+        fl.estimate.average_schedule_length, fl.applied
+    );
+
+    let fact = optimize(
+        &bench.function,
+        &library,
+        &rules,
+        &bench.allocation,
+        &bench.traces,
+        &TransformLibrary::full(),
+        &FactConfig {
+            objective: Objective::Throughput,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "FACT (schedule-guided):   {:>7.1} cycles, transforms {:?}",
+        fact.estimate.average_schedule_length, fact.applied
+    );
+    println!(
+        "\nspeedup over M1: {:.2}x (the paper's Example 2 reports 1.25x)",
+        m1_res.estimate.average_schedule_length / fact.estimate.average_schedule_length
+    );
+    println!(
+        "\nwhy: the rewrite (y1+y2)-(y3+y4) -> (y1-y3)+(y2-y4) keeps the op\n\
+         count identical — invisible to a structural objective — but frees\n\
+         an adder for the loop running concurrently (Figure 3).\n"
+    );
+    println!(
+        "transformed schedule (note the phase states of Figure 2(b)):\n{}",
+        fact.schedule.stg.pretty(&fact.schedule.function)
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Facade crate for the FACT workspace. See crate docs in `fact_core`.
+pub use fact_core as core;
+pub use fact_estim as estim;
+pub use fact_ir as ir;
+pub use fact_lang as lang;
+pub use fact_sched as sched;
+pub use fact_sim as sim;
+pub use fact_xform as xform;

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: the full FACT pipeline — frontend,
+//! profiling, scheduling, estimation, transformation search — on every
+//! benchmark of the §5 suite, with functional equivalence enforced on
+//! every optimized output.
+
+use fact_core::{flamel, m1, optimize, suite, FactConfig, Objective, SearchConfig, TransformLibrary};
+use fact_estim::{markov_of, section5_library};
+use fact_sched::SchedOptions;
+use fact_sim::check_equivalence;
+
+fn quick(objective: Objective) -> FactConfig {
+    FactConfig {
+        objective,
+        search: SearchConfig {
+            max_moves: 2,
+            in_set_size: 2,
+            max_rounds: 3,
+            max_evaluations: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_benchmark_schedules_and_validates() {
+    let (lib, rules) = section5_library();
+    for b in suite(&lib) {
+        let r = m1(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &SchedOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        r.schedule.stg.validate().unwrap();
+        let m = markov_of(&r.schedule).unwrap();
+        assert!(
+            m.average_schedule_length.is_finite() && m.average_schedule_length > 0.0,
+            "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn fact_output_is_equivalent_on_every_benchmark() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    for b in suite(&lib) {
+        let r = optimize(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &tlib,
+            &quick(Objective::Throughput),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        check_equivalence(&b.function, &r.best, &b.traces, 7)
+            .unwrap_or_else(|m| panic!("{}: {m}", b.name));
+        // FACT never regresses its own baseline.
+        assert!(
+            r.estimate.average_schedule_length <= r.baseline.average_schedule_length + 1e-6,
+            "{}: {} vs {}",
+            b.name,
+            r.estimate.average_schedule_length,
+            r.baseline.average_schedule_length
+        );
+    }
+}
+
+#[test]
+fn fact_beats_baselines_somewhere_and_never_loses() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    let mut strict_wins_m1 = 0;
+    let mut strict_wins_flamel = 0;
+    for b in suite(&lib) {
+        let m = m1(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &SchedOptions::default(),
+        )
+        .unwrap();
+        let fl = flamel(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &SchedOptions::default(),
+        )
+        .unwrap();
+        let fa = optimize(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &tlib,
+            &quick(Objective::Throughput),
+        )
+        .unwrap();
+        let (lm, lf, la) = (
+            m.estimate.average_schedule_length,
+            fl.estimate.average_schedule_length,
+            fa.estimate.average_schedule_length,
+        );
+        assert!(la <= lm * 1.02, "{}: FACT {la} worse than M1 {lm}", b.name);
+        assert!(la <= lf * 1.02, "{}: FACT {la} worse than Flamel {lf}", b.name);
+        if la < 0.95 * lm {
+            strict_wins_m1 += 1;
+        }
+        if la < 0.95 * lf {
+            strict_wins_flamel += 1;
+        }
+    }
+    // The paper's headline: FACT strictly improves multiple benchmarks
+    // over both baselines. (Under this quick search budget the deeper
+    // multi-step chains — e.g. FIR's commute→associate→factor — are not
+    // always found; the full-budget run in `fact-bench` asserts the
+    // aggregate ratios.)
+    assert!(strict_wins_m1 >= 3, "strict wins vs M1: {strict_wins_m1}");
+    assert!(
+        strict_wins_flamel >= 1,
+        "strict wins vs Flamel: {strict_wins_flamel}"
+    );
+}
+
+#[test]
+fn power_mode_never_exceeds_baseline_power_or_time() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    for b in suite(&lib) {
+        let r = optimize(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &tlib,
+            &quick(Objective::Power),
+        )
+        .unwrap();
+        assert!(
+            r.estimate.power <= r.baseline.power * 1.001,
+            "{}: {} vs {}",
+            b.name,
+            r.estimate.power,
+            r.baseline.power
+        );
+        // Iso-performance: the winner is never slower than the baseline.
+        assert!(
+            r.estimate.average_schedule_length
+                <= r.baseline.average_schedule_length * 1.002,
+            "{}",
+            b.name
+        );
+        assert!(r.estimate.vdd <= 5.0 + 1e-9);
+        assert!(r.estimate.vdd > 1.0);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    let b = suite(&lib).remove(1); // FIR
+    let r1 = optimize(
+        &b.function,
+        &lib,
+        &rules,
+        &b.allocation,
+        &b.traces,
+        &tlib,
+        &quick(Objective::Throughput),
+    )
+    .unwrap();
+    let r2 = optimize(
+        &b.function,
+        &lib,
+        &rules,
+        &b.allocation,
+        &b.traces,
+        &tlib,
+        &quick(Objective::Throughput),
+    )
+    .unwrap();
+    assert_eq!(
+        r1.estimate.average_schedule_length,
+        r2.estimate.average_schedule_length
+    );
+    assert_eq!(r1.applied, r2.applied);
+    assert_eq!(r1.evaluated, r2.evaluated);
+}
+
+#[test]
+fn facade_crate_reexports_work() {
+    // The `fact` facade exposes the whole stack.
+    let f = fact::lang::compile("proc f(a) { out y = a + 1; }").unwrap();
+    let env = std::collections::HashMap::from([("a".to_string(), 1)]);
+    let r = fact::sim::execute(&f, &env).unwrap();
+    assert_eq!(r.outputs[0].1, 2);
+}

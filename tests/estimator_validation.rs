@@ -1,0 +1,75 @@
+//! Cross-validation of the estimation stack on real schedules: the
+//! analytic absorbing-chain solution and a seeded Monte-Carlo walk over
+//! the same STG must agree on every benchmark of the suite. This catches
+//! inconsistencies anywhere in the chain: STG transition assembly,
+//! probability algebra, and the linear solver.
+
+use fact_core::suite;
+use fact_estim::{analyze, section5_library, simulate_stg};
+use fact_sched::{schedule, SchedOptions};
+use fact_sim::profile;
+
+#[test]
+fn monte_carlo_agrees_with_markov_on_every_benchmark() {
+    let (lib, rules) = section5_library();
+    for b in suite(&lib) {
+        let prof = profile(&b.function, &b.traces);
+        let sr = schedule(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &prof,
+            &SchedOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let analytic = analyze(&sr.stg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let mc = simulate_stg(&sr.stg, 8_000, 2_000_000, 1234);
+        assert_eq!(mc.truncated, 0, "{}: truncated walks", b.name);
+        let rel = (mc.mean_length - analytic.average_schedule_length).abs()
+            / analytic.average_schedule_length;
+        assert!(
+            rel < 0.05,
+            "{}: MC {:.2} vs analytic {:.2} (rel {:.3})",
+            b.name,
+            mc.mean_length,
+            analytic.average_schedule_length,
+            rel
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_agrees_per_state_on_test1() {
+    let f = fact_lang::compile(fact_core::suite::TEST1_SRC).unwrap();
+    let (lib, rules) = fact_estim::table1_library();
+    let mut alloc = fact_sched::Allocation::new();
+    alloc.set(lib.by_name("comp1").unwrap(), 2);
+    alloc.set(lib.by_name("cla1").unwrap(), 2);
+    alloc.set(lib.by_name("incr1").unwrap(), 1);
+    alloc.set(lib.by_name("w_mult1").unwrap(), 1);
+    let traces = fact_sim::generate(
+        &[
+            ("c1".to_string(), fact_sim::InputSpec::Constant(18)),
+            ("c2".to_string(), fact_sim::InputSpec::Constant(49)),
+        ],
+        4,
+        7,
+    );
+    let prof = profile(&f, &traces);
+    let sr = schedule(&f, &lib, &rules, &alloc, &prof, &SchedOptions::default()).unwrap();
+    let analytic = analyze(&sr.stg).unwrap();
+    let mc = simulate_stg(&sr.stg, 12_000, 1_000_000, 99);
+    for s in sr.stg.state_ids() {
+        if s == sr.stg.done() {
+            continue;
+        }
+        let a = analytic.visits(s);
+        let m = mc.visits(s);
+        let tol = 0.05 * a.max(1.0);
+        assert!(
+            (a - m).abs() < tol,
+            "{s}: analytic {a:.2} vs MC {m:.2}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over randomly generated behavioral descriptions:
+//!
+//! * lowering always produces verifiable SSA;
+//! * every transformation candidate is functionally equivalent to its
+//!   source (the paper's correctness requirement, enforced for *every*
+//!   thread of execution via randomized inputs);
+//! * every generated behavior schedules into a valid STG with a finite
+//!   average schedule length and positive energy.
+
+use fact_lang::ast::{Expr, Proc, Stmt};
+use fact_ir::{BinOp, Function, UnOp};
+use fact_sim::{check_equivalence, generate, InputSpec, TraceSet};
+use fact_xform::{Region, TransformLibrary};
+use proptest::prelude::*;
+
+const INPUTS: [&str; 3] = ["i0", "i1", "i2"];
+const VARS: [&str; 3] = ["v0", "v1", "v2"];
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-20i64..20).prop_map(Expr::Int),
+        (0usize..INPUTS.len()).prop_map(|i| Expr::Var(INPUTS[i].to_string())),
+        (0usize..VARS.len()).prop_map(|i| Expr::Var(VARS[i].to_string())),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Eq),
+                    Just(BinOp::And),
+                    Just(BinOp::Xor),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner)
+                .prop_map(|(op, a)| Expr::Un(op, Box::new(a))),
+        ]
+    })
+}
+
+/// Statements at a given nesting depth; loops use fresh counters indexed
+/// by `depth` so generated programs always terminate.
+fn stmts(depth: u32) -> BoxedStrategy<Vec<Stmt>> {
+    let assign = (0usize..VARS.len(), expr())
+        .prop_map(|(v, e)| Stmt::Assign(VARS[v].to_string(), e));
+    if depth == 0 {
+        proptest::collection::vec(assign, 1..4).boxed()
+    } else {
+        let nested_if = (expr(), stmts(depth - 1), stmts(depth - 1)).prop_map(
+            |(cond, then_body, else_body)| Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            },
+        );
+        let counter = format!("k{depth}");
+        let bounded_loop = (1i64..6, stmts(depth - 1)).prop_map(move |(bound, body)| Stmt::For {
+            init: Box::new(Stmt::Assign(counter.clone(), Expr::Int(0))),
+            cond: Expr::bin(BinOp::Lt, Expr::Var(counter.clone()), Expr::Int(bound)),
+            step: Box::new(Stmt::Assign(
+                counter.clone(),
+                Expr::bin(BinOp::Add, Expr::Var(counter.clone()), Expr::Int(1)),
+            )),
+            body,
+        });
+        proptest::collection::vec(
+            prop_oneof![4 => assign, 1 => nested_if, 1 => bounded_loop],
+            1..4,
+        )
+        .boxed()
+    }
+}
+
+fn procs() -> impl Strategy<Value = Proc> {
+    stmts(2).prop_map(|body| {
+        let mut full = Vec::new();
+        for (i, v) in VARS.iter().enumerate() {
+            full.push(Stmt::VarDecl(
+                v.to_string(),
+                Expr::Var(INPUTS[i % INPUTS.len()].to_string()),
+            ));
+        }
+        full.extend(body);
+        for v in VARS {
+            full.push(Stmt::Out(v.to_string(), Expr::Var(v.to_string())));
+        }
+        Proc {
+            name: "rand".to_string(),
+            inputs: INPUTS.iter().map(|s| s.to_string()).collect(),
+            body: full,
+        }
+    })
+}
+
+fn traces(n: usize, seed: u64) -> TraceSet {
+    let specs: Vec<(String, InputSpec)> = INPUTS
+        .iter()
+        .map(|i| (i.to_string(), InputSpec::Uniform { lo: -15, hi: 15 }))
+        .collect();
+    generate(&specs, n, seed)
+}
+
+fn lower_ok(p: &Proc) -> Function {
+    let f = fact_lang::lower(p).expect("generated programs lower");
+    fact_ir::verify::verify(&f).expect("lowering verifies");
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn lowering_always_verifies(p in procs()) {
+        let f = lower_ok(&p);
+        // Every generated behavior executes on random inputs.
+        for v in &traces(5, 1).vectors {
+            fact_sim::execute(&f, v).expect("generated programs execute");
+        }
+    }
+
+    #[test]
+    fn all_transformation_candidates_preserve_semantics(p in procs()) {
+        let f = lower_ok(&p);
+        let lib = TransformLibrary::full();
+        let t = traces(24, 2);
+        for cand in lib.all_candidates(&f, &Region::whole()).into_iter().take(12) {
+            fact_ir::verify::verify(&cand.function)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{f}", cand.description));
+            check_equivalence(&f, &cand.function, &t, 3)
+                .unwrap_or_else(|m| panic!("{}: {m}\n== original\n{f}\n== candidate\n{}",
+                    cand.description, cand.function));
+        }
+    }
+
+    #[test]
+    fn every_behavior_schedules_validly(p in procs()) {
+        let f = lower_ok(&p);
+        let (lib, rules) = fact_estim::section5_library();
+        let mut alloc = fact_sched::Allocation::new();
+        for name in ["a1", "sb1", "mt1", "cp1", "e1", "i1", "n1", "s1"] {
+            alloc.set(lib.by_name(name).unwrap(), 2);
+        }
+        let prof = fact_sim::profile(&f, &traces(6, 3));
+        let sr = fact_sched::schedule(
+            &f, &lib, &rules, &alloc, &prof, &fact_sched::SchedOptions::default(),
+        ).expect("generated programs schedule");
+        sr.stg.validate().expect("valid STG");
+        let est = fact_estim::evaluate(&sr, &lib, 25.0).expect("estimable");
+        prop_assert!(est.average_schedule_length.is_finite());
+        prop_assert!(est.average_schedule_length >= 1.0);
+        prop_assert!(est.energy_vdd2 >= 0.0);
+        prop_assert!(est.power >= 0.0);
+    }
+}
