@@ -35,13 +35,9 @@ fn bench_structural_search(c: &mut Criterion) {
     };
     c.bench_function("apply_transforms_structural", |b| {
         b.iter(|| {
-            let r = apply_transforms(
-                black_box(&f),
-                &Region::whole(),
-                &lib,
-                &cfg,
-                &mut |g| Some(-(datapath_op_count(g) as f64)),
-            );
+            let r = apply_transforms(black_box(&f), &Region::whole(), &lib, &cfg, &mut |g| {
+                Some(-(datapath_op_count(g) as f64))
+            });
             black_box(r.evaluated)
         })
     });

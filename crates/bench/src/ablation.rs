@@ -94,7 +94,15 @@ pub fn run(quick: bool) -> Vec<AblationRow> {
             ..Default::default()
         };
         let run_with = |tlib: &TransformLibrary, cfg: &FactConfig| {
-            optimize(&b.function, &lib, &rules, &b.allocation, &b.traces, tlib, cfg)
+            optimize(
+                &b.function,
+                &lib,
+                &rules,
+                &b.allocation,
+                &b.traces,
+                tlib,
+                cfg,
+            )
         };
 
         let full = run_with(&tlib_full, &base_cfg).expect("full FACT runs");
@@ -114,10 +122,17 @@ pub fn run(quick: bool) -> Vec<AblationRow> {
         let no_feedback = flamel(&b.function, &lib, &rules, &b.allocation, &b.traces, &sched)
             .expect("flamel runs");
 
-        let m1_full = m1(&b.function, &lib, &rules, &b.allocation, &b.traces, &sched)
-            .expect("m1 runs");
-        let m1_weak = m1(&b.function, &lib, &rules, &b.allocation, &b.traces, &weak_sched)
-            .expect("m1 weak runs");
+        let m1_full =
+            m1(&b.function, &lib, &rules, &b.allocation, &b.traces, &sched).expect("m1 runs");
+        let m1_weak = m1(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &weak_sched,
+        )
+        .expect("m1 weak runs");
 
         rows.push(AblationRow {
             circuit: b.name.to_string(),
@@ -137,9 +152,7 @@ pub fn run(quick: bool) -> Vec<AblationRow> {
 /// Renders the ablation table.
 pub fn report(rows: &[AblationRow]) -> String {
     let mut s = String::new();
-    s.push_str(
-        "Ablations — average schedule length (cycles; lower is better)\n\n",
-    );
+    s.push_str("Ablations — average schedule length (cycles; lower is better)\n\n");
     s.push_str(&format!(
         "{:<10} {:>8} {:>10} {:>10} {:>12} {:>10} {:>10}\n",
         "Circuit", "FACT", "no-feedbk", "no-crossbb", "no-partition", "weak-sched", "M1"

@@ -72,8 +72,12 @@ pub fn run() -> Example1Result {
     };
     let sr_full = schedule(&f, &lib, &rules, &alloc, &prof, &full).expect("schedules");
     let sr_base = schedule(&f, &lib, &rules, &alloc, &prof, &base).expect("schedules");
-    let len_full = markov_of(&sr_full).expect("analyzable").average_schedule_length;
-    let len_base = markov_of(&sr_base).expect("analyzable").average_schedule_length;
+    let len_full = markov_of(&sr_full)
+        .expect("analyzable")
+        .average_schedule_length;
+    let len_base = markov_of(&sr_base)
+        .expect("analyzable")
+        .average_schedule_length;
 
     let estimate = evaluate(&sr_full, &lib, full.clock_ns).expect("estimable");
     let vdd_scaled = scale_voltage(len_base, len_full);
@@ -141,8 +145,12 @@ pub fn report(r: &Example1Result) -> String {
     }
     s.push_str(&format!(
         "  {:<8} {:>10.2}\n  {:<8} {:>10.2}\n  {:<8} {:>10.2}\n",
-        "regs", r.estimate.breakdown.registers, "mems", r.estimate.breakdown.memories,
-        "overhead", r.estimate.breakdown.overhead
+        "regs",
+        r.estimate.breakdown.registers,
+        "mems",
+        r.estimate.breakdown.memories,
+        "overhead",
+        r.estimate.breakdown.overhead
     ));
     s.push_str("\nstate probabilities (hottest first):\n");
     for (name, p) in r.state_probs.iter().take(8) {

@@ -38,7 +38,10 @@ pub struct Fig2Result {
 /// Panics if Test2 fails to schedule (covered by tests).
 pub fn run(quick: bool) -> Fig2Result {
     let (lib, rules) = section5_library();
-    let b = suite(&lib).into_iter().find(|b| b.name == "Test2").expect("suite has Test2");
+    let b = suite(&lib)
+        .into_iter()
+        .find(|b| b.name == "Test2")
+        .expect("suite has Test2");
     let tlib = TransformLibrary::full();
     let cfg = FactConfig {
         objective: Objective::Throughput,

@@ -52,10 +52,10 @@ fn sweep_unit(bench_name: &str, unit: &str, counts: &[u32], quick: bool) -> Vec<
         }
     } else {
         SearchConfig {
-            max_moves: 3,
+            max_moves: 4,
             in_set_size: 3,
-            max_rounds: 4,
-            max_evaluations: 150,
+            max_rounds: 6,
+            max_evaluations: 300,
             ..Default::default()
         }
     };
@@ -63,7 +63,14 @@ fn sweep_unit(bench_name: &str, unit: &str, counts: &[u32], quick: bool) -> Vec<
     for &count in counts {
         let mut alloc: Allocation = b.allocation.clone();
         alloc.set(fu, count);
-        let m = match m1(&b.function, &lib, &rules, &alloc, &b.traces, &SchedOptions::default()) {
+        let m = match m1(
+            &b.function,
+            &lib,
+            &rules,
+            &alloc,
+            &b.traces,
+            &SchedOptions::default(),
+        ) {
             Ok(r) => r.estimate.average_schedule_length,
             Err(_) => continue,
         };

@@ -2,8 +2,8 @@
 //! Flamel, and FACT (throughput mode), and M1 vs FACT (power mode).
 
 use fact_core::{
-    flamel, geomean_ratio, m1, optimize, render_table2, suite, FactConfig, Objective,
-    SearchConfig, Table2Row, TransformLibrary,
+    flamel, geomean_ratio, m1, optimize, render_table2, suite, FactConfig, Objective, SearchConfig,
+    Table2Row, TransformLibrary,
 };
 use fact_estim::{evaluate_power_mode, markov_of, section5_library};
 use fact_sched::SchedOptions;
@@ -115,8 +115,7 @@ pub fn run(quick: bool) -> Table2Result {
         // headroom) vs FACT's power-mode result against the same base.
         if let Ok(r) = &m1_res {
             if base_cycles.is_finite() {
-                if let Ok(p) = evaluate_power_mode(&r.schedule, &lib, sched.clock_ns, base_cycles)
-                {
+                if let Ok(p) = evaluate_power_mode(&r.schedule, &lib, sched.clock_ns, base_cycles) {
                     row.p_m1 = Some(p.power);
                 }
             }
@@ -146,12 +145,7 @@ pub fn run(quick: bool) -> Table2Result {
         notes.push(note);
     }
 
-    let fact_vs_m1 = geomean_ratio(
-        &rows
-            .iter()
-            .map(|r| (r.t_fact, r.t_m1))
-            .collect::<Vec<_>>(),
-    );
+    let fact_vs_m1 = geomean_ratio(&rows.iter().map(|r| (r.t_fact, r.t_m1)).collect::<Vec<_>>());
     let fact_vs_flamel = geomean_ratio(
         &rows
             .iter()
@@ -225,7 +219,11 @@ mod tests {
             );
             // The paper's ordering: FACT >= Flamel >= M1 (small slack for
             // search stochasticity under the quick budget).
-            assert!(fact >= 0.95 * fl, "{}: fact {fact} vs flamel {fl}", row.circuit);
+            assert!(
+                fact >= 0.95 * fl,
+                "{}: fact {fact} vs flamel {fl}",
+                row.circuit
+            );
             assert!(fl >= 0.95 * m1, "{}: flamel {fl} vs m1 {m1}", row.circuit);
         }
         // FACT wins overall.

@@ -245,12 +245,7 @@ mod tests {
             .function
             .block_ids()
             .flat_map(|b| r.function.block(b).ops.clone())
-            .filter(|&op| {
-                matches!(
-                    r.function.op(op).kind,
-                    OpKind::Bin(fact_ir::BinOp::Mul, ..)
-                )
-            })
+            .filter(|&op| matches!(r.function.op(op).kind, OpKind::Bin(fact_ir::BinOp::Mul, ..)))
             .count();
         assert_eq!(muls, 1);
     }
@@ -279,8 +274,10 @@ mod tests {
 
     #[test]
     fn flamel_reduces_tree_height() {
-        let f = compile("proc f(a, b, c, d, e2, g, h, i2) { out y = a + b + c + d + e2 + g + h + i2; }")
-            .unwrap();
+        let f = compile(
+            "proc f(a, b, c, d, e2, g, h, i2) { out y = a + b + c + d + e2 + g + h + i2; }",
+        )
+        .unwrap();
         let (lib, rules) = section5_library();
         let alloc = alloc_of(&lib, &[("a1", 5)]);
         let names = ["a", "b", "c", "d", "e2", "g", "h", "i2"];

@@ -1,0 +1,474 @@
+//! Shared evaluation cache and structural hashing.
+//!
+//! Every candidate the search engine considers is scheduled and estimated
+//! — by far the dominant cost of a FACT run. Identical candidates recur
+//! constantly: within one search (different transformation paths reach
+//! the same CDFG), across the per-block region searches of one job, and
+//! across jobs submitted to `factd` (re-optimizing the same design, or
+//! sweeping allocations that share most candidates). [`EvalCache`]
+//! memoizes `(CDFG, evaluation context) → score` behind a sharded lock so
+//! concurrent jobs share results without contending on one mutex.
+//!
+//! The key is a 64-bit [`structural_hash`] of the candidate combined with
+//! a caller-supplied *context key* covering everything else the score
+//! depends on (allocation, objective, scheduler options, traces — see
+//! [`ContextHasher`]). The same hash replaces the old printed-IR
+//! signature used for deduplication inside `Apply_transforms`, which
+//! allocated an entire pretty-printed program per candidate per move.
+
+use fact_ir::{Function, OpKind, Terminator};
+use fact_prng::mix64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// An incremental 64-bit hasher over words, built on the SplitMix64
+/// finalizer. Not cryptographic; collision odds across the ~10^3..10^6
+/// candidates of a search are negligible for a 64-bit state.
+#[derive(Clone, Debug)]
+pub struct ContextHasher {
+    h: u64,
+}
+
+impl ContextHasher {
+    /// Starts a hash chain from a domain-separation constant.
+    pub fn new(domain: u64) -> Self {
+        ContextHasher { h: mix64(domain) }
+    }
+
+    /// Absorbs one word.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.h = mix64(self.h.rotate_left(7) ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        self
+    }
+
+    /// Absorbs a signed word.
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs a float by its bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a byte string (length-prefixed, so `("ab","c")` and
+    /// `("a","bc")` differ).
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+        self
+    }
+
+    /// Finishes the chain.
+    pub fn finish(&self) -> u64 {
+        mix64(self.h)
+    }
+}
+
+/// A 64-bit structural hash of a CDFG.
+///
+/// Two functions hash equal iff they have the same block structure,
+/// operation kinds, dataflow (operand references are renumbered densely
+/// in traversal order, so arena layout and dead/tombstoned operations do
+/// not affect the hash), terminators, and memory sizes. Cosmetic block
+/// names are ignored; the function name is ignored too, since the score
+/// of a candidate does not depend on it.
+pub fn structural_hash(f: &Function) -> u64 {
+    let mut h = ContextHasher::new(0xFAC7_CDF6);
+    // Dense renumbering of placed ops: arena ids are allocation order,
+    // which differs between structurally identical candidates produced by
+    // different transformation paths.
+    let mut dense: Vec<u64> = vec![u64::MAX; f.num_ops()];
+    let mut next = 0u64;
+    for b in f.block_ids() {
+        for &op in &f.block(b).ops {
+            dense[op.index()] = next;
+            next += 1;
+        }
+    }
+    let val = |v: fact_ir::OpId| -> u64 {
+        let d = dense[v.index()];
+        // A reference to a detached op (should not happen in verified
+        // IR) still hashes deterministically via its arena id.
+        if d == u64::MAX {
+            (1 << 63) | v.index() as u64
+        } else {
+            d
+        }
+    };
+
+    h.write_u64(f.num_blocks() as u64);
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        h.write_u64(blk.ops.len() as u64);
+        for &op in &blk.ops {
+            match &f.op(op).kind {
+                OpKind::Const(c) => {
+                    h.write_u64(1).write_i64(*c);
+                }
+                OpKind::Input(name) => {
+                    h.write_u64(2).write_bytes(name.as_bytes());
+                }
+                OpKind::Bin(bin, a, bb) => {
+                    h.write_u64(3)
+                        .write_u64(*bin as u64)
+                        .write_u64(val(*a))
+                        .write_u64(val(*bb));
+                }
+                OpKind::Un(un, a) => {
+                    h.write_u64(4).write_u64(*un as u64).write_u64(val(*a));
+                }
+                OpKind::Mux {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    h.write_u64(5)
+                        .write_u64(val(*cond))
+                        .write_u64(val(*on_true))
+                        .write_u64(val(*on_false));
+                }
+                OpKind::Phi(incoming) => {
+                    h.write_u64(6).write_u64(incoming.len() as u64);
+                    for (from, v) in incoming {
+                        h.write_u64(from.index() as u64).write_u64(val(*v));
+                    }
+                }
+                OpKind::Load { mem, addr } => {
+                    h.write_u64(7)
+                        .write_u64(mem.index() as u64)
+                        .write_u64(val(*addr));
+                }
+                OpKind::Store { mem, addr, value } => {
+                    h.write_u64(8)
+                        .write_u64(mem.index() as u64)
+                        .write_u64(val(*addr))
+                        .write_u64(val(*value));
+                }
+                OpKind::Output(name, v) => {
+                    h.write_u64(9)
+                        .write_bytes(name.as_bytes())
+                        .write_u64(val(*v));
+                }
+            }
+        }
+        match &blk.term {
+            Terminator::Jump(t) => {
+                h.write_u64(20).write_u64(t.index() as u64);
+            }
+            Terminator::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                h.write_u64(21)
+                    .write_u64(val(*cond))
+                    .write_u64(on_true.index() as u64)
+                    .write_u64(on_false.index() as u64);
+            }
+            Terminator::Return(v) => {
+                h.write_u64(22);
+                match v {
+                    Some(v) => h.write_u64(1).write_u64(val(*v)),
+                    None => h.write_u64(0),
+                };
+            }
+        }
+    }
+    h.write_u64(f.memories().count() as u64);
+    for (_, m) in f.memories() {
+        h.write_u64(m.size as u64);
+    }
+    h.finish()
+}
+
+/// A memoized evaluation outcome. `None` records an *invalid* candidate
+/// (failed equivalence check, unschedulable under the allocation, …) so
+/// the failure is not recomputed either.
+pub type CachedScore = Option<f64>;
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the cache was never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe memoization table for candidate evaluations.
+///
+/// Sharding by key keeps lock contention low when `factd`'s worker pool
+/// and the parallel neighborhood expansion hammer the cache from many
+/// threads at once. Evaluation itself happens *outside* the shard lock;
+/// two threads racing on the same fresh key may both evaluate (the
+/// second insert is a no-op), which is wasted work but never wrong —
+/// evaluation is deterministic per key.
+///
+/// # Examples
+///
+/// ```
+/// use fact_core::cache::EvalCache;
+/// let cache = EvalCache::new(4);
+/// let (score, hit) = cache.get_or_eval(42, || Some(1.5));
+/// assert_eq!((score, hit), (Some(1.5), false));
+/// let (score, hit) = cache.get_or_eval(42, || unreachable!());
+/// assert_eq!((score, hit), (Some(1.5), true));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct EvalCache {
+    shards: Box<[Mutex<HashMap<u64, CachedScore>>]>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates a cache with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        EvalCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CachedScore>> {
+        // Mix before masking: keys are already well-mixed hashes, but a
+        // cheap remix keeps shard choice independent of map bucketing.
+        &self.shards[(mix64(key) & self.mask) as usize]
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<CachedScore> {
+        let found = self.shard(key).lock().unwrap().get(&key).copied();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `score` under `key`. First write wins on a race (both
+    /// writers computed the same value).
+    pub fn insert(&self, key: u64, score: CachedScore) {
+        self.shard(key).lock().unwrap().entry(key).or_insert(score);
+    }
+
+    /// Returns the cached score for `key`, or computes it with `eval`
+    /// (outside any lock) and stores it. The second tuple element is
+    /// `true` on a cache hit.
+    pub fn get_or_eval(&self, key: u64, eval: impl FnOnce() -> CachedScore) -> (CachedScore, bool) {
+        if let Some(v) = self.lookup(key) {
+            return (v, true);
+        }
+        let v = eval();
+        self.insert(key, v);
+        (v, false)
+    }
+
+    /// Number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// Drops all entries (counters are preserved).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+impl Default for EvalCache {
+    /// 16 shards: comfortably more than the worker-pool sizes `factd`
+    /// runs with, so shard collisions between threads are rare.
+    fn default() -> Self {
+        EvalCache::new(16)
+    }
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fact_lang::compile;
+    use std::sync::Arc;
+
+    #[test]
+    fn hash_is_stable_across_compilations() {
+        let src = "proc f(a, b, c) { out y = a * b + a * c; }";
+        let f1 = compile(src).unwrap();
+        let f2 = compile(src).unwrap();
+        assert_eq!(structural_hash(&f1), structural_hash(&f2));
+    }
+
+    #[test]
+    fn hash_distinguishes_different_programs() {
+        let f1 = compile("proc f(a, b) { out y = a * b; }").unwrap();
+        let f2 = compile("proc f(a, b) { out y = a + b; }").unwrap();
+        let f3 = compile("proc f(a, b) { out y = b * a; }").unwrap();
+        assert_ne!(structural_hash(&f1), structural_hash(&f2));
+        // Operand order is structural: a*b and b*a are distinct CDFGs
+        // (the commutativity *transformation* relates them).
+        assert_ne!(structural_hash(&f1), structural_hash(&f3));
+    }
+
+    #[test]
+    fn hash_ignores_arena_layout() {
+        use fact_ir::{BinOp, Op, OpKind};
+        // Same structure, one arena with a detached (dead) op between
+        // live ones.
+        let build = |with_dead: bool| {
+            let mut f = Function::new("g");
+            let e = f.entry();
+            let a = f.emit_input(e, "a");
+            if with_dead {
+                let _ = f.emit_detached(Op::new(OpKind::Const(99)));
+            }
+            let b = f.emit_input(e, "b");
+            let s = f.emit_bin(e, BinOp::Add, a, b);
+            f.emit_output(e, "y", s);
+            f
+        };
+        assert_eq!(
+            structural_hash(&build(false)),
+            structural_hash(&build(true))
+        );
+    }
+
+    #[test]
+    fn hash_sees_memory_sizes_and_terminators() {
+        let f1 = compile("proc f(a) { array x[8]; x[0] = a; out y = x[0]; }").unwrap();
+        let f2 = compile("proc f(a) { array x[16]; x[0] = a; out y = x[0]; }").unwrap();
+        assert_ne!(structural_hash(&f1), structural_hash(&f2));
+    }
+
+    #[test]
+    fn cache_hit_miss_accounting() {
+        let c = EvalCache::new(2);
+        assert_eq!(c.lookup(1), None);
+        c.insert(1, Some(2.0));
+        assert_eq!(c.lookup(1), Some(Some(2.0)));
+        c.insert(2, None); // invalid candidates memoize too
+        assert_eq!(c.lookup(2), Some(None));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 2));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_or_eval_runs_once() {
+        let c = EvalCache::default();
+        let mut calls = 0;
+        let (v, hit) = c.get_or_eval(7, || {
+            calls += 1;
+            Some(3.0)
+        });
+        assert_eq!((v, hit, calls), (Some(3.0), false, 1));
+        let (v, hit) = c.get_or_eval(7, || {
+            calls += 1;
+            Some(3.0)
+        });
+        assert_eq!((v, hit, calls), (Some(3.0), true, 1));
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let c = Arc::new(EvalCache::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..256u64 {
+                    c.get_or_eval(k, || Some((k + t) as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All keys present; every later lookup hits.
+        assert_eq!(c.len(), 256);
+        for k in 0..256u64 {
+            assert!(c.lookup(k).is_some());
+        }
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let c = EvalCache::new(1);
+        c.insert(1, Some(1.0));
+        c.lookup(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn context_hasher_separates_streams() {
+        let a = ContextHasher::new(1)
+            .write_bytes(b"ab")
+            .write_bytes(b"c")
+            .finish();
+        let b = ContextHasher::new(1)
+            .write_bytes(b"a")
+            .write_bytes(b"bc")
+            .finish();
+        assert_ne!(a, b);
+        let c = ContextHasher::new(2)
+            .write_bytes(b"ab")
+            .write_bytes(b"c")
+            .finish();
+        assert_ne!(a, c);
+    }
+}

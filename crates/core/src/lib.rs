@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod objective;
 pub mod partition;
 pub mod pipeline;
@@ -48,10 +49,14 @@ pub mod search;
 pub mod suite;
 
 pub use baselines::{flamel, m1, BaselineResult};
+pub use cache::{structural_hash, CacheStats, ContextHasher, EvalCache};
+pub use fact_xform::TransformLibrary;
 pub use objective::Objective;
 pub use partition::{partition, region_of_block, PartitionConfig, StgBlock};
-pub use pipeline::{optimize, FactConfig, FactError, FactResult};
+pub use pipeline::{
+    evaluation_context_key, optimize, optimize_with, FactConfig, FactError, FactResult,
+    OptimizeHooks,
+};
 pub use report::{geomean_ratio, render_table2, DesignReport, Table2Row};
-pub use search::{apply_transforms, SearchConfig, SearchResult};
+pub use search::{apply_transforms, apply_transforms_parallel, SearchConfig, SearchResult};
 pub use suite::{suite, Benchmark};
-pub use fact_xform::TransformLibrary;

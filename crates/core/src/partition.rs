@@ -111,8 +111,15 @@ pub fn partition(stg: &Stg, markov: &MarkovAnalysis, config: &PartitionConfig) -
         }
     }
 
-    let mut out: Vec<StgBlock> = blocks.into_iter().filter(|b| !b.states.is_empty()).collect();
-    out.sort_by(|a, b| b.hotness.partial_cmp(&a.hotness).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<StgBlock> = blocks
+        .into_iter()
+        .filter(|b| !b.states.is_empty())
+        .collect();
+    out.sort_by(|a, b| {
+        b.hotness
+            .partial_cmp(&a.hotness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 

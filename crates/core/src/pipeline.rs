@@ -8,15 +8,17 @@
 //!    information guides transformation selection, the paper's central
 //!    claim.
 
+use crate::cache::{structural_hash, ContextHasher, EvalCache};
 use crate::objective::Objective;
 use crate::partition::{partition, region_of_block, PartitionConfig};
-use crate::search::{apply_transforms, SearchConfig, SearchResult};
+use crate::search::{apply_transforms_parallel, SearchConfig, SearchResult};
 use fact_estim::{evaluate, evaluate_power_mode, markov_of, Estimate};
 use fact_ir::Function;
 use fact_sched::{schedule, Allocation, FuLibrary, SchedOptions, ScheduleResult, SelectionRules};
 use fact_sim::{check_equivalence, profile, BranchProfile, TraceSet};
 use fact_xform::{Region, TransformLibrary};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Configuration of a FACT run.
 #[derive(Clone, Debug)]
@@ -63,10 +65,32 @@ pub struct FactResult {
     pub baseline: Estimate,
     /// Transformation steps on the winning path, per optimized block.
     pub applied: Vec<String>,
-    /// Total candidates evaluated by the search.
+    /// Total candidates evaluated by the search (cache hits included:
+    /// the count is a property of the search trajectory, not of how the
+    /// scores were obtained, so it is identical warm or cold).
     pub evaluated: usize,
     /// Number of STG blocks optimized.
     pub blocks_optimized: usize,
+    /// Candidate evaluations answered by the shared [`EvalCache`]
+    /// (0 when the run was not given a cache).
+    pub cache_hits: usize,
+    /// `true` when the run was cut short by cancellation or timeout;
+    /// the result is the best of what was explored.
+    pub stopped: bool,
+}
+
+/// Optional cross-cutting machinery for a FACT run: the shared
+/// evaluation cache and a cooperative cancellation flag. `Default`
+/// gives a plain standalone run (no cache, never cancelled).
+#[derive(Clone, Copy, Default)]
+pub struct OptimizeHooks<'a> {
+    /// Memoizes candidate evaluations within and across runs. The cache
+    /// may be shared freely between concurrent jobs: entries are keyed
+    /// by candidate structure *and* the full evaluation context.
+    pub cache: Option<&'a EvalCache>,
+    /// Set to `true` (by a timeout watchdog or a client disconnect) to
+    /// make the run wind down at the next evaluation boundary.
+    pub stop: Option<&'a AtomicBool>,
 }
 
 /// FACT failure.
@@ -110,8 +134,7 @@ fn eval_candidate(
     let est = match config.objective {
         Objective::Throughput => evaluate(&sr, library, config.sched.clock_ns).ok()?,
         Objective::Power => {
-            let est =
-                evaluate_power_mode(&sr, library, config.sched.clock_ns, base_cycles).ok()?;
+            let est = evaluate_power_mode(&sr, library, config.sched.clock_ns, base_cycles).ok()?;
             // The paper's power mode holds performance at the baseline
             // ("our aim is to keep the performance … the same while
             // reducing power"): slower candidates are not admissible, or
@@ -123,6 +146,51 @@ fn eval_candidate(
         }
     };
     Some((sr, est))
+}
+
+/// A 64-bit key covering everything a candidate's score depends on
+/// *besides* the candidate itself: allocation, objective, scheduler
+/// options, input traces, and the equivalence-checking reference.
+///
+/// Combined with [`structural_hash`] of the candidate it forms the
+/// [`EvalCache`] key, which is what makes one cache safely shareable
+/// between jobs with different allocations, objectives, or traces.
+pub fn evaluation_context_key(
+    f: &Function,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    config: &FactConfig,
+) -> u64 {
+    let mut h = ContextHasher::new(0xFAC7_C0DE);
+    // The original behavior anchors the context: power mode scores
+    // against its baseline cycles, and equivalence checks compare
+    // against it.
+    h.write_u64(structural_hash(f));
+    h.write_u64(match config.objective {
+        Objective::Throughput => 1,
+        Objective::Power => 2,
+    });
+    h.write_f64(config.sched.clock_ns)
+        .write_u64(config.sched.if_convert as u64)
+        .write_u64(config.sched.rotate as u64)
+        .write_u64(config.sched.pipeline as u64)
+        .write_u64(config.sched.concurrent as u64)
+        .write_u64(config.check_equivalence as u64);
+    let mut pairs: Vec<(u32, u32)> = alloc.iter().map(|(fu, n)| (fu.0, n)).collect();
+    pairs.sort_unstable();
+    h.write_u64(pairs.len() as u64);
+    for (fu, n) in pairs {
+        h.write_u64(((fu as u64) << 32) | n as u64);
+    }
+    h.write_u64(traces.vectors.len() as u64);
+    for v in &traces.vectors {
+        let mut kvs: Vec<(&str, i64)> = v.iter().map(|(k, x)| (k.as_str(), *x)).collect();
+        kvs.sort_unstable();
+        for (k, x) in kvs {
+            h.write_bytes(k.as_bytes()).write_i64(x);
+        }
+    }
+    h.finish()
 }
 
 /// Runs FACT on `f`.
@@ -139,10 +207,42 @@ pub fn optimize(
     tlib: &TransformLibrary,
     config: &FactConfig,
 ) -> Result<FactResult, FactError> {
+    optimize_with(
+        f,
+        library,
+        rules,
+        alloc,
+        traces,
+        tlib,
+        config,
+        OptimizeHooks::default(),
+    )
+}
+
+/// [`optimize`] with daemon hooks: a shared [`EvalCache`] and a
+/// cooperative cancellation flag. This is the entry point `factd`'s
+/// worker pool calls; `config.search.threads > 1` additionally fans each
+/// move's candidate evaluations out across worker threads (results are
+/// bit-identical to the sequential run for the same seed).
+///
+/// # Errors
+/// Fails only if the *original* behavior cannot be scheduled or analyzed;
+/// failing candidates are merely skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_with(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    tlib: &TransformLibrary,
+    config: &FactConfig,
+    hooks: OptimizeHooks<'_>,
+) -> Result<FactResult, FactError> {
     // Step 1: schedule the input behavior.
     let prof = profile(f, traces);
-    let sr0 = schedule(f, library, rules, alloc, &prof, &config.sched)
-        .map_err(FactError::Schedule)?;
+    let sr0 =
+        schedule(f, library, rules, alloc, &prof, &config.sched).map_err(FactError::Schedule)?;
     let markov0 = markov_of(&sr0).map_err(FactError::Analysis)?;
     let base_cycles = markov0.average_schedule_length;
     let baseline = evaluate(&sr0, library, config.sched.clock_ns).map_err(FactError::Analysis)?;
@@ -167,23 +267,48 @@ pub fn optimize(
             .collect()
     };
 
+    let context_key = evaluation_context_key(f, alloc, traces, config);
+    let cache_hits = AtomicUsize::new(0);
+    let mut stopped = false;
+
     for region in &regions {
-        let mut eval = |g: &Function| -> Option<f64> {
-            if config.check_equivalence && check_equivalence(f, g, traces, 0xC0FFEE).is_err() {
-                return None;
+        if hooks.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            stopped = true;
+            break;
+        }
+        let eval = |g: &Function| -> Option<f64> {
+            let score_of = || -> Option<f64> {
+                if config.check_equivalence && check_equivalence(f, g, traces, 0xC0FFEE).is_err() {
+                    return None;
+                }
+                let (_, est) =
+                    eval_candidate(g, library, rules, alloc, traces, config, base_cycles)?;
+                Some(config.objective.score(&est))
+            };
+            match hooks.cache {
+                Some(cache) => {
+                    let key = ContextHasher::new(context_key)
+                        .write_u64(structural_hash(g))
+                        .finish();
+                    let (score, hit) = cache.get_or_eval(key, score_of);
+                    if hit {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    score
+                }
+                None => score_of(),
             }
-            let (_, est) =
-                eval_candidate(g, library, rules, alloc, traces, config, base_cycles)?;
-            Some(config.objective.score(&est))
         };
         let SearchResult {
             best,
             best_score,
             evaluated: n,
             applied: path,
+            stopped: search_stopped,
             ..
-        } = apply_transforms(&current, region, tlib, &config.search, &mut eval);
+        } = apply_transforms_parallel(&current, region, tlib, &config.search, &eval, hooks.stop);
         evaluated += n;
+        stopped |= search_stopped;
         if best_score > f64::NEG_INFINITY && !path.is_empty() {
             current = best;
             applied.extend(path);
@@ -194,10 +319,9 @@ pub fn optimize(
     }
 
     // Final schedule + estimate of the winner.
-    let (schedule_result, estimate) = eval_candidate(
-        &current, library, rules, alloc, traces, config, base_cycles,
-    )
-    .ok_or_else(|| FactError::Analysis("final candidate failed to schedule".to_string()))?;
+    let (schedule_result, estimate) =
+        eval_candidate(&current, library, rules, alloc, traces, config, base_cycles)
+            .ok_or_else(|| FactError::Analysis("final candidate failed to schedule".to_string()))?;
 
     Ok(FactResult {
         best: current,
@@ -207,6 +331,8 @@ pub fn optimize(
         applied,
         evaluated,
         blocks_optimized,
+        cache_hits: cache_hits.into_inner(),
+        stopped,
     })
 }
 
@@ -362,9 +488,166 @@ mod tests {
         )
         .unwrap();
         assert!(
-            (r.estimate.average_schedule_length - r.baseline.average_schedule_length).abs()
-                < 1e-9
+            (r.estimate.average_schedule_length - r.baseline.average_schedule_length).abs() < 1e-9
         );
+    }
+
+    /// A small factorable-loop job used by the cache tests.
+    fn cache_fixture() -> (Function, FuLibrary, SelectionRules, Allocation, TraceSet) {
+        let src = r#"
+            proc f(n, a, b) {
+                var s = 0;
+                var i = 0;
+                while (i < n) {
+                    s = s + (a * i + b * i);
+                    i = i + 1;
+                }
+                out s = s;
+            }
+        "#;
+        let f = compile(src).unwrap();
+        let (lib, rules) = section5_library();
+        let alloc = alloc_of(
+            &lib,
+            &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 2), ("sb1", 1)],
+        );
+        let traces = generate(
+            &[
+                ("n".to_string(), InputSpec::Constant(20)),
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+                ("b".to_string(), InputSpec::Uniform { lo: 0, hi: 5 }),
+            ],
+            6,
+            11,
+        );
+        (f, lib, rules, alloc, traces)
+    }
+
+    #[test]
+    fn shared_cache_answers_repeated_jobs() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let cfg = quick_config(Objective::Throughput);
+        let cache = crate::cache::EvalCache::default();
+        let hooks = OptimizeHooks {
+            cache: Some(&cache),
+            stop: None,
+        };
+        let cold = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
+        assert_eq!(cold.cache_hits, 0, "first job must be all misses");
+        assert!(!cache.is_empty());
+        let warm = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
+        // Identical job: every evaluation is answered by the cache, and
+        // the result is unchanged.
+        assert_eq!(warm.cache_hits, warm.evaluated);
+        assert_eq!(warm.evaluated, cold.evaluated);
+        assert_eq!(warm.applied, cold.applied);
+        assert_eq!(
+            warm.estimate.average_schedule_length,
+            cold.estimate.average_schedule_length
+        );
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_contexts() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let cfg = quick_config(Objective::Throughput);
+        let cache = crate::cache::EvalCache::default();
+        let hooks = OptimizeHooks {
+            cache: Some(&cache),
+            stop: None,
+        };
+        let uncached = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg).unwrap();
+        let _ = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
+        // Same design under a different allocation: the context key
+        // differs, so nothing may be answered from the first job's
+        // entries — and the result must match a cache-free run.
+        let alloc2 = alloc_of(
+            &lib,
+            &[("a1", 2), ("mt1", 2), ("cp1", 1), ("i1", 2), ("sb1", 1)],
+        );
+        let r2 = optimize_with(&f, &lib, &rules, &alloc2, &traces, &tlib, &cfg, hooks).unwrap();
+        assert_eq!(r2.cache_hits, 0, "different context must not hit");
+        let r2_ref = optimize(&f, &lib, &rules, &alloc2, &traces, &tlib, &cfg).unwrap();
+        assert_eq!(
+            r2.estimate.average_schedule_length,
+            r2_ref.estimate.average_schedule_length
+        );
+        let _ = uncached;
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let seq_cfg = quick_config(Objective::Throughput);
+        let mut par_cfg = quick_config(Objective::Throughput);
+        par_cfg.search.threads = 4;
+        let seq = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &seq_cfg).unwrap();
+        let par = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &par_cfg).unwrap();
+        assert_eq!(par.applied, seq.applied);
+        assert_eq!(par.evaluated, seq.evaluated);
+        assert_eq!(
+            par.estimate.average_schedule_length,
+            seq.estimate.average_schedule_length
+        );
+    }
+
+    /// Measurement path for the parallel-search speedup (not a CI
+    /// assertion: the speedup is a property of the machine). Run with
+    /// `cargo test -p fact-core --release -- --ignored speedup
+    /// --nocapture`; on a ≥4-core machine the 4-thread run must beat
+    /// sequential by more than 1.5×.
+    #[test]
+    #[ignore = "wall-clock measurement; run manually on a multi-core machine"]
+    fn parallel_speedup_measurement() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let mut cfg = quick_config(Objective::Throughput);
+        cfg.search.max_evaluations = 2000;
+        cfg.search.max_rounds = 12;
+        cfg.search.max_moves = 6;
+        let time = |threads: usize| {
+            let mut cfg = cfg.clone();
+            cfg.search.threads = threads;
+            let start = std::time::Instant::now();
+            let r = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg).unwrap();
+            (start.elapsed(), r)
+        };
+        let (warmup, _) = time(1); // fault in code paths before timing
+        let (seq, r1) = time(1);
+        let (par, r4) = time(4);
+        assert_eq!(r1.applied, r4.applied, "threading changed the result");
+        let speedup = seq.as_secs_f64() / par.as_secs_f64();
+        println!(
+            "parallel search speedup: seq {seq:?} (warmup {warmup:?}), \
+             4 threads {par:?} -> {speedup:.2}x on {} cores",
+            std::thread::available_parallelism().map_or(0, |n| n.get())
+        );
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) >= 4 {
+            assert!(
+                speedup > 1.5,
+                "expected >1.5x on >=4 cores, got {speedup:.2}x"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_flag_short_circuits() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let cfg = quick_config(Objective::Throughput);
+        let stop = AtomicBool::new(true);
+        let hooks = OptimizeHooks {
+            cache: None,
+            stop: Some(&stop),
+        };
+        let r = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
+        // Pre-cancelled: the baseline still gets scheduled (that is the
+        // error path contract) but no region search runs to completion.
+        assert!(r.stopped);
+        assert!(r.applied.is_empty());
     }
 
     #[test]

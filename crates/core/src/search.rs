@@ -8,12 +8,35 @@
 //! `e^(−k·rank)`, where `k` increases over time — early on poor solutions
 //! survive (exploration), later only good ones (exploitation). The search
 //! stops when a full round fails to improve the best solution.
+//!
+//! # Structure and parallelism
+//!
+//! Each move proceeds in three deterministic stages:
+//!
+//! 1. **Expand**: enumerate the neighborhood of every frontier element in
+//!    order, deduplicating by [`structural_hash`] against everything seen
+//!    so far and truncating to the remaining evaluation budget;
+//! 2. **Evaluate**: score the collected batch — either sequentially
+//!    ([`apply_transforms`]) or fanned out across worker threads
+//!    ([`apply_transforms_parallel`]). Results are written back by batch
+//!    index, so the scored `Behavior_set` has the same order either way;
+//! 3. **Select**: rank and draw the next `In_set` with rank-exponential
+//!    probabilities from the seeded RNG.
+//!
+//! The RNG is consumed only in stage 3 and the batch order is fixed in
+//! stage 1, so for a given seed the parallel search returns *bit-identical*
+//! results to the sequential one, regardless of thread count — only
+//! wall-clock time changes. Candidate evaluation must itself be a pure
+//! function of the candidate for this to hold (it is: scheduling and
+//! estimation are deterministic).
 
+use crate::cache::structural_hash;
 use fact_ir::Function;
+use fact_prng::rngs::StdRng;
+use fact_prng::{Rng, SeedableRng};
 use fact_xform::{Region, TransformLibrary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Search configuration (the knobs of Figure 6).
 #[derive(Clone, Debug)]
@@ -33,6 +56,9 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Cap on total candidate evaluations, to bound runtime.
     pub max_evaluations: usize,
+    /// Worker threads for neighborhood evaluation (≤ 1 = sequential).
+    /// Does not affect the search trajectory, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -45,6 +71,7 @@ impl Default for SearchConfig {
             k_step: 0.4,
             seed: 0xFAC7,
             max_evaluations: 600,
+            threads: 1,
         }
     }
 }
@@ -62,6 +89,9 @@ pub struct SearchResult {
     pub rounds: usize,
     /// Descriptions of the transformation steps on the winning path.
     pub applied: Vec<String>,
+    /// `true` when the search was cut short by a cancellation signal
+    /// (the result is still the best of what was explored).
+    pub stopped: bool,
 }
 
 /// A scored element of the search frontier.
@@ -72,9 +102,73 @@ struct Scored {
     path: Vec<String>,
 }
 
-/// Structural signature for deduplication: the printed IR.
-fn signature(f: &Function) -> String {
-    f.to_string()
+/// How a batch of candidates gets scored.
+enum Dispatch<'a> {
+    /// In submission order on the calling thread.
+    Seq(&'a mut dyn FnMut(&Function) -> Option<f64>),
+    /// Fanned out over scoped worker threads; results keep batch order.
+    Par {
+        eval: &'a (dyn Fn(&Function) -> Option<f64> + Sync),
+        threads: usize,
+    },
+}
+
+impl Dispatch<'_> {
+    fn eval_batch(&mut self, batch: &[&Function], stop: Option<&AtomicBool>) -> Vec<Option<f64>> {
+        let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+        match self {
+            Dispatch::Seq(eval) => batch
+                .iter()
+                .map(|g| if cancelled() { None } else { eval(g) })
+                .collect(),
+            Dispatch::Par { eval, threads } => {
+                let eval: &(dyn Fn(&Function) -> Option<f64> + Sync) = *eval;
+                let workers = (*threads).min(batch.len());
+                if workers <= 1 {
+                    return batch
+                        .iter()
+                        .map(|g| if cancelled() { None } else { eval(g) })
+                        .collect();
+                }
+                let next = AtomicUsize::new(0);
+                let mut scores: Vec<Option<f64>> = vec![None; batch.len()];
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let next = &next;
+                            s.spawn(move || {
+                                let mut local: Vec<(usize, Option<f64>)> = Vec::new();
+                                loop {
+                                    if cancelled() {
+                                        break;
+                                    }
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= batch.len() {
+                                        break;
+                                    }
+                                    local.push((i, eval(batch[i])));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (i, v) in h.join().expect("search worker panicked") {
+                            scores[i] = v;
+                        }
+                    }
+                });
+                scores
+            }
+        }
+    }
+}
+
+/// A not-yet-evaluated expansion of a frontier element.
+struct Candidate {
+    f: Function,
+    parent: usize,
+    description: String,
 }
 
 /// Runs `Apply_transforms` over `g0` within `region`.
@@ -82,6 +176,10 @@ fn signature(f: &Function) -> String {
 /// `evaluate` reschedules a candidate and returns its objective score
 /// (higher = better), or `None` for invalid candidates (e.g. a rewrite
 /// that introduced an operation with no allocated unit).
+///
+/// This entry point evaluates candidates sequentially on the calling
+/// thread; [`apply_transforms_parallel`] fans evaluation out across
+/// worker threads with bit-identical results for the same seed.
 ///
 /// # Examples
 ///
@@ -111,24 +209,67 @@ pub fn apply_transforms(
     config: &SearchConfig,
     evaluate: &mut dyn FnMut(&Function) -> Option<f64>,
 ) -> SearchResult {
+    run_search(g0, region, library, config, Dispatch::Seq(evaluate), None)
+}
+
+/// [`apply_transforms`] with the `Behavior_set` of every move scheduled
+/// and estimated across `config.threads` worker threads.
+///
+/// Deterministic: for a fixed `config.seed` the result (best candidate,
+/// score, applied path, evaluation count) is bit-identical to the
+/// sequential engine's, for any thread count — see the module docs.
+///
+/// `stop` is a cooperative cancellation flag (used by `factd` for per-job
+/// timeouts): once set, in-flight candidate evaluations finish, no new
+/// ones start, and the search returns its best-so-far with
+/// [`SearchResult::stopped`] set.
+pub fn apply_transforms_parallel(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    evaluate: &(dyn Fn(&Function) -> Option<f64> + Sync),
+    stop: Option<&AtomicBool>,
+) -> SearchResult {
+    run_search(
+        g0,
+        region,
+        library,
+        config,
+        Dispatch::Par {
+            eval: evaluate,
+            threads: config.threads.max(1),
+        },
+        stop,
+    )
+}
+
+fn run_search(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    mut dispatch: Dispatch<'_>,
+    stop: Option<&AtomicBool>,
+) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut evaluated = 0usize;
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
 
-    let base_score = match evaluate(g0) {
-        Some(s) => s,
-        None => {
-            return SearchResult {
-                best: g0.clone(),
-                best_score: f64::NEG_INFINITY,
-                evaluated: 1,
-                rounds: 0,
-                applied: Vec::new(),
-            }
-        }
-    };
+    let base_score = dispatch.eval_batch(&[g0], stop).remove(0);
     evaluated += 1;
-    seen.insert(signature(g0));
+    seen.insert(structural_hash(g0));
+    let Some(base_score) = base_score else {
+        return SearchResult {
+            best: g0.clone(),
+            best_score: f64::NEG_INFINITY,
+            evaluated,
+            rounds: 0,
+            applied: Vec::new(),
+            stopped: cancelled(),
+        };
+    };
 
     let mut best = Scored {
         f: g0.clone(),
@@ -138,39 +279,69 @@ pub fn apply_transforms(
     let mut in_set: Vec<Scored> = vec![best.clone()];
     let mut k = config.k_initial;
     let mut rounds = 0usize;
+    let mut stopped = false;
 
-    for _round in 0..config.max_rounds {
+    'rounds: for _round in 0..config.max_rounds {
         rounds += 1;
         let best_at_round_start = best.score;
 
         for _move in 0..config.max_moves {
-            // Expand the neighborhood of every frontier element.
-            let mut behavior_set: Vec<Scored> = Vec::new();
-            for g in &in_set {
+            if cancelled() {
+                stopped = true;
+                break 'rounds;
+            }
+            // Stage 1: expand the neighborhood of every frontier element,
+            // dedup by structural hash, truncate to the budget.
+            let budget = config.max_evaluations.saturating_sub(evaluated);
+            let mut candidates: Vec<Candidate> = Vec::new();
+            'expand: for (parent, g) in in_set.iter().enumerate() {
                 for cand in library.all_candidates(&g.f, region) {
-                    if evaluated >= config.max_evaluations {
-                        break;
+                    if candidates.len() >= budget {
+                        break 'expand;
                     }
-                    let sig = signature(&cand.function);
-                    if !seen.insert(sig) {
+                    if !seen.insert(structural_hash(&cand.function)) {
                         continue;
                     }
-                    let Some(score) = evaluate(&cand.function) else {
-                        evaluated += 1;
-                        continue;
-                    };
-                    evaluated += 1;
-                    let mut path = g.path.clone();
-                    path.push(cand.description.clone());
-                    behavior_set.push(Scored {
+                    candidates.push(Candidate {
                         f: cand.function,
-                        score,
-                        path,
+                        parent,
+                        description: cand.description,
                     });
                 }
             }
-            if behavior_set.is_empty() {
+            if candidates.is_empty() {
                 break;
+            }
+
+            // Stage 2: score the batch (possibly across worker threads).
+            let batch: Vec<&Function> = candidates.iter().map(|c| &c.f).collect();
+            let scores = dispatch.eval_batch(&batch, stop);
+            evaluated += candidates.len();
+            if cancelled() {
+                // Partial batches are discarded: un-run slots are
+                // indistinguishable from invalid candidates, and using
+                // them would make cancelled runs diverge from complete
+                // ones beyond mere truncation.
+                stopped = true;
+                break 'rounds;
+            }
+
+            let mut behavior_set: Vec<Scored> = Vec::new();
+            for (cand, score) in candidates.into_iter().zip(scores) {
+                let Some(score) = score else { continue };
+                let mut path = in_set[cand.parent].path.clone();
+                path.push(cand.description);
+                behavior_set.push(Scored {
+                    f: cand.f,
+                    score,
+                    path,
+                });
+            }
+            if behavior_set.is_empty() {
+                if evaluated >= config.max_evaluations {
+                    break;
+                }
+                continue;
             }
             // Track the best solution seen so far (Figure 6, line 13).
             for s in &behavior_set {
@@ -178,8 +349,9 @@ pub fn apply_transforms(
                     best = s.clone();
                 }
             }
-            // Sort by decreasing objective (line 16) and select the next
-            // In_set with rank-exponential probabilities (lines 18-21).
+            // Stage 3: sort by decreasing objective (line 16) and select
+            // the next In_set with rank-exponential probabilities
+            // (lines 18-21).
             behavior_set.sort_by(|a, b| {
                 b.score
                     .partial_cmp(&a.score)
@@ -208,6 +380,7 @@ pub fn apply_transforms(
         evaluated,
         rounds,
         applied: best.path,
+        stopped,
     }
 }
 
@@ -262,6 +435,7 @@ mod tests {
         assert_eq!(r.best_score, -2.0);
         assert!(!r.applied.is_empty());
         assert!(r.evaluated > 1);
+        assert!(!r.stopped);
     }
 
     #[test]
@@ -325,6 +499,58 @@ mod tests {
     }
 
     #[test]
+    fn parallel_search_is_bit_identical_to_sequential() {
+        // The determinism guarantee the daemon advertises: thread count
+        // changes wall-clock, never results.
+        let f =
+            compile("proc f(a, b, c, d, e2) { out y = a * b + a * c + a * d + a * e2; }").unwrap();
+        let lib = TransformLibrary::full();
+        let seq = apply_transforms(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &mut op_count_score,
+        );
+        for threads in [1, 2, 4, 8] {
+            let cfg = SearchConfig {
+                threads,
+                ..Default::default()
+            };
+            let par =
+                apply_transforms_parallel(&f, &Region::whole(), &lib, &cfg, &op_count_score, None);
+            assert_eq!(par.best_score, seq.best_score, "threads={threads}");
+            assert_eq!(par.evaluated, seq.evaluated, "threads={threads}");
+            assert_eq!(par.rounds, seq.rounds, "threads={threads}");
+            assert_eq!(par.applied, seq.applied, "threads={threads}");
+            assert_eq!(
+                par.best.to_string(),
+                seq.best.to_string(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_best_so_far() {
+        let f = compile("proc f(a, b, c) { out y = a * b + a * c; }").unwrap();
+        let lib = TransformLibrary::full();
+        let stop = AtomicBool::new(true); // cancelled before the first move
+        let r = apply_transforms_parallel(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &op_count_score,
+            Some(&stop),
+        );
+        assert!(r.stopped);
+        // The base evaluation never ran (cancelled), so the input wins
+        // with an unevaluated score; the search must not loop or panic.
+        assert!(r.applied.is_empty());
+    }
+
+    #[test]
     fn evaluation_budget_is_respected() {
         let f = compile("proc f(a, b, c, d, e2) { out y = a + b + c + d + e2; }").unwrap();
         let lib = TransformLibrary::full();
@@ -343,12 +569,15 @@ mod tests {
         // Reject anything containing a shift (as a no-shifter allocation
         // would): the strength-reduced candidate must not win.
         let mut eval = |g: &Function| {
-            let has_shift = g.block_ids().flat_map(|b| g.block(b).ops.clone()).any(|op| {
-                matches!(
-                    g.op(op).kind,
-                    fact_ir::OpKind::Bin(fact_ir::BinOp::Shl | fact_ir::BinOp::Shr, ..)
-                )
-            });
+            let has_shift = g
+                .block_ids()
+                .flat_map(|b| g.block(b).ops.clone())
+                .any(|op| {
+                    matches!(
+                        g.op(op).kind,
+                        fact_ir::OpKind::Bin(fact_ir::BinOp::Shl | fact_ir::BinOp::Shr, ..)
+                    )
+                });
             if has_shift {
                 None
             } else {

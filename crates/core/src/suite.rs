@@ -270,8 +270,8 @@ pub fn igf(lib: &FuLibrary) -> Benchmark {
 /// PPS benchmark (Table 3: 5 a1).
 pub fn pps(lib: &FuLibrary) -> Benchmark {
     let names = [
-        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13",
-        "x14", "x15", "x16",
+        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14",
+        "x15", "x16",
     ];
     let specs: Vec<(&str, InputSpec)> = names
         .iter()
@@ -315,8 +315,7 @@ mod tests {
     fn gcd_computes_gcd() {
         let (lib, _) = section5_library();
         let b = gcd(&lib);
-        let env: HashMap<String, i64> =
-            [("a".to_string(), 48), ("b".to_string(), 36)].into();
+        let env: HashMap<String, i64> = [("a".to_string(), 48), ("b".to_string(), 36)].into();
         assert_eq!(execute(&b.function, &env).unwrap().outputs[0].1, 12);
     }
 
@@ -324,17 +323,14 @@ mod tests {
     fn pps_sums_inputs() {
         let (lib, _) = section5_library();
         let b = pps(&lib);
-        let env: HashMap<String, i64> = (1..=16)
-            .map(|i| (format!("x{i}"), i as i64))
-            .collect();
+        let env: HashMap<String, i64> = (1..=16).map(|i| (format!("x{i}"), i as i64)).collect();
         assert_eq!(execute(&b.function, &env).unwrap().outputs[0].1, 136);
     }
 
     #[test]
     fn test1_matches_figure_1a() {
         let f = compile(TEST1_SRC).unwrap();
-        let env: HashMap<String, i64> =
-            [("c1".to_string(), 1), ("c2".to_string(), 3)].into();
+        let env: HashMap<String, i64> = [("c1".to_string(), 1), ("c2".to_string(), 3)].into();
         assert_eq!(execute(&f, &env).unwrap().outputs[0].1, 125);
     }
 

@@ -42,11 +42,7 @@ impl AreaReport {
 /// Register count is the number of scheduled operations whose value is
 /// consumed in a different state than it is produced in (phis always
 /// hold state and count once each).
-pub fn estimate_area(
-    sr: &ScheduleResult,
-    library: &FuLibrary,
-    alloc: &Allocation,
-) -> AreaReport {
+pub fn estimate_area(sr: &ScheduleResult, library: &FuLibrary, alloc: &Allocation) -> AreaReport {
     let mut fu_area = 0.0;
     for (fu, count) in alloc.iter() {
         fu_area += count as f64 * library.spec(fu).area;
@@ -120,8 +116,10 @@ mod tests {
 
     #[test]
     fn fu_area_follows_allocation() {
-        let (sr, lib, alloc) =
-            scheduled("proc f(a, b) { out y = a * b + a; }", &[("a1", 2), ("mt1", 1)]);
+        let (sr, lib, alloc) = scheduled(
+            "proc f(a, b) { out y = a * b + a; }",
+            &[("a1", 2), ("mt1", 1)],
+        );
         let r = estimate_area(&sr, &lib, &alloc);
         // 2 adders x 1.5 + 1 multiplier x 3.9.
         assert!((r.functional_units - (2.0 * 1.5 + 3.9)).abs() < 1e-9);

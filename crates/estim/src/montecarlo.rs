@@ -7,9 +7,9 @@
 //! the whole estimation stack (transition assembly, probability algebra,
 //! the linear solver) against silent inconsistencies.
 
+use fact_prng::rngs::StdRng;
+use fact_prng::{Rng, SeedableRng};
 use fact_sched::{StateId, Stg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Aggregate results of a batch of random walks.
 #[derive(Clone, Debug)]
@@ -147,7 +147,12 @@ mod tests {
                 continue;
             }
             let diff = (mc.visits(s) - analytic.visits(s)).abs();
-            assert!(diff < 0.02, "{s}: MC {} vs analytic {}", mc.visits(s), analytic.visits(s));
+            assert!(
+                diff < 0.02,
+                "{s}: MC {} vs analytic {}",
+                mc.visits(s),
+                analytic.visits(s)
+            );
         }
     }
 

@@ -84,15 +84,14 @@ pub fn energy_per_execution(
                         *out.per_fu.entry(spec.name.clone()).or_insert(0.0) +=
                             times * spec.energy_coeff;
                         let reads = kind.operands().len() as f64;
-                        out.registers +=
-                            times * (reads + 1.0) * library.register_energy_coeff;
+                        out.registers += times * (reads + 1.0) * library.register_energy_coeff;
                     }
                 }
             }
         }
     }
-    out.overhead = (out.per_fu.values().sum::<f64>() + out.registers + out.memories)
-        * OVERHEAD_FRACTION;
+    out.overhead =
+        (out.per_fu.values().sum::<f64>() + out.registers + out.memories) * OVERHEAD_FRACTION;
     out
 }
 
@@ -132,7 +131,8 @@ pub fn estimate(
     let breakdown = energy_per_execution(stg, markov, f, selection, library);
     let energy = breakdown.total();
     let len = markov.average_schedule_length;
-    let delay_stretch = crate::vdd::delay_factor(vdd) / crate::vdd::delay_factor(crate::vdd::VDD_REF);
+    let delay_stretch =
+        crate::vdd::delay_factor(vdd) / crate::vdd::delay_factor(crate::vdd::VDD_REF);
     let time_ns = len * clock_ns * delay_stretch;
     let power = if time_ns > 0.0 {
         energy * vdd * vdd / time_ns
@@ -156,7 +156,13 @@ mod tests {
     use crate::markov::analyze;
     use fact_sched::{FuSpec, ScheduledOp, SelectionRules};
 
-    fn setup() -> (Function, FuLibrary, FuSelection, fact_ir::OpId, fact_ir::OpId) {
+    fn setup() -> (
+        Function,
+        FuLibrary,
+        FuSelection,
+        fact_ir::OpId,
+        fact_ir::OpId,
+    ) {
         let mut f = Function::new("t");
         let e = f.entry();
         let a = f.emit_input(e, "a");

@@ -58,7 +58,12 @@ pub fn scale_voltage(base_cycles: f64, new_cycles: f64) -> f64 {
 /// Power after Vdd scaling, in the paper's formulation:
 /// `E · Vdd_new² / (base_cycles · clock_ns)` — the energy of the
 /// transformed design delivered over the baseline's time budget.
-pub fn scaled_power(energy_vdd2: f64, base_cycles: f64, new_cycles: f64, clock_ns: f64) -> (f64, f64) {
+pub fn scaled_power(
+    energy_vdd2: f64,
+    base_cycles: f64,
+    new_cycles: f64,
+    clock_ns: f64,
+) -> (f64, f64) {
     let vdd = scale_voltage(base_cycles, new_cycles);
     let time = base_cycles.max(new_cycles) * clock_ns;
     (energy_vdd2 * vdd * vdd / time, vdd)

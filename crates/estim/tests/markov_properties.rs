@@ -22,7 +22,11 @@ fn build(ps: &[f64]) -> Stg {
     stg.set_entry(states[0]);
     let done = stg.done();
     for (i, &p) in ps.iter().enumerate() {
-        let next = if i + 1 < ps.len() { states[i + 1] } else { done };
+        let next = if i + 1 < ps.len() {
+            states[i + 1]
+        } else {
+            done
+        };
         stg.add_transition(states[i], next, p, "fwd");
         stg.add_transition(states[i], states[0], 1.0 - p, "restart");
     }

@@ -19,11 +19,7 @@ pub fn function_to_dot(f: &Function) -> String {
             // still emit an anchor node so control edges have endpoints
         }
         let _ = writeln!(s, "  subgraph cluster_{} {{", b.index());
-        let label = f
-            .block(b)
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("{b}"));
+        let label = f.block(b).name.clone().unwrap_or_else(|| format!("{b}"));
         let _ = writeln!(s, "    label=\"{label}\";");
         let _ = writeln!(s, "    anchor_{} [shape=point, style=invis];", b.index());
         for &op in &f.block(b).ops {
@@ -113,10 +109,6 @@ mod tests {
         assert!(dot.contains("label=\"-\""));
         assert!(dot.trim_end().ends_with('}'));
         // Balanced braces.
-        assert_eq!(
-            dot.matches('{').count(),
-            dot.matches('}').count(),
-            "{dot}"
-        );
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "{dot}");
     }
 }

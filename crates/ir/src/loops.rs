@@ -107,10 +107,8 @@ impl LoopForest {
                 .cmp(&a.body.len())
                 .then(a.header.cmp(&b.header))
         });
-        let snapshots: Vec<(BlockId, BTreeSet<BlockId>)> = loops
-            .iter()
-            .map(|l| (l.header, l.body.clone()))
-            .collect();
+        let snapshots: Vec<(BlockId, BTreeSet<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.body.clone())).collect();
         for (i, l) in loops.iter_mut().enumerate() {
             l.depth = 1 + snapshots
                 .iter()

@@ -101,22 +101,23 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
         }
     }
 
-    let defined_before = |value: OpId, user_block: BlockId, user_pos: usize| -> Result<(), VerifyError> {
-        let def_block = home[value.index()]
-            .ok_or_else(|| err(format!("use of unplaced value {value} in {user_block}")))?;
-        if def_block == user_block {
-            if pos[value.index()] >= user_pos {
+    let defined_before =
+        |value: OpId, user_block: BlockId, user_pos: usize| -> Result<(), VerifyError> {
+            let def_block = home[value.index()]
+                .ok_or_else(|| err(format!("use of unplaced value {value} in {user_block}")))?;
+            if def_block == user_block {
+                if pos[value.index()] >= user_pos {
+                    return Err(err(format!(
+                        "value {value} used before definition in block {user_block}"
+                    )));
+                }
+            } else if !dom.strictly_dominates(def_block, user_block) {
                 return Err(err(format!(
-                    "value {value} used before definition in block {user_block}"
+                    "value {value} (defined in {def_block}) does not dominate use in {user_block}"
                 )));
             }
-        } else if !dom.strictly_dominates(def_block, user_block) {
-            return Err(err(format!(
-                "value {value} (defined in {def_block}) does not dominate use in {user_block}"
-            )));
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for b in f.block_ids() {
         if !reach[b.index()] {
@@ -144,9 +145,8 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
                         if !reach[pred.index()] {
                             continue;
                         }
-                        let def_block = home[value.index()].ok_or_else(|| {
-                            err(format!("phi {op} uses unplaced value {value}"))
-                        })?;
+                        let def_block = home[value.index()]
+                            .ok_or_else(|| err(format!("phi {op} uses unplaced value {value}")))?;
                         if !dom.dominates(def_block, *pred) {
                             return Err(err(format!(
                                 "phi {op}: value {value} (in {def_block}) does not dominate predecessor {pred}"

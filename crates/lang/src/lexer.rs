@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn lexes_integers() {
-        assert_eq!(kinds("42 0"), vec![Token::Int(42), Token::Int(0), Token::Eof]);
+        assert_eq!(
+            kinds("42 0"),
+            vec![Token::Int(42), Token::Int(0), Token::Eof]
+        );
     }
 
     #[test]

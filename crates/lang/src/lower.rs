@@ -435,7 +435,8 @@ mod tests {
 
     #[test]
     fn for_loop_desugars_to_while() {
-        let f = c("proc f(n) { var s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } out s = s; }");
+        let f =
+            c("proc f(n) { var s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } out s = s; }");
         verify(&f).unwrap();
         let dom = fact_ir::DomTree::compute(&f);
         let loops = fact_ir::LoopForest::compute(&f, &dom);

@@ -55,7 +55,11 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         prop_oneof![assign, out].boxed()
     } else {
         let body = proptest::collection::vec(stmt(depth - 1), 1..3);
-        let iff = (expr(), body.clone(), proptest::collection::vec(stmt(depth - 1), 0..3))
+        let iff = (
+            expr(),
+            body.clone(),
+            proptest::collection::vec(stmt(depth - 1), 0..3),
+        )
             .prop_map(|(cond, then_body, else_body)| Stmt::If {
                 cond,
                 then_body,

@@ -1,0 +1,380 @@
+//! # fact-prng — in-tree pseudo-random number generation
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on the `rand` crate. This crate supplies the small slice of the
+//! `rand` surface the workspace actually uses — a seedable generator plus
+//! uniform sampling over integer and float ranges — with no dependencies
+//! beyond `std`.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded through
+//! **SplitMix64** from a single `u64`, the same construction `rand`'s
+//! xoshiro family uses. It is fast, passes BigCrush, and is fully
+//! deterministic for a given seed — which the search engine, trace
+//! generation, and equivalence checking all rely on.
+//!
+//! The trait names ([`Rng`], [`SeedableRng`]) and the [`rngs::StdRng`]
+//! alias deliberately mirror `rand` so call sites read identically:
+//!
+//! ```
+//! use fact_prng::rngs::StdRng;
+//! use fact_prng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x = rng.gen_range(-100i64..100);
+//! assert!((-100..100).contains(&x));
+//! let u: f64 = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+//!
+//! Note the *streams* differ from `rand::rngs::StdRng` (ChaCha12); seeds
+//! produce different — but equally reproducible — sequences.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seeding xoshiro and as a standalone mixer for hashing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Finalizing mix of SplitMix64: a strong 64-bit bit-mixer.
+///
+/// Handy for combining hash words (see `fact-core`'s structural hash).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`]. Mirrors the subset of `rand::Rng` the workspace uses.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample from itself.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Maps 64 random bits to a `f64` in `[0, 1)` with 53-bit resolution.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, span)` by rejection sampling (unbiased).
+/// `span == 0` means the full 2^64 range.
+#[inline]
+fn uniform_u64(rng: &mut dyn RngCore, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    // Reject the final partial copy of `span` so every residue is equally
+    // likely. `zone` is the largest multiple of `span` minus one.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(uniform_u64(rng, span as u64) as $u as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                // span of 0 encodes the full-width range (hi-lo+1 = 2^64).
+                let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                lo.wrapping_add(uniform_u64(rng, span as u64) as $u as $t)
+            }
+        }
+    )*};
+}
+
+int_ranges!(i64 => u64, u64 => u64, i32 => u32, u32 => u32, usize => usize);
+
+macro_rules! float_ranges {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                // Clamp guards the pathological rounding case u*(hi-lo)
+                // + lo == hi for half-open ranges.
+                let x = self.start + u * (self.end - self.start);
+                if x >= self.end {
+                    // Nudge just inside; preserves uniformity to 1 ulp.
+                    <$t>::from_bits(self.end.to_bits() - 1)
+                } else {
+                    x
+                }
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_ranges!(f64);
+
+/// The xoshiro256++ generator.
+///
+/// 256 bits of state; period 2^256 − 1; output mixes the state with a
+/// rotation-add, so low bits are as strong as high bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Builds the generator from a full 256-bit state.
+    ///
+    /// # Panics
+    /// Panics if the state is all zero (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be nonzero"
+        );
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Standard seeding: expand the seed through SplitMix64. The
+        // expansion never yields the all-zero state.
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator (xoshiro256++).
+    ///
+    /// Unlike `rand`'s ChaCha12-based `StdRng` this is not
+    /// cryptographically secure — all uses here are simulation and
+    /// search, where speed and reproducibility are what matter.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference sequence for the canonical test state {1,2,3,4},
+        // from the xoshiro256++ reference implementation.
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expect: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // SplitMix64 reference outputs for seed 1234567.
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6457827717110365317);
+        assert_eq!(splitmix64(&mut s), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(10);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn int_ranges_hit_bounds_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let x = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&x));
+            seen_lo |= x == -3;
+            seen_hi |= x == 3;
+            let y = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&y));
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds never sampled");
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let u = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&u));
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v));
+            let w = rng.gen_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // span wraps to 0 → full 2^64 range; must not loop or panic.
+        let x = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = x;
+        let y = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = y;
+    }
+
+    #[test]
+    fn uniformity_is_roughly_flat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket count {b} implausible");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&n), "got {n} successes for p=0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5i64..5);
+    }
+
+    #[test]
+    fn mix64_spreads_small_inputs() {
+        // Neighboring inputs must land far apart (avalanche sanity).
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 16);
+    }
+}

@@ -182,10 +182,7 @@ fn convert_one(f: &mut Function, report: &mut IfConvReport) -> bool {
         if matches!(mterm, Terminator::Branch { .. }) {
             // Track the branch's original owner for profile remapping:
             // if merge's branch itself had been moved, chase to the root.
-            let origin = report
-                .branch_moved_from
-                .remove(&merge)
-                .unwrap_or(merge);
+            let origin = report.branch_moved_from.remove(&merge).unwrap_or(merge);
             report.branch_moved_from.insert(d, origin);
         }
         f.set_terminator(d, mterm);
@@ -228,7 +225,8 @@ mod tests {
 
     #[test]
     fn converts_full_diamond() {
-        let src = "proc f(a) { var y = 0; if (a > 0) { y = a + 1; } else { y = a - 1; } out y = y; }";
+        let src =
+            "proc f(a) { var y = 0; if (a > 0) { y = a + 1; } else { y = a - 1; } out y = y; }";
         let orig = compile(src).unwrap();
         let mut f = orig.clone();
         let r = if_convert(&mut f);

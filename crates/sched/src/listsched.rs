@@ -10,7 +10,7 @@
 //! states on their functional unit.
 
 use crate::resources::{Allocation, FuLibrary, FuSelection};
-use fact_ir::{Function, BlockId, MemId, OpId, OpKind};
+use fact_ir::{BlockId, Function, MemId, OpId, OpKind};
 use std::collections::HashMap;
 
 /// The schedule of one basic block.
@@ -91,8 +91,7 @@ impl std::error::Error for SchedError {}
 /// relative to each other (the output stream is observable).
 pub fn block_dependencies(f: &Function, block: BlockId) -> HashMap<OpId, Vec<OpId>> {
     let ops = &f.block(block).ops;
-    let in_block: HashMap<OpId, usize> =
-        ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let in_block: HashMap<OpId, usize> = ops.iter().enumerate().map(|(i, &o)| (o, i)).collect();
     let mut deps: HashMap<OpId, Vec<OpId>> = HashMap::new();
     let mut last_store: HashMap<MemId, OpId> = HashMap::new();
     let mut accesses_since_store: HashMap<MemId, Vec<OpId>> = HashMap::new();
@@ -150,9 +149,10 @@ impl Ctx<'_> {
     /// Delay in ns of a datapath op; `None` for free ops.
     fn delay(&self, op: OpId) -> Option<f64> {
         match &self.f.op(op).kind {
-            OpKind::Bin(..) | OpKind::Un(..) => {
-                self.selection.fu_of(op).map(|fu| self.library.spec(fu).delay_ns)
-            }
+            OpKind::Bin(..) | OpKind::Un(..) => self
+                .selection
+                .fu_of(op)
+                .map(|fu| self.library.spec(fu).delay_ns),
             OpKind::Load { .. } | OpKind::Store { .. } => Some(self.library.memory_delay_ns),
             // Muxes are steering logic: modeled as free (their cost is in
             // the interconnect overhead), like phis/constants/IO.
@@ -177,7 +177,15 @@ pub fn schedule_block(
     clk: f64,
 ) -> Result<BlockSchedule, SchedError> {
     let ops: Vec<OpId> = f.block(block).ops.clone();
-    schedule_ops(f, &ops, &block_dependencies(f, block), library, selection, alloc, clk)
+    schedule_ops(
+        f,
+        &ops,
+        &block_dependencies(f, block),
+        library,
+        selection,
+        alloc,
+        clk,
+    )
 }
 
 /// Schedules an explicit op list with explicit dependencies. Used both for
@@ -225,8 +233,10 @@ pub fn schedule_ops(
         priority.insert(op, own + down);
     }
 
-    let mut remaining_deps: HashMap<OpId, usize> =
-        ops.iter().map(|&o| (o, deps.get(&o).map_or(0, Vec::len))).collect();
+    let mut remaining_deps: HashMap<OpId, usize> = ops
+        .iter()
+        .map(|&o| (o, deps.get(&o).map_or(0, Vec::len)))
+        .collect();
     let mut ready: Vec<OpId> = ops
         .iter()
         .copied()
@@ -374,15 +384,18 @@ pub fn schedule_ops(
                     }
 
                     // Resource availability over [start_state, +span).
-                    ensure_state(&mut states, &mut fu_busy, &mut mem_busy, start_state + span - 1);
+                    ensure_state(
+                        &mut states,
+                        &mut fu_busy,
+                        &mut mem_busy,
+                        start_state + span - 1,
+                    );
                     let available = (0..span).all(|k| match &res {
                         Res::Fu(fu) => {
                             fu_busy[start_state + k].get(fu).copied().unwrap_or(0)
                                 < cx.alloc.count(*fu)
                         }
-                        Res::Mem(m) => {
-                            mem_busy[start_state + k].get(m).copied().unwrap_or(0) < 1
-                        }
+                        Res::Mem(m) => mem_busy[start_state + k].get(m).copied().unwrap_or(0) < 1,
                     });
                     if !available {
                         next_ready.push(op);
@@ -390,12 +403,8 @@ pub fn schedule_ops(
                     }
                     for k in 0..span {
                         match &res {
-                            Res::Fu(fu) => {
-                                *fu_busy[start_state + k].entry(*fu).or_insert(0) += 1
-                            }
-                            Res::Mem(m) => {
-                                *mem_busy[start_state + k].entry(*m).or_insert(0) += 1
-                            }
+                            Res::Fu(fu) => *fu_busy[start_state + k].entry(*fu).or_insert(0) += 1,
+                            Res::Mem(m) => *mem_busy[start_state + k].entry(*m).or_insert(0) += 1,
                         }
                     }
                     let (end_state, end_ns) = if span == 1 {
@@ -480,11 +489,36 @@ mod tests {
     fn setup(src: &str) -> (Function, FuLibrary, FuSelection) {
         let f = compile(src).unwrap();
         let mut lib = FuLibrary::new(0.3, 3.0, 1.9, 15.0);
-        let add = lib.add(FuSpec { name: "a1".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
-        let sub = lib.add(FuSpec { name: "sb1".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
-        let mul = lib.add(FuSpec { name: "mt1".into(), energy_coeff: 2.3, delay_ns: 23.0, area: 3.9 });
-        let cmp = lib.add(FuSpec { name: "cp1".into(), energy_coeff: 1.1, delay_ns: 10.0, area: 1.3 });
-        let incr = lib.add(FuSpec { name: "i1".into(), energy_coeff: 0.7, delay_ns: 5.0, area: 1.1 });
+        let add = lib.add(FuSpec {
+            name: "a1".into(),
+            energy_coeff: 1.3,
+            delay_ns: 10.0,
+            area: 1.5,
+        });
+        let sub = lib.add(FuSpec {
+            name: "sb1".into(),
+            energy_coeff: 1.3,
+            delay_ns: 10.0,
+            area: 1.5,
+        });
+        let mul = lib.add(FuSpec {
+            name: "mt1".into(),
+            energy_coeff: 2.3,
+            delay_ns: 23.0,
+            area: 3.9,
+        });
+        let cmp = lib.add(FuSpec {
+            name: "cp1".into(),
+            energy_coeff: 1.1,
+            delay_ns: 10.0,
+            area: 1.3,
+        });
+        let incr = lib.add(FuSpec {
+            name: "i1".into(),
+            energy_coeff: 0.7,
+            delay_ns: 5.0,
+            area: 1.1,
+        });
         let rules = SelectionRules {
             add: Some(add),
             sub: Some(sub),
@@ -596,8 +630,7 @@ mod tests {
 
     #[test]
     fn distinct_memories_access_in_parallel() {
-        let (f, lib, sel) =
-            setup("proc f(i) { array x[8]; array y[8]; out o = x[i] + y[i]; }");
+        let (f, lib, sel) = setup("proc f(i) { array x[8]; array y[8]; out o = x[i] + y[i]; }");
         let a = alloc(&lib, &[("a1", 1)]);
         let s = schedule_block(&f, f.entry(), &lib, &sel, &a, 25.0).unwrap();
         // Loads in cycle 0 (15ns, no chain into add: 15+10=25 <= 25 fits!)

@@ -139,12 +139,7 @@ mod tests {
         ResKey::Fu(FuId(i))
     }
 
-    fn mk(
-        usage: &[(ResKey, f64)],
-        dep_cap: f64,
-        iters: f64,
-        deps: &[usize],
-    ) -> LoopRate {
+    fn mk(usage: &[(ResKey, f64)], dep_cap: f64, iters: f64, deps: &[usize]) -> LoopRate {
         LoopRate {
             header: BlockId(0),
             ops: Vec::new(),

@@ -49,10 +49,9 @@ pub struct LoopKernel {
 
 fn op_delay(f: &Function, lib: &FuLibrary, sel: &FuSelection, op: OpId) -> f64 {
     match &f.op(op).kind {
-        OpKind::Bin(..) | OpKind::Un(..) => sel
-            .fu_of(op)
-            .map(|fu| lib.spec(fu).delay_ns)
-            .unwrap_or(0.0),
+        OpKind::Bin(..) | OpKind::Un(..) => {
+            sel.fu_of(op).map(|fu| lib.spec(fu).delay_ns).unwrap_or(0.0)
+        }
         OpKind::Load { .. } | OpKind::Store { .. } => lib.memory_delay_ns,
         _ => 0.0,
     }

@@ -184,7 +184,11 @@ pub struct SelectionError {
 
 impl fmt::Display for SelectionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no functional unit for op {} ({})", self.op, self.missing)
+        write!(
+            f,
+            "no functional unit for op {} ({})",
+            self.op, self.missing
+        )
     }
 }
 
@@ -222,7 +226,9 @@ impl FuSelection {
                             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                                 ("comparator", rules.cmp)
                             }
-                            BinOp::Eq | BinOp::Ne => ("equality comparator", rules.eq.or(rules.cmp)),
+                            BinOp::Eq | BinOp::Ne => {
+                                ("equality comparator", rules.eq.or(rules.cmp))
+                            }
                             BinOp::Shl | BinOp::Shr => ("shifter", rules.shift),
                             BinOp::And | BinOp::Or | BinOp::Xor => ("logic unit", rules.logic),
                         };

@@ -173,11 +173,7 @@ fn header_continue(
 /// Empirical expected iterations of a loop: profiled visits of the body
 /// target divided by loop entries (header visits minus iterations). Falls
 /// back to `None` when visit counts were not profiled.
-fn empirical_iters(
-    prof: &BranchProfile,
-    header: BlockId,
-    body_target: BlockId,
-) -> Option<f64> {
+fn empirical_iters(prof: &BranchProfile, header: BlockId, body_target: BlockId) -> Option<f64> {
     let vb = prof.block_visits(body_target)?;
     let vh = prof.block_visits(header)?;
     let entries = (vh - vb).max(1e-9);
@@ -264,8 +260,7 @@ pub fn schedule(
     let dom = DomTree::compute(&work);
     let forest = LoopForest::compute(&work, &dom);
     let rpo: Vec<BlockId> = dom.rpo().to_vec();
-    let rpo_index: HashMap<BlockId, usize> =
-        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let rpo_index: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
 
     // Per-block schedules.
     let mut chains_sched: HashMap<BlockId, BlockSchedule> = HashMap::new();
@@ -435,11 +430,7 @@ pub fn schedule(
         if bs.is_empty() {
             continue;
         }
-        let name = work
-            .block(b)
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("{b}"));
+        let name = work.block(b).name.clone().unwrap_or_else(|| format!("{b}"));
         let mut ids = Vec::new();
         for (i, ops) in bs.states.iter().enumerate() {
             let s = stg.add_state(format!("{name}.{i}"));
@@ -483,9 +474,7 @@ pub fn schedule(
         // Per-execution visits: total empirical iterations × II (the
         // body-target visit count already accounts for outer-loop
         // nesting); fall back to the per-entry geometric estimate.
-        let total_iters = prof
-            .block_visits(k.body_target)
-            .unwrap_or(k.expected_iters);
+        let total_iters = prof.block_visits(k.body_target).unwrap_or(k.expected_iters);
         stg.state_mut(s).expected_visits = Some((total_iters * k.ii as f64).max(1.0));
         kernel_states.push(s);
     }
@@ -616,27 +605,30 @@ pub fn schedule(
     }
 
     // Helper to emit terminator edges from a state.
-    let emit_edges =
-        |stg: &mut Stg, resolver: &mut Resolver, from: StateId, edges: Vec<(BlockId, f64, String)>, to_done: f64| {
-            for (block, p, label) in edges {
-                if p <= 0.0 {
-                    continue;
-                }
-                for (t, w) in resolver.resolve(stg, block) {
-                    match t {
-                        Target::State(s) => stg.add_transition(from, s, p * w, label.clone()),
-                        Target::Done => {
-                            let d = stg.done();
-                            stg.add_transition(from, d, p * w, label.clone())
-                        }
+    let emit_edges = |stg: &mut Stg,
+                      resolver: &mut Resolver,
+                      from: StateId,
+                      edges: Vec<(BlockId, f64, String)>,
+                      to_done: f64| {
+        for (block, p, label) in edges {
+            if p <= 0.0 {
+                continue;
+            }
+            for (t, w) in resolver.resolve(stg, block) {
+                match t {
+                    Target::State(s) => stg.add_transition(from, s, p * w, label.clone()),
+                    Target::Done => {
+                        let d = stg.done();
+                        stg.add_transition(from, d, p * w, label.clone())
                     }
                 }
             }
-            if to_done > 0.0 {
-                let d = stg.done();
-                stg.add_transition(from, d, to_done, "ret");
-            }
-        };
+        }
+        if to_done > 0.0 {
+            let d = stg.done();
+            stg.add_transition(from, d, to_done, "ret");
+        }
+    };
 
     // Normal block chains: intra-block transitions + terminator edges.
     for &b in &rpo {
@@ -674,9 +666,13 @@ pub fn schedule(
         }
 
         match work.block(b).term.clone() {
-            Terminator::Jump(t) => {
-                emit_edges(&mut stg, &mut resolver, last, vec![(t, 1.0, String::new())], 0.0)
-            }
+            Terminator::Jump(t) => emit_edges(
+                &mut stg,
+                &mut resolver,
+                last,
+                vec![(t, 1.0, String::new())],
+                0.0,
+            ),
             Terminator::Branch {
                 cond,
                 on_true,
@@ -743,9 +739,13 @@ pub fn schedule(
     for (b, s) in pads {
         stg.state_mut(s).expected_visits = prof.block_visits(b);
         match work.block(b).term.clone() {
-            Terminator::Jump(t) => {
-                emit_edges(&mut stg, &mut resolver, s, vec![(t, 1.0, String::new())], 0.0)
-            }
+            Terminator::Jump(t) => emit_edges(
+                &mut stg,
+                &mut resolver,
+                s,
+                vec![(t, 1.0, String::new())],
+                0.0,
+            ),
             Terminator::Branch {
                 on_true, on_false, ..
             } => {
@@ -926,11 +926,7 @@ fn find_groups(
     let follow = |mut b: BlockId| -> (BlockId, HashSet<BlockId>) {
         let mut glue = HashSet::new();
         for _ in 0..work.num_blocks() {
-            let has_datapath = work
-                .block(b)
-                .ops
-                .iter()
-                .any(|&op| is_datapath(work, op));
+            let has_datapath = work.block(b).ops.iter().any(|&op| is_datapath(work, op));
             if has_datapath {
                 break;
             }
@@ -1024,9 +1020,7 @@ fn find_groups(
             let mut usage: HashMap<ResKey, f64> = HashMap::new();
             for &(op, rel) in &ops {
                 let key = match &work.op(op).kind {
-                    OpKind::Load { mem, .. } | OpKind::Store { mem, .. } => {
-                        Some(ResKey::Mem(*mem))
-                    }
+                    OpKind::Load { mem, .. } | OpKind::Store { mem, .. } => Some(ResKey::Mem(*mem)),
                     _ => selection.fu_of(op).map(ResKey::Fu),
                 };
                 if let Some(k) = key {
@@ -1055,8 +1049,12 @@ fn find_groups(
             let mut deps = Vec::new();
             for (lj, (loads_j, stores_j, defs_j, out_j)) in feet.iter().enumerate().take(li) {
                 let (loads_i, stores_i, _defs_i, out_i) = &feet[li];
-                let mem_conflict = stores_j.iter().any(|m| loads_i.contains(m) || stores_i.contains(m))
-                    || stores_i.iter().any(|m| loads_j.contains(m) || stores_j.contains(m));
+                let mem_conflict = stores_j
+                    .iter()
+                    .any(|m| loads_i.contains(m) || stores_i.contains(m))
+                    || stores_i
+                        .iter()
+                        .any(|m| loads_j.contains(m) || stores_j.contains(m));
                 let val_conflict = l.body.iter().any(|&b| {
                     work.block(b).ops.iter().any(|&op| {
                         work.op(op)
@@ -1178,7 +1176,10 @@ mod tests {
     }
 
     fn traces(specs: &[(&str, InputSpec)]) -> TraceSet {
-        let s: Vec<_> = specs.iter().map(|(n, sp)| (n.to_string(), sp.clone())).collect();
+        let s: Vec<_> = specs
+            .iter()
+            .map(|(n, sp)| (n.to_string(), sp.clone()))
+            .collect();
         generate(&s, 50, 99)
     }
 
@@ -1210,7 +1211,10 @@ mod tests {
         let r = run(
             "proc f(a, b) { out y = (a + b) * (a - b); }",
             &[("a1", 1), ("sb1", 1), ("mt1", 1)],
-            &[("a", InputSpec::Uniform { lo: -9, hi: 9 }), ("b", InputSpec::Uniform { lo: -9, hi: 9 })],
+            &[
+                ("a", InputSpec::Uniform { lo: -9, hi: 9 }),
+                ("b", InputSpec::Uniform { lo: -9, hi: 9 }),
+            ],
             &baseline_opts(),
         );
         r.stg.validate().unwrap();
@@ -1275,7 +1279,7 @@ mod tests {
         r.stg.validate().unwrap();
         assert_eq!(r.report.kernels.len(), 1);
         assert_eq!(r.report.kernels[0].1, 1); // II = 1
-        // Kernel state ops carry fractional-or-1 weights equal to 1/II = 1.
+                                              // Kernel state ops carry fractional-or-1 weights equal to 1/II = 1.
         let kstate = r
             .stg
             .state_ids()
@@ -1345,10 +1349,12 @@ mod tests {
         r.stg.validate().unwrap();
         assert_eq!(r.report.concurrent_groups, 1, "{:?}", r.report);
         // Phase states exist.
-        assert!(r
+        assert!(r.stg.state_ids().any(|s| r
             .stg
-            .state_ids()
-            .any(|s| r.stg.state(s).name.as_deref().is_some_and(|n| n.contains("phase"))));
+            .state(s)
+            .name
+            .as_deref()
+            .is_some_and(|n| n.contains("phase"))));
     }
 
     #[test]

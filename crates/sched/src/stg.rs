@@ -266,9 +266,7 @@ impl Stg {
             let mut per_fu: HashMap<String, f64> = HashMap::new();
             for sop in &self.state(s).ops {
                 if let Some(fu) = selection.fu_of(sop.op) {
-                    *per_fu
-                        .entry(library.spec(fu).name.clone())
-                        .or_insert(0.0) += sop.weight;
+                    *per_fu.entry(library.spec(fu).name.clone()).or_insert(0.0) += sop.weight;
                 }
                 if let Some(mem) = f.op(sop.op).kind.memory() {
                     let name = format!("mem:{}", f.memory(mem).name);

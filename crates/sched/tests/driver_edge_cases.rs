@@ -93,7 +93,9 @@ fn nested_loops_schedule_under_all_option_combinations() {
                     };
                     let sr = run(src, &opts);
                     sr.stg.validate().unwrap_or_else(|e| {
-                        panic!("ifc={if_convert} rot={rotate} pipe={pipeline} conc={concurrent}: {e}")
+                        panic!(
+                            "ifc={if_convert} rot={rotate} pipe={pipeline} conc={concurrent}: {e}"
+                        )
                     });
                 }
             }

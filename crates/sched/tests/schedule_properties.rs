@@ -3,9 +3,9 @@
 //! produced schedule must respect data dependencies, chaining timing, and
 //! per-state resource limits.
 
+use fact_ir::{BinOp, Function, OpKind};
 use fact_sched::listsched::{block_dependencies, schedule_block};
 use fact_sched::{Allocation, FuLibrary, FuSelection, FuSpec, SelectionRules};
-use fact_ir::{BinOp, Function, OpKind};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -18,18 +18,37 @@ struct DfgPlan {
 
 fn dfg_strategy() -> impl Strategy<Value = DfgPlan> {
     (2usize..5).prop_flat_map(|inputs| {
-        proptest::collection::vec((0u8..4, 0usize..100, 0usize..100), 1..12).prop_map(
-            move |ops| DfgPlan { inputs, ops },
-        )
+        proptest::collection::vec((0u8..4, 0usize..100, 0usize..100), 1..12)
+            .prop_map(move |ops| DfgPlan { inputs, ops })
     })
 }
 
 fn lib_and_rules() -> (FuLibrary, SelectionRules) {
     let mut lib = FuLibrary::new(0.3, 3.0, 1.9, 15.0);
-    let add = lib.add(FuSpec { name: "add".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
-    let sub = lib.add(FuSpec { name: "sub".into(), energy_coeff: 1.3, delay_ns: 10.0, area: 1.5 });
-    let mul = lib.add(FuSpec { name: "mul".into(), energy_coeff: 2.3, delay_ns: 23.0, area: 3.9 });
-    let cmp = lib.add(FuSpec { name: "cmp".into(), energy_coeff: 1.1, delay_ns: 12.0, area: 1.3 });
+    let add = lib.add(FuSpec {
+        name: "add".into(),
+        energy_coeff: 1.3,
+        delay_ns: 10.0,
+        area: 1.5,
+    });
+    let sub = lib.add(FuSpec {
+        name: "sub".into(),
+        energy_coeff: 1.3,
+        delay_ns: 10.0,
+        area: 1.5,
+    });
+    let mul = lib.add(FuSpec {
+        name: "mul".into(),
+        energy_coeff: 2.3,
+        delay_ns: 23.0,
+        area: 3.9,
+    });
+    let cmp = lib.add(FuSpec {
+        name: "cmp".into(),
+        energy_coeff: 1.1,
+        delay_ns: 12.0,
+        area: 1.3,
+    });
     let rules = SelectionRules {
         add: Some(add),
         sub: Some(sub),

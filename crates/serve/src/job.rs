@@ -1,0 +1,194 @@
+//! Executes one decoded optimization job against `fact-core`.
+//!
+//! Compiles the behavioral source, resolves the named allocation against
+//! the §5 functional-unit library, generates the requested input traces,
+//! and runs [`fact_core::optimize_with`] with the server's shared
+//! [`EvalCache`] and the job's cancellation flag. The output is the
+//! `result` reply [`Value`] ready for the wire.
+
+use crate::json::Value;
+use crate::protocol::OptimizeRequest;
+use fact_core::{optimize_with, EvalCache, FactError, FactResult, OptimizeHooks, TransformLibrary};
+use fact_estim::{section5_library, Estimate};
+use fact_sched::Allocation;
+use fact_sim::generate;
+use std::sync::atomic::AtomicBool;
+
+/// A job failure, as an `(error code, message)` pair for the error reply.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Stable machine-readable code (`compile`, `alloc`, `schedule`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn fail(code: &'static str, message: impl Into<String>) -> JobError {
+    JobError {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Runs the job to completion (or until `stop` is raised) and renders
+/// the `result` reply. `evaluated` and `cache_hits` are also returned so
+/// the server can fold them into its counters.
+pub fn run_job(
+    req: &OptimizeRequest,
+    cache: &EvalCache,
+    stop: &AtomicBool,
+) -> Result<(Value, FactResult), JobError> {
+    let f = fact_lang::compile(&req.source).map_err(|e| fail("compile", e.to_string()))?;
+
+    let (library, rules) = section5_library();
+    let mut alloc = Allocation::new();
+    for (name, count) in &req.alloc {
+        let fu = library.by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = library.iter().map(|(_, s)| s.name.as_str()).collect();
+            fail(
+                "alloc",
+                format!(
+                    "unknown functional unit `{name}` (library units: {})",
+                    known.join(", ")
+                ),
+            )
+        })?;
+        alloc.set(fu, *count);
+    }
+
+    let traces = generate(&req.traces.inputs, req.traces.n, req.traces.seed);
+
+    let hooks = OptimizeHooks {
+        cache: Some(cache),
+        stop: Some(stop),
+    };
+    let result = optimize_with(
+        &f,
+        &library,
+        &rules,
+        &alloc,
+        &traces,
+        &TransformLibrary::full(),
+        &req.config,
+        hooks,
+    )
+    .map_err(|e| match e {
+        FactError::Schedule(e) => fail("schedule", e.to_string()),
+        FactError::Analysis(m) => fail("analysis", m),
+    })?;
+
+    let reply = render_result(&req.id, &result);
+    Ok((reply, result))
+}
+
+fn render_result(id: &str, r: &FactResult) -> Value {
+    Value::object([
+        ("type", Value::Str("result".into())),
+        ("id", Value::Str(id.into())),
+        (
+            "status",
+            Value::Str(if r.stopped { "timeout" } else { "ok" }.into()),
+        ),
+        ("best_ir", Value::Str(r.best.to_string())),
+        (
+            "applied",
+            Value::Array(r.applied.iter().map(|s| Value::Str(s.clone())).collect()),
+        ),
+        ("evaluated", Value::Int(r.evaluated as i64)),
+        ("cache_hits", Value::Int(r.cache_hits as i64)),
+        ("blocks_optimized", Value::Int(r.blocks_optimized as i64)),
+        ("stopped", Value::Bool(r.stopped)),
+        ("baseline", render_estimate(&r.baseline)),
+        ("optimized", render_estimate(&r.estimate)),
+    ])
+}
+
+fn render_estimate(e: &Estimate) -> Value {
+    Value::object([
+        ("cycles", Value::Float(e.average_schedule_length)),
+        ("energy_vdd2", Value::Float(e.energy_vdd2)),
+        ("vdd", Value::Float(e.vdd)),
+        ("power", Value::Float(e.power)),
+        ("throughput", Value::Float(e.throughput)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::protocol::{decode_request, Request};
+
+    fn decode(src: &str) -> OptimizeRequest {
+        match decode_request(&parse(src).unwrap()).unwrap() {
+            Request::Optimize(r) => *r,
+            other => panic!("expected optimize, got {other:?}"),
+        }
+    }
+
+    const JOB: &str = r#"{"type":"optimize","id":"t","source":
+        "proc f(n, a, b) { var s = 0; var i = 0; while (i < n) { var t = s + 1; s = t * a + t * b; i = i + 1; } out s = s; }",
+        "alloc":{"a1":2,"mt1":1,"cp1":1,"i1":2,"sb1":1},
+        "traces":{"n":4,"seed":1,"inputs":{"n":{"const":10},"a":{"const":2},"b":{"const":3}}},
+        "search":{"max_evaluations":60}}"#;
+
+    #[test]
+    fn runs_a_job_end_to_end() {
+        let cache = EvalCache::default();
+        let stop = AtomicBool::new(false);
+        let (reply, result) = run_job(&decode(JOB), &cache, &stop).unwrap();
+        assert_eq!(reply.get("type").unwrap().as_str(), Some("result"));
+        assert_eq!(reply.get("id").unwrap().as_str(), Some("t"));
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+        assert!(reply.get("evaluated").unwrap().as_i64().unwrap() > 0);
+        let base = reply.get("baseline").unwrap();
+        let opt = reply.get("optimized").unwrap();
+        assert!(
+            opt.get("cycles").unwrap().as_f64().unwrap()
+                <= base.get("cycles").unwrap().as_f64().unwrap()
+        );
+        assert!(!result.stopped);
+        // The reply is one line of valid JSON.
+        let line = reply.to_json();
+        assert!(!line.contains('\n'));
+        assert_eq!(parse(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn repeat_job_is_answered_from_cache() {
+        let cache = EvalCache::default();
+        let stop = AtomicBool::new(false);
+        let req = decode(JOB);
+        let (_, cold) = run_job(&req, &cache, &stop).unwrap();
+        let (_, warm) = run_job(&req, &cache, &stop).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(warm.cache_hits, warm.evaluated);
+        assert_eq!(warm.applied, cold.applied);
+    }
+
+    #[test]
+    fn reports_compile_and_alloc_errors() {
+        let cache = EvalCache::default();
+        let stop = AtomicBool::new(false);
+        let mut req = decode(JOB);
+        req.source = "proc f( {".into();
+        let e = run_job(&req, &cache, &stop).unwrap_err();
+        assert_eq!(e.code, "compile");
+
+        let mut req = decode(JOB);
+        req.alloc.push(("warp9".into(), 1));
+        let e = run_job(&req, &cache, &stop).unwrap_err();
+        assert_eq!(e.code, "alloc");
+        assert!(e.message.contains("warp9"));
+        assert!(e.message.contains("a1"));
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_yields_stopped_result() {
+        let cache = EvalCache::default();
+        let stop = AtomicBool::new(true);
+        let (reply, result) = run_job(&decode(JOB), &cache, &stop).unwrap();
+        assert!(result.stopped);
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("timeout"));
+    }
+}

@@ -1,0 +1,514 @@
+//! Minimal JSON, hand-rolled on `std`.
+//!
+//! The build environment has no network access, so `factd`'s wire format
+//! cannot lean on serde. This module implements the subset of JSON the
+//! protocol needs — which is all of JSON, minus any niceties: a [`Value`]
+//! tree, a recursive-descent [`parse`], and a compact writer
+//! ([`Value::to_json`]). Numbers parse to `i64` when they are lossless
+//! integers and `f64` otherwise; object key order is preserved (useful
+//! for stable golden tests).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent, within `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. BTreeMap: deterministic iteration for stable output.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (floats with integral value convert).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` on other kinds or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Serializes to compact JSON (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{f:?}` keeps a trailing `.0` so the value reparses
+                    // as a float; `{f}` would print `1` for 1.0.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional fallback.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON value; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0C}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| self.err("invalid codepoint"))?);
+                            // hex4 leaves pos after the digits; continue
+                            // without the final increment below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|t| t.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars() {
+        for (src, v) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("42", Value::Int(42)),
+            ("-7", Value::Int(-7)),
+            ("2.5", Value::Float(2.5)),
+            ("1e3", Value::Float(1000.0)),
+            (r#""hi""#, Value::Str("hi".into())),
+        ] {
+            assert_eq!(parse(src).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_nested_structures() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":"x","d":{"e":false}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("d").unwrap().get("e"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash / unicode: ünïcødé 🎉";
+        let json = Value::Str(original.into()).to_json();
+        assert_eq!(parse(&json).unwrap().as_str().unwrap(), original);
+        // Explicit escape forms parse too.
+        assert_eq!(
+            parse(r#""\u0041\n\ud83c\udf89""#).unwrap(),
+            Value::Str("A\n🎉".into())
+        );
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = i64::MAX;
+        let v = parse(&big.to_string()).unwrap();
+        assert_eq!(v.as_i64(), Some(big));
+        // A 64-bit seed written as an integer survives the round trip.
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn float_output_reparses_as_float() {
+        assert_eq!(Value::Float(1.0).to_json(), "1.0");
+        assert_eq!(parse("1.0").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "01x",
+            r#""unterminated"#,
+            "1 2",
+            r#"{"a":1,}"#,
+            "\"\\q\"",
+            "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_control_chars_and_lone_surrogates() {
+        assert!(parse("\"a\u{01}b\"").is_err());
+        assert!(parse(r#""\ud800""#).is_err());
+        assert!(parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn object_helper_builds_objects() {
+        let v = Value::object([("b", Value::Int(2)), ("a", Value::Int(1))]);
+        assert_eq!(v.to_json(), r#"{"a":1,"b":2}"#);
+    }
+}

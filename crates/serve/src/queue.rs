@@ -1,0 +1,161 @@
+//! A bounded MPMC job queue on `Mutex` + `Condvar`.
+//!
+//! Producers (connection threads) use [`JobQueue::try_push`], which fails
+//! immediately when the queue is full — that failure becomes a `busy`
+//! error reply, the protocol's backpressure signal. Consumers (workers)
+//! block in [`JobQueue::pop`] until an item or [`JobQueue::close`]
+//! arrives; after close, `pop` drains the remaining items and then
+//! returns `None` forever, which is the workers' exit signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The bounded queue. `T` is the job type; the queue itself is generic
+/// so its tests don't need to build real jobs.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should report backpressure.
+    Full,
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` pending items
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; `Err(Full)` is the backpressure signal.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. `None` means the queue is closed *and*
+    /// drained — the consumer should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_push() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(JobQueue::new(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..20 {
+            while q.try_push(i) == Err(PushError::Full) {
+                thread::yield_now();
+            }
+        }
+        // Let the consumers drain, then release them.
+        while !q.is_empty() {
+            thread::yield_now();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 20);
+    }
+}

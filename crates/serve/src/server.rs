@@ -1,0 +1,506 @@
+//! The `factd` daemon: TCP listener, connection threads, worker pool.
+//!
+//! ## Thread structure
+//!
+//! - **accept loop** (the thread calling [`Server::run`]): accepts
+//!   connections and spawns a thread per client.
+//! - **connection threads**: read newline-delimited JSON requests,
+//!   enqueue optimization jobs, and wait (with the job's deadline) for
+//!   the reply. On deadline expiry the connection raises the job's
+//!   cancellation flag; the search winds down at the next evaluation
+//!   boundary and replies with its best-so-far under `status:"timeout"`.
+//! - **worker pool**: [`ServerConfig::workers`] threads popping jobs
+//!   from the bounded [`JobQueue`]. A full queue rejects new jobs
+//!   immediately (`error:"busy"`) — that is the backpressure signal.
+//! - **stats logger** (optional): prints one counters line per interval.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (also triggered by a `shutdown` request or
+//! by SIGINT/SIGTERM in `factd`) closes the queue, raises every
+//! in-flight job's cancellation flag, and wakes the accept loop; workers
+//! drain, reply, and exit, and [`Server::run`] returns.
+
+use crate::job::{run_job, JobError};
+use crate::json::{parse, Value};
+use crate::protocol::{decode_request, error_reply, OptimizeRequest, Request};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::ServerStats;
+use fact_core::EvalCache;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long after cancellation a job gets to wind down and deliver its
+/// best-so-far before the connection gives up on it entirely.
+const WIND_DOWN_GRACE: Duration = Duration::from_secs(10);
+
+/// Logs one line to stderr, swallowing write errors. `eprintln!` panics
+/// when stderr is a closed pipe (a dead log collector); a log line must
+/// never take down the shutdown path or the logger thread with it.
+macro_rules! log_stderr {
+    ($($arg:tt)*) => {
+        let _ = writeln!(io::stderr(), $($arg)*);
+    };
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7348` (port 0 picks an ephemeral
+    /// port; see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it, jobs are rejected (`busy`).
+    pub queue_capacity: usize,
+    /// Deadline for jobs that do not set their own `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Shard count for the shared evaluation cache (rounded up to a
+    /// power of two).
+    pub cache_shards: usize,
+    /// Seconds between stats log lines; 0 disables the logger.
+    pub stats_interval_s: u64,
+    /// Print connection/shutdown/stats lines to stderr.
+    pub log: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(2, |n| n.get());
+        ServerConfig {
+            addr: "127.0.0.1:7348".into(),
+            workers,
+            queue_capacity: 64,
+            default_timeout_ms: 120_000,
+            cache_shards: 16,
+            stats_interval_s: 30,
+            log: true,
+        }
+    }
+}
+
+/// One queued optimization job.
+struct Job {
+    req: OptimizeRequest,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<Value, JobError>>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    config: ServerConfig,
+    queue: JobQueue<Job>,
+    stats: ServerStats,
+    cache: EvalCache,
+    shutdown: AtomicBool,
+    /// Cancellation flags of in-flight jobs, so shutdown can stop them.
+    active: Mutex<Vec<Weak<AtomicBool>>>,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        if self.config.log {
+            log_stderr!("factd: shutting down");
+        }
+        self.queue.close();
+        for flag in self.active.lock().unwrap().iter() {
+            if let Some(flag) = flag.upgrade() {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+        // Unblock the accept loop with a self-connection.
+        if let Some(addr) = *self.addr.lock().unwrap() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn register_active(&self, flag: &Arc<AtomicBool>) {
+        let mut active = self.active.lock().unwrap();
+        active.retain(|w| w.strong_count() > 0);
+        active.push(Arc::downgrade(flag));
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+}
+
+/// A clonable handle for stopping a running [`Server`] from another
+/// thread (tests, signal monitors).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful shutdown; idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl Server {
+    /// Binds the listener. The server does not accept or spawn anything
+    /// until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = EvalCache::new(config.cache_shards.max(1));
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            stats: ServerStats::new(),
+            cache,
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(Vec::new()),
+            addr: Mutex::new(Some(addr)),
+            config,
+        });
+        Ok(Server { shared, listener })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the daemon on the calling thread until shutdown, then joins
+    /// the worker pool and returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server { shared, listener } = self;
+        if shared.config.log {
+            log_stderr!(
+                "factd: listening on {} ({} workers, queue {}, default timeout {}ms)",
+                listener.local_addr()?,
+                shared.config.workers,
+                shared.config.queue_capacity,
+                shared.config.default_timeout_ms,
+            );
+        }
+
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let logger = (shared.config.stats_interval_s > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || logger_loop(&shared))
+        });
+
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => {
+                    shared.begin_shutdown();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(l) = logger {
+            let _ = l.join();
+        }
+        if shared.config.log {
+            log_stderr!("{}", shared.stats.log_line(&shared.cache));
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Queued but never started; tell the waiting connection.
+            let _ = job.reply.send(Err(JobError {
+                code: "shutdown",
+                message: "server shutting down".into(),
+            }));
+            continue;
+        }
+        shared.register_active(&job.cancel);
+        match run_job(&job.req, &shared.cache, &job.cancel) {
+            Ok((reply, result)) => {
+                shared
+                    .stats
+                    .evaluations
+                    .fetch_add(result.evaluated as u64, Ordering::Relaxed);
+                let counter = if result.stopped {
+                    &shared.stats.timed_out
+                } else {
+                    &shared.stats.completed
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .record_latency_ms(job.submitted.elapsed().as_millis() as u64);
+                let _ = job.reply.send(Ok(reply));
+            }
+            Err(e) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+}
+
+fn logger_loop(shared: &Shared) {
+    let interval = Duration::from_secs(shared.config.stats_interval_s);
+    let tick = Duration::from_millis(200);
+    let mut since_line = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(tick);
+        since_line += tick;
+        if since_line >= interval {
+            since_line = Duration::ZERO;
+            if shared.config.log {
+                log_stderr!("{}", shared.stats.log_line(&shared.cache));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown_after) = handle_line(shared, &line);
+        if write_line(&mut writer, &reply).is_err() {
+            break;
+        }
+        if shutdown_after {
+            shared.begin_shutdown();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, reply: &Value) -> io::Result<()> {
+    let mut line = reply.to_json();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Executes one request line; the bool asks the caller to begin
+/// shutdown after writing the reply.
+fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
+    let value = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_reply("", "parse", &e.to_string()), false),
+    };
+    let request = match decode_request(&value) {
+        Ok(r) => r,
+        Err(e) => {
+            let id = value.get("id").and_then(Value::as_str).unwrap_or("");
+            return (error_reply(id, "request", &e.0), false);
+        }
+    };
+    match request {
+        Request::Ping => (Value::object([("type", Value::Str("pong".into()))]), false),
+        Request::Stats => (shared.stats.snapshot(&shared.cache), false),
+        Request::Shutdown => (Value::object([("type", Value::Str("ok".into()))]), true),
+        Request::Optimize(req) => (handle_optimize(shared, *req), false),
+    }
+}
+
+fn handle_optimize(shared: &Shared, req: OptimizeRequest) -> Value {
+    let id = req.id.clone();
+    let timeout = Duration::from_millis(
+        req.timeout_ms
+            .unwrap_or(shared.config.default_timeout_ms)
+            .max(1),
+    );
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        req,
+        cancel: Arc::clone(&cancel),
+        submitted: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return error_reply(
+                &id,
+                "busy",
+                &format!(
+                    "job queue full ({} pending); retry later",
+                    shared.config.queue_capacity
+                ),
+            );
+        }
+        Err(PushError::Closed) => {
+            return error_reply(&id, "shutdown", "server shutting down");
+        }
+    }
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+
+    match rx.recv_timeout(timeout) {
+        Ok(outcome) => finish(&id, outcome),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Deadline passed: cancel the job, then give it a grace
+            // period to wind down and deliver its best-so-far (the
+            // reply will carry `status:"timeout"`).
+            cancel.store(true, Ordering::SeqCst);
+            match rx.recv_timeout(WIND_DOWN_GRACE) {
+                Ok(outcome) => finish(&id, outcome),
+                Err(_) => error_reply(
+                    &id,
+                    "timeout",
+                    &format!(
+                        "job exceeded {}ms and did not wind down",
+                        timeout.as_millis()
+                    ),
+                ),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            error_reply(&id, "internal", "worker exited before replying")
+        }
+    }
+}
+
+fn finish(id: &str, outcome: Result<Value, JobError>) -> Value {
+    match outcome {
+        Ok(reply) => reply,
+        Err(e) => error_reply(id, e.code, &e.message),
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers that raise the returned flag; a
+/// monitor thread in `factd` polls it and triggers graceful shutdown.
+/// No-op (always-false flag) on non-Unix targets.
+pub fn install_signal_flag() -> &'static AtomicBool {
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            // POSIX `signal(2)`; libc is always linked on unix targets.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+    &SIGNALLED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 4,
+            default_timeout_ms: 60_000,
+            cache_shards: 8,
+            stats_interval_s: 0,
+            log: false,
+        }
+    }
+
+    fn start(config: ServerConfig) -> (SocketAddr, ServerHandle, thread::JoinHandle<()>) {
+        let server = Server::bind(config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run().unwrap());
+        (addr, handle, join)
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> Value {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply).unwrap();
+        parse(reply.trim()).unwrap()
+    }
+
+    #[test]
+    fn ping_stats_and_errors_over_the_wire() {
+        let (addr, handle, join) = start(quiet_config());
+        assert_eq!(
+            roundtrip(addr, r#"{"type":"ping"}"#)
+                .get("type")
+                .unwrap()
+                .as_str(),
+            Some("pong")
+        );
+        let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+        assert_eq!(stats.get("jobs_submitted").unwrap().as_i64(), Some(0));
+        let err = roundtrip(addr, "this is not json");
+        assert_eq!(err.get("error").unwrap().as_str(), Some("parse"));
+        let err = roundtrip(addr, r#"{"type":"levitate"}"#);
+        assert_eq!(err.get("error").unwrap().as_str(), Some("request"));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let (addr, _handle, join) = start(quiet_config());
+        let reply = roundtrip(addr, r#"{"type":"shutdown"}"#);
+        assert_eq!(reply.get("type").unwrap().as_str(), Some("ok"));
+        join.join().unwrap();
+        // Further optimize requests are refused (connection fails or
+        // the queue is closed) — the listener is gone.
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                let r = roundtrip(addr, r#"{"type":"ping"}"#);
+                r.get("type").is_some()
+            }
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Server observability: atomic job counters and a latency reservoir.
+//!
+//! Everything here is updated lock-free from worker and connection
+//! threads except the latency samples, which go through a small mutexed
+//! ring buffer (a few thousand entries — recent history is what p50/p95
+//! should describe for a long-running daemon).
+
+use crate::json::Value;
+use fact_core::EvalCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many completed-job latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Counters for one server's lifetime.
+pub struct ServerStats {
+    start: Instant,
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs finished successfully.
+    pub completed: AtomicU64,
+    /// Jobs that failed (compile error, unschedulable, …).
+    pub failed: AtomicU64,
+    /// Jobs cut short by their deadline.
+    pub timed_out: AtomicU64,
+    /// Jobs refused because the queue was full.
+    pub rejected: AtomicU64,
+    /// Candidate evaluations performed across all jobs (cache hits
+    /// included; see `FactResult::evaluated`).
+    pub evaluations: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl ServerStats {
+    /// Fresh counters, clock started now.
+    pub fn new() -> Self {
+        ServerStats {
+            start: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            evaluations: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one finished job's wall-clock latency.
+    pub fn record_latency_ms(&self, ms: u64) {
+        let mut ring = self.latencies.lock().unwrap();
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(ms);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = ms;
+            ring.next = (i + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// `(p50, p95)` over the recent-latency window, in milliseconds;
+    /// zeros before any job completes.
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let mut samples = self.latencies.lock().unwrap().samples.clone();
+        if samples.is_empty() {
+            return (0, 0);
+        }
+        samples.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx]
+        };
+        (pick(0.50), pick(0.95))
+    }
+
+    /// The full stats snapshot as a reply [`Value`] (also the payload of
+    /// the periodic log line).
+    pub fn snapshot(&self, cache: &EvalCache) -> Value {
+        let (p50, p95) = self.latency_percentiles();
+        let cs = cache.stats();
+        Value::object([
+            ("type", Value::Str("stats".into())),
+            (
+                "uptime_s",
+                Value::Int(self.start.elapsed().as_secs() as i64),
+            ),
+            ("jobs_submitted", counter(&self.submitted)),
+            ("jobs_completed", counter(&self.completed)),
+            ("jobs_failed", counter(&self.failed)),
+            ("jobs_timed_out", counter(&self.timed_out)),
+            ("jobs_rejected", counter(&self.rejected)),
+            ("evaluations", counter(&self.evaluations)),
+            ("cache_hits", Value::Int(cs.hits as i64)),
+            ("cache_misses", Value::Int(cs.misses as i64)),
+            ("cache_entries", Value::Int(cs.entries as i64)),
+            ("cache_hit_rate", Value::Float(cs.hit_rate())),
+            ("latency_p50_ms", Value::Int(p50 as i64)),
+            ("latency_p95_ms", Value::Int(p95 as i64)),
+        ])
+    }
+
+    /// One-line human log form of the snapshot.
+    pub fn log_line(&self, cache: &EvalCache) -> String {
+        let (p50, p95) = self.latency_percentiles();
+        let cs = cache.stats();
+        format!(
+            "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
+             evals={} cache={:.0}% ({} entries) p50={}ms p95={}ms",
+            self.start.elapsed().as_secs(),
+            self.completed.load(Ordering::Relaxed)
+                + self.failed.load(Ordering::Relaxed)
+                + self.timed_out.load(Ordering::Relaxed),
+            self.submitted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+            self.timed_out.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.evaluations.load(Ordering::Relaxed),
+            cs.hit_rate() * 100.0,
+            cs.entries,
+            p50,
+            p95,
+        )
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn counter(c: &AtomicU64) -> Value {
+    Value::Int(c.load(Ordering::Relaxed) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let s = ServerStats::new();
+        assert_eq!(s.latency_percentiles(), (0, 0));
+        for ms in 1..=100 {
+            s.record_latency_ms(ms);
+        }
+        let (p50, p95) = s.latency_percentiles();
+        assert!((49..=51).contains(&p50), "p50 = {p50}");
+        assert!((94..=96).contains(&p95), "p95 = {p95}");
+    }
+
+    #[test]
+    fn ring_keeps_recent_window() {
+        let s = ServerStats::new();
+        for _ in 0..LATENCY_WINDOW {
+            s.record_latency_ms(1);
+        }
+        // Overwrite the whole window with a higher value.
+        for _ in 0..LATENCY_WINDOW {
+            s.record_latency_ms(1000);
+        }
+        assert_eq!(s.latency_percentiles(), (1000, 1000));
+    }
+
+    #[test]
+    fn snapshot_reports_counters() {
+        let s = ServerStats::new();
+        s.submitted.fetch_add(3, Ordering::Relaxed);
+        s.completed.fetch_add(2, Ordering::Relaxed);
+        s.rejected.fetch_add(1, Ordering::Relaxed);
+        let cache = EvalCache::default();
+        let v = s.snapshot(&cache);
+        assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("jobs_completed").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("jobs_rejected").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
+        assert!(s.log_line(&cache).contains("ok=2"));
+    }
+}

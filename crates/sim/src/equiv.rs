@@ -10,8 +10,8 @@
 use crate::interp::{execute_with, ExecConfig, ExecError};
 use crate::trace::TraceSet;
 use fact_ir::Function;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fact_prng::rngs::StdRng;
+use fact_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -73,7 +73,11 @@ impl fmt::Display for Mismatch {
             } => write!(
                 f,
                 "{} behavior failed on vector {vector}: {error}",
-                if *original_failed { "original" } else { "transformed" }
+                if *original_failed {
+                    "original"
+                } else {
+                    "transformed"
+                }
             ),
         }
     }
@@ -122,7 +126,7 @@ pub fn check_equivalence(
         // memories (the transformed function declares the same arrays).
         let mut init: HashMap<usize, Vec<i64>> = HashMap::new();
         for (idx, (_, m)) in original.memories().enumerate() {
-            let data: Vec<i64> = (0..m.size).map(|_| rng.gen_range(-100..100)).collect();
+            let data: Vec<i64> = (0..m.size).map(|_| rng.gen_range(-100i64..100)).collect();
             init.insert(idx, data);
         }
         let cfg = ExecConfig {

@@ -40,7 +40,10 @@ impl fmt::Display for ExecError {
             }
             ExecError::MissingInput(name) => write!(f, "missing input `{name}`"),
             ExecError::OutOfBounds { mem, addr, size } => {
-                write!(f, "address {addr} out of bounds for memory {mem} of size {size}")
+                write!(
+                    f,
+                    "address {addr} out of bounds for memory {mem} of size {size}"
+                )
             }
         }
     }
@@ -289,14 +292,16 @@ mod tests {
 
     fn run(src: &str, inputs: &[(&str, i64)]) -> ExecResult {
         let f = compile(src).unwrap();
-        let env: HashMap<String, i64> =
-            inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let env: HashMap<String, i64> = inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         execute(&f, &env).unwrap()
     }
 
     #[test]
     fn straightline_arithmetic() {
-        let r = run("proc f(a, b) { out y = (a + b) * 2; }", &[("a", 3), ("b", 4)]);
+        let r = run(
+            "proc f(a, b) { out y = (a + b) * 2; }",
+            &[("a", 3), ("b", 4)],
+        );
         assert_eq!(r.outputs, vec![("y".to_string(), 14)]);
     }
 

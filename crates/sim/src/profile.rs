@@ -139,10 +139,8 @@ mod tests {
     fn loop_probability_reflects_trip_count() {
         // A loop with a fixed bound of 49 closes 49 out of every 50 visits
         // to the header: probability 0.98, the paper's TEST1 figure.
-        let f = compile(
-            "proc f(n) { var i = 0; while (i < 49) { i = i + 1; } out i = i; }",
-        )
-        .unwrap();
+        let f =
+            compile("proc f(n) { var i = 0; while (i < 49) { i = i + 1; } out i = i; }").unwrap();
         let traces = generate(&[("n".to_string(), InputSpec::Constant(0))], 10, 3);
         let p = profile(&f, &traces);
         let header = f
@@ -155,10 +153,9 @@ mod tests {
 
     #[test]
     fn if_probability_matches_input_distribution() {
-        let f = compile(
-            "proc f(a) { var y = 0; if (a < 37) { y = 1; } else { y = 2; } out y = y; }",
-        )
-        .unwrap();
+        let f =
+            compile("proc f(a) { var y = 0; if (a < 37) { y = 1; } else { y = 2; } out y = y; }")
+                .unwrap();
         // a uniform in [0, 99]: P(a < 37) = 0.37, the paper's TEST1 figure.
         let traces = generate(
             &[("a".to_string(), InputSpec::Uniform { lo: 0, hi: 99 })],
@@ -190,9 +187,13 @@ mod tests {
     #[test]
     fn failed_runs_are_counted_not_fatal() {
         // Nonterminating for n > 0; terminating for n <= 0.
-        let f = compile("proc f(n) { var i = 1; while (i > 0) { i = i + n; } out i = i; }")
-            .unwrap();
-        let traces = generate(&[("n".to_string(), InputSpec::Uniform { lo: -1, hi: 1 })], 30, 9);
+        let f =
+            compile("proc f(n) { var i = 1; while (i > 0) { i = i + n; } out i = i; }").unwrap();
+        let traces = generate(
+            &[("n".to_string(), InputSpec::Uniform { lo: -1, hi: 1 })],
+            30,
+            9,
+        );
         let cfg = ExecConfig {
             step_limit: 10_000,
             ..Default::default()

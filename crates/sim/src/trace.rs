@@ -6,8 +6,8 @@
 //! desired level of temporal correlation" (§5). Both generators live here,
 //! seeded for reproducibility.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fact_prng::rngs::StdRng;
+use fact_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One input vector: a value for each named input of a behavior.
@@ -143,7 +143,11 @@ mod tests {
         let specs = [("a".to_string(), InputSpec::Uniform { lo: 0, hi: 1000 })];
         let t1 = generate(&specs, 50, 7);
         let t2 = generate(&specs, 50, 8);
-        assert!(t1.vectors.iter().zip(&t2.vectors).any(|(a, b)| a["a"] != b["a"]));
+        assert!(t1
+            .vectors
+            .iter()
+            .zip(&t2.vectors)
+            .any(|(a, b)| a["a"] != b["a"]));
     }
 
     #[test]

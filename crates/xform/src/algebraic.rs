@@ -101,9 +101,8 @@ impl Transform for Associativity {
                 continue;
             }
             // Skip non-root ops of a chain (their root will handle them).
-            let is_chain_elem = |v: OpId| {
-                as_bin(f, v).is_some_and(|(b2, ..)| b2 == bin) && uses[v.index()] == 1
-            };
+            let is_chain_elem =
+                |v: OpId| as_bin(f, v).is_some_and(|(b2, ..)| b2 == bin) && uses[v.index()] == 1;
             let used_by_same = f.uses()[op.index()]
                 .iter()
                 .any(|&u| as_bin(f, u).is_some_and(|(b2, ..)| b2 == bin))
@@ -287,13 +286,17 @@ impl Transform for Distributivity {
             {
                 if uses[x.index()] == 1 && uses[y.index()] == 1 && x != y {
                     // Find a common factor.
-                    let pairs = [(a1, a2, c1, c2), (a1, a2, c2, c1), (a2, a1, c1, c2), (a2, a1, c2, c1)];
+                    let pairs = [
+                        (a1, a2, c1, c2),
+                        (a1, a2, c2, c1),
+                        (a2, a1, c1, c2),
+                        (a2, a1, c2, c1),
+                    ];
                     for (k, rest_x, k2, rest_y) in pairs {
                         if k == k2 {
                             let mut g = f.clone();
                             let pos = g.position_in_block(b, op).expect("op placed");
-                            let inner =
-                                g.insert(b, pos, Op::new(OpKind::Bin(bin, rest_x, rest_y)));
+                            let inner = g.insert(b, pos, Op::new(OpKind::Bin(bin, rest_x, rest_y)));
                             g.op_mut(op).kind = OpKind::Bin(BinOp::Mul, k, inner);
                             fact_ir::rewrite::eliminate_dead_code(&mut g);
                             out.push(Candidate {
@@ -494,8 +497,8 @@ mod tests {
     fn multi_use_subexpression_is_not_factored() {
         // a*b used twice: factoring would change the other use's cost
         // basis, so the pattern requires single use.
-        let f = compile("proc f(a, b, c) { var t = a * b; out y = t - a * c; out z = t; }")
-            .unwrap();
+        let f =
+            compile("proc f(a, b, c) { var t = a * b; out y = t - a * c; out z = t; }").unwrap();
         let cands = Distributivity.candidates(&f, &Region::whole());
         assert!(cands.iter().all(|c| !c.description.contains("factor")));
     }

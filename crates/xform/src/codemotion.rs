@@ -77,9 +77,12 @@ impl Transform for CodeMotion {
                         if !movable {
                             continue;
                         }
-                        let ok = f.op(op).kind.operands().iter().all(|v| {
-                            !defined_in.contains(v) || invariant_set.contains(v)
-                        });
+                        let ok = f
+                            .op(op)
+                            .kind
+                            .operands()
+                            .iter()
+                            .all(|v| !defined_in.contains(v) || invariant_set.contains(v));
                         if ok {
                             invariant.push((b, op));
                             invariant_set.insert(op);
@@ -162,12 +165,7 @@ mod tests {
             .body
             .iter()
             .flat_map(|&b| c.function.block(b).ops.clone())
-            .filter(|&op| {
-                matches!(
-                    c.function.op(op).kind,
-                    OpKind::Bin(fact_ir::BinOp::Mul, ..)
-                )
-            })
+            .filter(|&op| matches!(c.function.op(op).kind, OpKind::Bin(fact_ir::BinOp::Mul, ..)))
             .count();
         assert_eq!(muls_in_loop, 0);
     }

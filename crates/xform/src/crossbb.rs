@@ -210,7 +210,9 @@ mod tests {
             .candidates(&sunk, &Region::whole())
             .into_iter()
             .find(|c| c.description.contains("factor"));
-        let factored = factored.expect("distributivity applies after sinking").function;
+        let factored = factored
+            .expect("distributivity applies after sinking")
+            .function;
         verify(&factored).unwrap();
         check_equivalence(
             &f,
@@ -224,12 +226,7 @@ mod tests {
         let muls = factored
             .block_ids()
             .flat_map(|b| factored.block(b).ops.clone())
-            .filter(|&op| {
-                matches!(
-                    factored.op(op).kind,
-                    OpKind::Bin(fact_ir::BinOp::Mul, ..)
-                )
-            })
+            .filter(|&op| matches!(factored.op(op).kind, OpKind::Bin(fact_ir::BinOp::Mul, ..)))
             .count();
         assert_eq!(muls, 1, "{factored}");
     }
@@ -276,11 +273,17 @@ mod tests {
             .into_iter()
             .next()
             .unwrap();
-        let env: std::collections::HashMap<String, i64> =
-            [("x1", 2), ("x2", 3), ("x3", 4), ("x4", 5), ("x5", 6), ("c", 1)]
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect();
+        let env: std::collections::HashMap<String, i64> = [
+            ("x1", 2),
+            ("x2", 3),
+            ("x3", 4),
+            ("x4", 5),
+            ("x5", 6),
+            ("c", 1),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
         let r1 = fact_sim::execute(&f, &env).unwrap();
         let r2 = fact_sim::execute(&c.function, &env).unwrap();
         assert!(r2.ops_executed <= r1.ops_executed + 1);

@@ -78,10 +78,7 @@ impl Transform for CommonSubexpression {
                         }
                         Some(&earlier) => {
                             // `earlier` must dominate `op`'s site.
-                            let eb = op_blocks
-                                .get(earlier.index())
-                                .copied()
-                                .flatten();
+                            let eb = op_blocks.get(earlier.index()).copied().flatten();
                             let ob = Some(b);
                             let dominates = match (eb, ob) {
                                 (Some(e), Some(o)) if e == o => {

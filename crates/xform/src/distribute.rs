@@ -26,9 +26,7 @@
 //!   unobservable, output streams would not be).
 
 use crate::transform::{Candidate, Region, Transform, TransformKind};
-use fact_ir::{
-    BlockId, DomTree, Function, LoopForest, NaturalLoop, Op, OpId, OpKind, Terminator,
-};
+use fact_ir::{BlockId, DomTree, Function, LoopForest, NaturalLoop, Op, OpId, OpKind, Terminator};
 use std::collections::{HashMap, HashSet};
 
 /// The loop-distribution transformation.
@@ -76,8 +74,7 @@ struct LoopShape {
 }
 
 fn shape(f: &Function, l: &NaturalLoop) -> Option<LoopShape> {
-    if l.body.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 || l.exits[0].0 != l.header
-    {
+    if l.body.len() != 2 || l.latches.len() != 1 || l.exits.len() != 1 || l.exits[0].0 != l.header {
         return None;
     }
     let body = l.latches[0];
@@ -124,10 +121,7 @@ fn distribute(f: &Function, l: &NaturalLoop) -> Option<Function> {
         .collect();
     let latch_value = |phi: OpId| -> Option<OpId> {
         match &f.op(phi).kind {
-            OpKind::Phi(incoming) => incoming
-                .iter()
-                .find(|(b, _)| *b == latch)
-                .map(|(_, v)| *v),
+            OpKind::Phi(incoming) => incoming.iter().find(|(b, _)| *b == latch).map(|(_, v)| *v),
             _ => None,
         }
     };
@@ -192,9 +186,7 @@ fn distribute(f: &Function, l: &NaturalLoop) -> Option<Function> {
         .chain(&body_ops)
         .copied()
         .filter(|op| !induction.contains(op) && !support.contains(op))
-        .filter(|&op| {
-            !matches!(f.op(op).kind, OpKind::Const(_) | OpKind::Input(_))
-        })
+        .filter(|&op| !matches!(f.op(op).kind, OpKind::Const(_) | OpKind::Input(_)))
         .collect();
     if work_ops.is_empty() {
         return None;
@@ -349,10 +341,7 @@ fn build_cloned_loop(
 
     let latch_value = |phi: OpId| -> Option<OpId> {
         match &f.op(phi).kind {
-            OpKind::Phi(incoming) => incoming
-                .iter()
-                .find(|(b, _)| *b == latch)
-                .map(|(_, v)| *v),
+            OpKind::Phi(incoming) => incoming.iter().find(|(b, _)| *b == latch).map(|(_, v)| *v),
             _ => None,
         }
     };
@@ -436,9 +425,15 @@ fn build_cloned_loop(
                     .iter()
                     .find(|(b, _)| *b != latch)
                     .map(|(_, v)| *v)?;
-                let lv = incoming.iter().find(|(b, _)| *b == latch).map(|(_, v)| *v)?;
+                let lv = incoming
+                    .iter()
+                    .find(|(b, _)| *b == latch)
+                    .map(|(_, v)| *v)?;
                 // Defer latch operand remap until clones exist.
-                let ph = g.emit(header2, Op::new(OpKind::Phi(vec![(s.header, init), (body2, lv)])));
+                let ph = g.emit(
+                    header2,
+                    Op::new(OpKind::Phi(vec![(s.header, init), (body2, lv)])),
+                );
                 if let Some(lb) = label {
                     g.op_mut(ph).label = Some(lb);
                 }
@@ -446,7 +441,7 @@ fn build_cloned_loop(
             }
             mut k => {
                 k.map_operands(|v| map.get(&v).copied().unwrap_or(v));
-                
+
                 match label {
                     Some(lb) => g.emit(target, Op::with_label(k, lb)),
                     None => g.emit(target, Op::new(k)),

@@ -402,11 +402,7 @@ mod tests {
         )
         .unwrap();
         let cands = unroll2(&f);
-        let t = generate(
-            &[("n".to_string(), InputSpec::Constant(0))],
-            3,
-            5,
-        );
+        let t = generate(&[("n".to_string(), InputSpec::Constant(0))], 3, 5);
         check_equivalence(&f, &cands[0].function, &t, 5).unwrap();
     }
 

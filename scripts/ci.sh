@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate for this repository. Everything here runs fully offline —
+# the workspace has zero external dependencies (see DESIGN.md §5,
+# "Dependencies") — and must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "ci.sh: all gates passed"

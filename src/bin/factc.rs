@@ -34,7 +34,12 @@ OPTIONS:
     --objective <t|p>        optimize for throughput or power (with
                              --optimize); default throughput
     --optimize               run the FACT transformation search
+    --jobs <N>               worker threads for candidate evaluation in the
+                             search (default 1; the result is identical for
+                             any thread count)
     --emit <what>            extra artifacts: ir, dot, stg (repeatable)
+    --serve <ADDR>           ignore <FILE.bdl> and run the factd daemon on
+                             ADDR (e.g. 127.0.0.1:7348); see docs/SERVER.md
     -h, --help               print this help
 ";
 
@@ -48,7 +53,9 @@ struct Args {
     seed: u64,
     objective: Objective,
     run_optimize: bool,
+    jobs: usize,
     emit: Vec<String>,
+    serve: Option<String>,
 }
 
 fn parse_input_spec(raw: &str) -> Result<(String, InputSpec), String> {
@@ -85,7 +92,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 42,
         objective: Objective::Throughput,
         run_optimize: false,
+        jobs: 1,
         emit: Vec::new(),
+        serve: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -119,14 +128,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--optimize" => args.run_optimize = true,
+            "--jobs" => {
+                args.jobs = grab("--jobs")?.parse().map_err(|e| format!("{e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--emit" => args.emit.push(grab("--emit")?),
+            "--serve" => args.serve = Some(grab("--serve")?),
             other if !other.starts_with('-') && args.file.is_empty() => {
                 args.file = other.to_string()
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.file.is_empty() {
+    if args.file.is_empty() && args.serve.is_none() {
         return Err("no input file given".to_string());
     }
     Ok(args)
@@ -205,11 +221,12 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if args.run_optimize {
-        let config = FactConfig {
+        let mut config = FactConfig {
             objective: args.objective,
             sched: opts,
             ..Default::default()
         };
+        config.search.threads = args.jobs;
         let result = optimize(
             &behavior,
             &library,
@@ -251,10 +268,30 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the factd daemon in-process (`--serve ADDR`); blocks until a
+/// `shutdown` request or SIGINT/SIGTERM.
+fn serve(addr: &str) -> Result<(), String> {
+    let server = fact_serve::Server::bind(fact_serve::ServerConfig {
+        addr: addr.to_string(),
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = server.handle();
+    let signalled = fact_serve::install_signal_flag();
+    std::thread::spawn(move || loop {
+        if signalled.load(std::sync::atomic::Ordering::SeqCst) {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&argv) {
-        Ok(args) => match run(&args) {
+        Ok(args) => match args.serve.as_deref().map_or_else(|| run(&args), serve) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -292,16 +329,19 @@ mod tests {
     #[test]
     fn parses_alloc_lists() {
         let a = parse(&["f.bdl", "--alloc", "a1=2,mt1=1"]).unwrap();
-        assert_eq!(
-            a.alloc,
-            vec![("a1".to_string(), 2), ("mt1".to_string(), 1)]
-        );
+        assert_eq!(a.alloc, vec![("a1".to_string(), 2), ("mt1".to_string(), 1)]);
     }
 
     #[test]
     fn parses_input_specs() {
         let a = parse(&[
-            "f.bdl", "--input", "n=16", "--input", "a=0..9", "--input", "x=g:10.0,0.9",
+            "f.bdl",
+            "--input",
+            "n=16",
+            "--input",
+            "a=0..9",
+            "--input",
+            "x=g:10.0,0.9",
         ])
         .unwrap();
         assert_eq!(a.inputs.len(), 3);
@@ -316,6 +356,16 @@ mod tests {
         assert_eq!(a.objective, Objective::Power);
         assert!(a.run_optimize);
         assert_eq!(a.emit, vec!["stg".to_string()]);
+    }
+
+    #[test]
+    fn parses_jobs_and_serve() {
+        let a = parse(&["f.bdl", "--optimize", "--jobs", "4"]).unwrap();
+        assert_eq!(a.jobs, 4);
+        // --serve needs no input file.
+        let a = parse(&["--serve", "127.0.0.1:7348"]).unwrap();
+        assert_eq!(a.serve.as_deref(), Some("127.0.0.1:7348"));
+        assert!(parse(&["f.bdl", "--jobs", "0"]).is_err());
     }
 
     #[test]

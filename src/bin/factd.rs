@@ -1,0 +1,164 @@
+//! `factd` — the FACT optimization daemon.
+//!
+//! Accepts optimization jobs (behavioral source, allocation, objective,
+//! trace spec) over a newline-delimited JSON TCP protocol, runs them on
+//! a worker pool with a shared evaluation cache, and answers with the
+//! optimized IR, schedule statistics, and the applied-transformation
+//! path. See `docs/SERVER.md` for the protocol.
+//!
+//! ```console
+//! $ factd --addr 127.0.0.1:7348 --workers 4 --timeout-ms 60000
+//! ```
+
+use fact_serve::{install_signal_flag, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const USAGE: &str = "\
+factd — FACT optimization daemon (newline-delimited JSON over TCP)
+
+USAGE:
+    factd [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>    bind address (default 127.0.0.1:7348; port 0
+                          picks an ephemeral port, printed on startup)
+    --workers <N>         worker threads (default: available cores)
+    --queue <N>           job queue capacity; beyond it jobs are rejected
+                          with a `busy` error (default 64)
+    --timeout-ms <N>      default per-job deadline in milliseconds, used
+                          when a job sets no `timeout_ms` (default 120000)
+    --cache-shards <N>    evaluation-cache shard count (default 16)
+    --stats-every <SECS>  seconds between stats log lines; 0 disables
+                          (default 30)
+    --quiet               suppress log lines on stderr
+    -h, --help            print this help
+
+Stop with SIGINT/SIGTERM or a {\"type\":\"shutdown\"} request; in-flight
+jobs wind down and reply with their best-so-far.
+";
+
+fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        let num = |what: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("bad {what}: {e}"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => config.addr = grab("--addr")?,
+            "--workers" => config.workers = num("--workers", grab("--workers")?)?.max(1) as usize,
+            "--queue" => config.queue_capacity = num("--queue", grab("--queue")?)?.max(1) as usize,
+            "--timeout-ms" => {
+                config.default_timeout_ms = num("--timeout-ms", grab("--timeout-ms")?)?.max(1)
+            }
+            "--cache-shards" => {
+                config.cache_shards =
+                    num("--cache-shards", grab("--cache-shards")?)?.max(1) as usize
+            }
+            "--stats-every" => {
+                config.stats_interval_s = num("--stats-every", grab("--stats-every")?)?
+            }
+            "--quiet" => config.log = false,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            return if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::FAILURE
+            };
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Graceful shutdown on SIGINT/SIGTERM: the C handler only raises a
+    // flag; this monitor thread does the actual wind-down.
+    let handle = server.handle();
+    let signalled = install_signal_flag();
+    std::thread::spawn(move || loop {
+        if signalled.load(Ordering::SeqCst) {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServerConfig, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:7348");
+        assert_eq!(c.queue_capacity, 64);
+        let c = parse(&[
+            "--addr",
+            "0.0.0.0:0",
+            "--workers",
+            "3",
+            "--queue",
+            "10",
+            "--timeout-ms",
+            "500",
+            "--cache-shards",
+            "4",
+            "--stats-every",
+            "0",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(c.addr, "0.0.0.0:0");
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.queue_capacity, 10);
+        assert_eq!(c.default_timeout_ms, 500);
+        assert_eq!(c.cache_shards, 4);
+        assert_eq!(c.stats_interval_s, 0);
+        assert!(!c.log);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/driver_edge_cases-19e52fbc4099f081.d: crates/sched/tests/driver_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdriver_edge_cases-19e52fbc4099f081.rmeta: crates/sched/tests/driver_edge_cases.rs Cargo.toml
+
+crates/sched/tests/driver_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver_edge_cases-7bb2f2a47a6e4280.d: crates/sched/tests/driver_edge_cases.rs
+
+/root/repo/target/debug/deps/driver_edge_cases-7bb2f2a47a6e4280: crates/sched/tests/driver_edge_cases.rs
+
+crates/sched/tests/driver_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-23b4b73e3b730b9c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-23b4b73e3b730b9c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

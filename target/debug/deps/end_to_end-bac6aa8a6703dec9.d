@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bac6aa8a6703dec9.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bac6aa8a6703dec9: tests/end_to_end.rs
+
+tests/end_to_end.rs:

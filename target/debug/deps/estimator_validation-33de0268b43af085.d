@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimator_validation-33de0268b43af085.d: tests/estimator_validation.rs
+
+/root/repo/target/debug/deps/estimator_validation-33de0268b43af085: tests/estimator_validation.rs
+
+tests/estimator_validation.rs:

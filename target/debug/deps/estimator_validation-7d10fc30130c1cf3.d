@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/estimator_validation-7d10fc30130c1cf3.d: tests/estimator_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimator_validation-7d10fc30130c1cf3.rmeta: tests/estimator_validation.rs Cargo.toml
+
+tests/estimator_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

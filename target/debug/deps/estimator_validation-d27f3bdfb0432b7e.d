@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimator_validation-d27f3bdfb0432b7e.d: tests/estimator_validation.rs
+
+/root/repo/target/debug/deps/estimator_validation-d27f3bdfb0432b7e: tests/estimator_validation.rs
+
+tests/estimator_validation.rs:

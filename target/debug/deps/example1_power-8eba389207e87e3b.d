@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/example1_power-8eba389207e87e3b.d: crates/bench/benches/example1_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexample1_power-8eba389207e87e3b.rmeta: crates/bench/benches/example1_power.rs Cargo.toml
+
+crates/bench/benches/example1_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

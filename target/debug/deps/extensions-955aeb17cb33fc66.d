@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-955aeb17cb33fc66.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-955aeb17cb33fc66: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-ef51cfb1f7dbbd3a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-ef51cfb1f7dbbd3a: tests/extensions.rs
+
+tests/extensions.rs:

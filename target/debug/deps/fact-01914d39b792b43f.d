@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fact-01914d39b792b43f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfact-01914d39b792b43f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfact-01914d39b792b43f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fact-2e0655759ea45baa.d: src/lib.rs
+
+/root/repo/target/debug/deps/fact-2e0655759ea45baa: src/lib.rs
+
+src/lib.rs:

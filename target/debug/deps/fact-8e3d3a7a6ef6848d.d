@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fact-8e3d3a7a6ef6848d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact-8e3d3a7a6ef6848d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fact_estim-dd2753108b97779a.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_estim-dd2753108b97779a.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
+
+crates/estim/src/lib.rs:
+crates/estim/src/area.rs:
+crates/estim/src/evaluate.rs:
+crates/estim/src/library.rs:
+crates/estim/src/markov.rs:
+crates/estim/src/montecarlo.rs:
+crates/estim/src/power.rs:
+crates/estim/src/vdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

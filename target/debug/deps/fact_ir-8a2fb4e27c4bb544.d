@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fact_ir-8a2fb4e27c4bb544.d: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/pretty.rs crates/ir/src/rewrite.rs crates/ir/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_ir-8a2fb4e27c4bb544.rmeta: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/pretty.rs crates/ir/src/rewrite.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/rewrite.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

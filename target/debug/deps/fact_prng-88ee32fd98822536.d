@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fact_prng-88ee32fd98822536.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libfact_prng-88ee32fd98822536.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libfact_prng-88ee32fd98822536.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fact_prng-cad8d7d1ef258742.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/fact_prng-cad8d7d1ef258742: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

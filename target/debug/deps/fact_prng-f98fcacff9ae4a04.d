@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fact_prng-f98fcacff9ae4a04.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_prng-f98fcacff9ae4a04.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

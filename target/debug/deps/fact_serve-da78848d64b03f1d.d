@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fact_serve-da78848d64b03f1d.d: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_serve-da78848d64b03f1d.rmeta: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/job.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fact_sim-a20a570f304af013.d: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_sim-a20a570f304af013.rmeta: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/interp.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

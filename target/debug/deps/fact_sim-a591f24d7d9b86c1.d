@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fact_sim-a591f24d7d9b86c1.d: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_sim-a591f24d7d9b86c1.rmeta: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/interp.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

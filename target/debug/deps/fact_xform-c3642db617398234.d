@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fact_xform-c3642db617398234.d: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfact_xform-c3642db617398234.rmeta: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs Cargo.toml
+
+crates/xform/src/lib.rs:
+crates/xform/src/algebraic.rs:
+crates/xform/src/codemotion.rs:
+crates/xform/src/constprop.rs:
+crates/xform/src/crossbb.rs:
+crates/xform/src/cse.rs:
+crates/xform/src/distribute.rs:
+crates/xform/src/transform.rs:
+crates/xform/src/unroll.rs:
+crates/xform/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

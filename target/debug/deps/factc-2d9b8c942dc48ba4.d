@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factc-2d9b8c942dc48ba4.d: src/bin/factc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactc-2d9b8c942dc48ba4.rmeta: src/bin/factc.rs Cargo.toml
+
+src/bin/factc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

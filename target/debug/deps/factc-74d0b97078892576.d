@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factc-74d0b97078892576.d: src/bin/factc.rs
+
+/root/repo/target/debug/deps/factc-74d0b97078892576: src/bin/factc.rs
+
+src/bin/factc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factc-da9fc450517ec1cd.d: src/bin/factc.rs
+
+/root/repo/target/debug/deps/factc-da9fc450517ec1cd: src/bin/factc.rs
+
+src/bin/factc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factc-e4d8504f38813faf.d: src/bin/factc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactc-e4d8504f38813faf.rmeta: src/bin/factc.rs Cargo.toml
+
+src/bin/factc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

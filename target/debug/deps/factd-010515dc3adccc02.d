@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factd-010515dc3adccc02.d: src/bin/factd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactd-010515dc3adccc02.rmeta: src/bin/factd.rs Cargo.toml
+
+src/bin/factd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

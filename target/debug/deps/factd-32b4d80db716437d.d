@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/factd-32b4d80db716437d.d: src/bin/factd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfactd-32b4d80db716437d.rmeta: src/bin/factd.rs Cargo.toml
+
+src/bin/factd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

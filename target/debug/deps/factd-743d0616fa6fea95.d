@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factd-743d0616fa6fea95.d: src/bin/factd.rs
+
+/root/repo/target/debug/deps/factd-743d0616fa6fea95: src/bin/factd.rs
+
+src/bin/factd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factd-9ff9b77f6db79479.d: src/bin/factd.rs
+
+/root/repo/target/debug/deps/factd-9ff9b77f6db79479: src/bin/factd.rs
+
+src/bin/factd.rs:

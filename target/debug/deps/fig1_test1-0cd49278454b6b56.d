@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_test1-0cd49278454b6b56.d: crates/bench/benches/fig1_test1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_test1-0cd49278454b6b56.rmeta: crates/bench/benches/fig1_test1.rs Cargo.toml
+
+crates/bench/benches/fig1_test1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_test2-c6d01b1ac2151ebd.d: crates/bench/benches/fig2_test2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_test2-c6d01b1ac2151ebd.rmeta: crates/bench/benches/fig2_test2.rs Cargo.toml
+
+crates/bench/benches/fig2_test2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

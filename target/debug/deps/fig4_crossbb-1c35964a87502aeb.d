@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_crossbb-1c35964a87502aeb.d: crates/bench/benches/fig4_crossbb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_crossbb-1c35964a87502aeb.rmeta: crates/bench/benches/fig4_crossbb.rs Cargo.toml
+
+crates/bench/benches/fig4_crossbb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4e5481e306346cc1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4e5481e306346cc1: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-dd295060771511fb.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-dd295060771511fb: tests/paper_claims.rs
+
+tests/paper_claims.rs:

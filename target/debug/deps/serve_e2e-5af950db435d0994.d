@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_e2e-5af950db435d0994.d: tests/serve_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_e2e-5af950db435d0994.rmeta: tests/serve_e2e.rs Cargo.toml
+
+tests/serve_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_e2e-dd9096d63157beef.d: tests/serve_e2e.rs
+
+/root/repo/target/debug/deps/serve_e2e-dd9096d63157beef: tests/serve_e2e.rs
+
+tests/serve_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossbb_transform-160a2374d957035e.d: examples/crossbb_transform.rs
+
+/root/repo/target/debug/examples/crossbb_transform-160a2374d957035e: examples/crossbb_transform.rs
+
+examples/crossbb_transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crossbb_transform-400d811e958e2486.d: examples/crossbb_transform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrossbb_transform-400d811e958e2486.rmeta: examples/crossbb_transform.rs Cargo.toml
+
+examples/crossbb_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

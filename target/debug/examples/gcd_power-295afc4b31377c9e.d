@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gcd_power-295afc4b31377c9e.d: examples/gcd_power.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgcd_power-295afc4b31377c9e.rmeta: examples/gcd_power.rs Cargo.toml
+
+examples/gcd_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

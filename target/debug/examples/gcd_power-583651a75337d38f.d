@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gcd_power-583651a75337d38f.d: examples/gcd_power.rs
+
+/root/repo/target/debug/examples/gcd_power-583651a75337d38f: examples/gcd_power.rs
+
+examples/gcd_power.rs:

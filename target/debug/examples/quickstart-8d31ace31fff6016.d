@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8d31ace31fff6016.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8d31ace31fff6016: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/test2_throughput-50334782344babfe.d: examples/test2_throughput.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtest2_throughput-50334782344babfe.rmeta: examples/test2_throughput.rs Cargo.toml
+
+examples/test2_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/test2_throughput-f3db772cfea5141f.d: examples/test2_throughput.rs
+
+/root/repo/target/debug/examples/test2_throughput-f3db772cfea5141f: examples/test2_throughput.rs
+
+examples/test2_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fact-8293198183f3cae4.d: src/lib.rs
+
+/root/repo/target/release/deps/libfact-8293198183f3cae4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfact-8293198183f3cae4.rmeta: src/lib.rs
+
+src/lib.rs:

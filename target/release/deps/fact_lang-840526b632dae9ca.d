@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fact_lang-840526b632dae9ca.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libfact_lang-840526b632dae9ca.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/libfact_lang-840526b632dae9ca.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/token.rs:

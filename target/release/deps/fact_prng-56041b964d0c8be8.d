@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fact_prng-56041b964d0c8be8.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libfact_prng-56041b964d0c8be8.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libfact_prng-56041b964d0c8be8.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

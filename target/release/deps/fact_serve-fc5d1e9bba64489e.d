@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fact_serve-fc5d1e9bba64489e.d: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libfact_serve-fc5d1e9bba64489e.rlib: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/libfact_serve-fc5d1e9bba64489e.rmeta: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/job.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

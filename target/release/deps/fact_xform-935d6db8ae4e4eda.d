@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fact_xform-935d6db8ae4e4eda.d: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+/root/repo/target/release/deps/libfact_xform-935d6db8ae4e4eda.rlib: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+/root/repo/target/release/deps/libfact_xform-935d6db8ae4e4eda.rmeta: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+crates/xform/src/lib.rs:
+crates/xform/src/algebraic.rs:
+crates/xform/src/codemotion.rs:
+crates/xform/src/constprop.rs:
+crates/xform/src/crossbb.rs:
+crates/xform/src/cse.rs:
+crates/xform/src/distribute.rs:
+crates/xform/src/transform.rs:
+crates/xform/src/unroll.rs:
+crates/xform/src/util.rs:

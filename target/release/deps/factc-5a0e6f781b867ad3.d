@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/factc-5a0e6f781b867ad3.d: src/bin/factc.rs
+
+/root/repo/target/release/deps/factc-5a0e6f781b867ad3: src/bin/factc.rs
+
+src/bin/factc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/factd-c409746b38d71d07.d: src/bin/factd.rs
+
+/root/repo/target/release/deps/factd-c409746b38d71d07: src/bin/factd.rs
+
+src/bin/factd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-c9cba4295b55de04.d: crates/bench/benches/sweep.rs
+
+/root/repo/target/release/deps/sweep-c9cba4295b55de04: crates/bench/benches/sweep.rs
+
+crates/bench/benches/sweep.rs:

@@ -3,7 +3,9 @@
 //! benchmark of the §5 suite, with functional equivalence enforced on
 //! every optimized output.
 
-use fact_core::{flamel, m1, optimize, suite, FactConfig, Objective, SearchConfig, TransformLibrary};
+use fact_core::{
+    flamel, m1, optimize, suite, FactConfig, Objective, SearchConfig, TransformLibrary,
+};
 use fact_estim::{markov_of, section5_library};
 use fact_sched::SchedOptions;
 use fact_sim::check_equivalence;
@@ -114,7 +116,11 @@ fn fact_beats_baselines_somewhere_and_never_loses() {
             fa.estimate.average_schedule_length,
         );
         assert!(la <= lm * 1.02, "{}: FACT {la} worse than M1 {lm}", b.name);
-        assert!(la <= lf * 1.02, "{}: FACT {la} worse than Flamel {lf}", b.name);
+        assert!(
+            la <= lf * 1.02,
+            "{}: FACT {la} worse than Flamel {lf}",
+            b.name
+        );
         if la < 0.95 * lm {
             strict_wins_m1 += 1;
         }
@@ -158,8 +164,7 @@ fn power_mode_never_exceeds_baseline_power_or_time() {
         );
         // Iso-performance: the winner is never slower than the baseline.
         assert!(
-            r.estimate.average_schedule_length
-                <= r.baseline.average_schedule_length * 1.002,
+            r.estimate.average_schedule_length <= r.baseline.average_schedule_length * 1.002,
             "{}",
             b.name
         );

@@ -67,9 +67,6 @@ fn monte_carlo_agrees_per_state_on_test1() {
         let a = analytic.visits(s);
         let m = mc.visits(s);
         let tol = 0.05 * a.max(1.0);
-        assert!(
-            (a - m).abs() < tol,
-            "{s}: analytic {a:.2} vs MC {m:.2}"
-        );
+        assert!((a - m).abs() < tol, "{s}: analytic {a:.2} vs MC {m:.2}");
     }
 }

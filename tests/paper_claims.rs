@@ -21,7 +21,11 @@ fn table2_shape_holds() {
     // Aggregate improvements in the paper's direction.
     assert!(r.fact_vs_m1.unwrap() > 1.2, "{:?}", r.fact_vs_m1);
     assert!(r.fact_vs_flamel.unwrap() > 1.05, "{:?}", r.fact_vs_flamel);
-    assert!(r.power_saving_pct.unwrap() > 20.0, "{:?}", r.power_saving_pct);
+    assert!(
+        r.power_saving_pct.unwrap() > 20.0,
+        "{:?}",
+        r.power_saving_pct
+    );
 }
 
 #[test]
@@ -45,10 +49,7 @@ fn figure2_example2_speedup_shape() {
     let r = fact_bench::fig2::run(true);
     // Paper: 1.25x; ours lands in the same band via the same rewrite.
     assert!(r.speedup > 1.15 && r.speedup < 2.5, "speedup {}", r.speedup);
-    assert!(r
-        .applied
-        .iter()
-        .any(|d| d.contains("sum-of-differences")));
+    assert!(r.applied.iter().any(|d| d.contains("sum-of-differences")));
     assert!(r.phases_after >= 3);
 }
 

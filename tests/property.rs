@@ -7,8 +7,8 @@
 //! * every generated behavior schedules into a valid STG with a finite
 //!   average schedule length and positive energy.
 
-use fact_lang::ast::{Expr, Proc, Stmt};
 use fact_ir::{BinOp, Function, UnOp};
+use fact_lang::ast::{Expr, Proc, Stmt};
 use fact_sim::{check_equivalence, generate, InputSpec, TraceSet};
 use fact_xform::{Region, TransformLibrary};
 use proptest::prelude::*;
@@ -50,8 +50,8 @@ fn expr() -> impl Strategy<Value = Expr> {
 /// Statements at a given nesting depth; loops use fresh counters indexed
 /// by `depth` so generated programs always terminate.
 fn stmts(depth: u32) -> BoxedStrategy<Vec<Stmt>> {
-    let assign = (0usize..VARS.len(), expr())
-        .prop_map(|(v, e)| Stmt::Assign(VARS[v].to_string(), e));
+    let assign =
+        (0usize..VARS.len(), expr()).prop_map(|(v, e)| Stmt::Assign(VARS[v].to_string(), e));
     if depth == 0 {
         proptest::collection::vec(assign, 1..4).boxed()
     } else {

@@ -1,0 +1,232 @@
+//! End-to-end test of the `factd` daemon: boots a server on an
+//! ephemeral port, submits concurrent optimization jobs from the §5
+//! suite over real TCP connections, and checks timeouts, backpressure
+//! stats, and cross-job cache sharing.
+
+use fact_serve::{parse, Server, ServerConfig, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+
+fn start_server(workers: usize) -> (SocketAddr, fact_serve::ServerHandle, thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 16,
+        default_timeout_ms: 120_000,
+        cache_shards: 8,
+        stats_interval_s: 0,
+        log: false,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+fn roundtrip(addr: SocketAddr, line: &str) -> Value {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    parse(reply.trim()).expect("reply is one line of JSON")
+}
+
+/// A §5-style job as a one-line protocol request (the wire format is
+/// newline-delimited, so the request must not contain newlines — the
+/// compact JSON writer guarantees that).
+fn job_line(
+    id: &str,
+    source: &str,
+    alloc: &[(&str, i64)],
+    extra: &[(&'static str, Value)],
+) -> String {
+    let alloc = Value::Object(
+        alloc
+            .iter()
+            .map(|(u, n)| (u.to_string(), Value::Int(*n)))
+            .collect(),
+    );
+    let traces = Value::object([
+        ("n", Value::Int(4)),
+        ("seed", Value::Int(7)),
+        (
+            "inputs",
+            Value::object([
+                ("n", Value::object([("const", Value::Int(10))])),
+                ("a", Value::object([("const", Value::Int(2))])),
+                ("b", Value::object([("const", Value::Int(3))])),
+            ]),
+        ),
+    ]);
+    let mut req = vec![
+        ("type", Value::Str("optimize".into())),
+        ("id", Value::Str(id.into())),
+        ("source", Value::Str(source.into())),
+        ("alloc", alloc),
+        ("traces", traces),
+        (
+            "search",
+            Value::object([("max_evaluations", Value::Int(60))]),
+        ),
+    ];
+    req.extend(extra.iter().cloned());
+    Value::object(req).to_json()
+}
+
+/// The factorable-loop behavior the FACT search reliably improves
+/// (distributivity: `t*a + t*b → t*(a+b)` frees a multiplier cycle).
+const FACTORABLE: &str = "proc f(n, a, b) { var s = 0; var i = 0; \
+     while (i < n) { var t = s + 1; s = t * a + t * b; i = i + 1; } out s = s; }";
+
+const ALLOC: &[(&str, i64)] = &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 2), ("sb1", 1)];
+
+#[test]
+fn serves_three_concurrent_jobs_and_shares_the_cache() {
+    let (addr, handle, join) = start_server(2);
+
+    // Three concurrent clients, same §5-style job under different ids.
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let line = job_line(&format!("job{i}"), FACTORABLE, ALLOC, &[]);
+            thread::spawn(move || roundtrip(addr, &line))
+        })
+        .collect();
+    let replies: Vec<Value> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(
+            reply.get("type").and_then(Value::as_str),
+            Some("result"),
+            "job{i} reply: {}",
+            reply.to_json()
+        );
+        assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(
+            reply.get("id").and_then(Value::as_str),
+            Some(format!("job{i}").as_str())
+        );
+        assert!(reply.get("evaluated").unwrap().as_i64().unwrap() > 0);
+        let base = reply.get("baseline").unwrap().get("cycles").unwrap();
+        let opt = reply.get("optimized").unwrap().get("cycles").unwrap();
+        assert!(opt.as_f64().unwrap() <= base.as_f64().unwrap());
+    }
+    // Identical jobs must land on identical transformation paths
+    // regardless of which worker ran them (determinism over the wire).
+    let applied: Vec<String> = replies
+        .iter()
+        .map(|r| r.get("applied").unwrap().to_json())
+        .collect();
+    assert_eq!(applied[0], applied[1]);
+    assert_eq!(applied[0], applied[2]);
+
+    // A repeat of the same job is answered from the shared cache.
+    let repeat = roundtrip(addr, &job_line("again", FACTORABLE, ALLOC, &[]));
+    assert_eq!(repeat.get("status").and_then(Value::as_str), Some("ok"));
+    let hits = repeat.get("cache_hits").unwrap().as_i64().unwrap();
+    let evals = repeat.get("evaluated").unwrap().as_i64().unwrap();
+    assert_eq!(hits, evals, "warm job should be fully cache-served");
+
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("jobs_submitted").unwrap().as_i64(), Some(4));
+    assert_eq!(stats.get("jobs_completed").unwrap().as_i64(), Some(4));
+    assert!(
+        stats.get("cache_hit_rate").unwrap().as_f64().unwrap() > 0.0,
+        "stats: {}",
+        stats.to_json()
+    );
+    assert!(stats.get("cache_entries").unwrap().as_i64().unwrap() > 0);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn per_job_timeout_returns_best_so_far() {
+    let (addr, handle, join) = start_server(1);
+    // A 1 ms deadline on a huge search budget: the deadline fires first
+    // and the reply must come back promptly with status "timeout".
+    let line = job_line(
+        "deadline",
+        FACTORABLE,
+        ALLOC,
+        &[
+            (
+                "search",
+                Value::object([
+                    ("max_evaluations", Value::Int(100_000)),
+                    ("max_rounds", Value::Int(100_000)),
+                    ("max_moves", Value::Int(50)),
+                ]),
+            ),
+            ("timeout_ms", Value::Int(1)),
+        ],
+    );
+    let started = std::time::Instant::now();
+    let reply = roundtrip(addr, &line);
+    assert!(
+        started.elapsed().as_secs() < 15,
+        "timeout reply took {:?}",
+        started.elapsed()
+    );
+    match reply.get("type").and_then(Value::as_str) {
+        // Wind-down path: partial result, explicitly marked.
+        Some("result") => {
+            assert_eq!(reply.get("status").and_then(Value::as_str), Some("timeout"));
+            assert_eq!(reply.get("stopped").and_then(Value::as_bool), Some(true));
+        }
+        // The job was cut before producing anything.
+        Some("error") => {
+            assert_eq!(reply.get("error").and_then(Value::as_str), Some("timeout"));
+        }
+        other => panic!("unexpected reply type {other:?}: {}", reply.to_json()),
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn bad_jobs_get_error_replies_not_disconnects() {
+    let (addr, handle, join) = start_server(1);
+    // One connection, several requests in sequence.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |line: &str| -> Value {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse(reply.trim()).unwrap()
+    };
+
+    assert_eq!(
+        ask(r#"{"type":"ping"}"#)
+            .get("type")
+            .and_then(Value::as_str),
+        Some("pong")
+    );
+    let bad_compile = ask(&job_line("c", "proc f( {", ALLOC, &[]));
+    assert_eq!(
+        bad_compile.get("error").and_then(Value::as_str),
+        Some("compile")
+    );
+    let bad_alloc = ask(&job_line("a", FACTORABLE, &[("warp9", 1)], &[]));
+    assert_eq!(
+        bad_alloc.get("error").and_then(Value::as_str),
+        Some("alloc")
+    );
+    // The connection is still usable after both errors.
+    assert_eq!(
+        ask(r#"{"type":"ping"}"#)
+            .get("type")
+            .and_then(Value::as_str),
+        Some("pong")
+    );
+    let stats = ask(r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("jobs_failed").unwrap().as_i64(), Some(2));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
