@@ -1,0 +1,82 @@
+//! Search-throughput bench: emits `BENCH_search.json`.
+//! Run: `scripts/bench.sh` (or `cargo bench -p fact-bench --bench search_perf`).
+//!
+//! Flags (after `--`):
+//!   --out PATH    output file (default BENCH_search.json)
+//!   --budget N    evaluation budget per benchmark (default 400)
+//!   --smoke       tiny budget, stdout only (CI well-formedness check)
+
+use fact_bench::search_perf::{run_with, standard_config, to_json};
+
+fn main() {
+    let mut out_path = String::from("BENCH_search.json");
+    let mut budget = 400usize;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--budget" => {
+                budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget needs a number")
+            }
+            "--smoke" => smoke = true,
+            "--bench" => {} // cargo bench passes this through
+            other => eprintln!("search_perf: ignoring unknown flag {other}"),
+        }
+    }
+    if smoke {
+        budget = budget.min(10);
+    }
+
+    let t0 = std::time::Instant::now();
+    let passes = measure(budget);
+    let json = to_json(&passes);
+    // Human summary on stderr so `--smoke`'s stdout is pure JSON.
+    for p in &passes {
+        eprintln!(
+            "mode={} total: {} evals in {:.2}s -> {:.0} evals/sec",
+            p.mode,
+            p.total_evaluated(),
+            p.total_wall_s(),
+            p.total_evals_per_sec()
+        );
+        for s in &p.suites {
+            eprintln!(
+                "  {:8} {:5} evals {:7.3}s {:8.0} evals/sec cache {:4.0}%",
+                s.name,
+                s.evaluated,
+                s.wall_s,
+                s.evals_per_sec,
+                s.cache_hit_rate * 100.0
+            );
+        }
+    }
+    if smoke {
+        // CI path: print the JSON for the caller to validate, write nothing.
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write BENCH_search.json");
+        println!(
+            "wrote {out_path} ({:.1}s total)",
+            t0.elapsed().as_secs_f32()
+        );
+    }
+}
+
+/// One pass per engine mode: the incremental engine (the default) and
+/// the full-reschedule fallback, so the JSON carries an apples-to-apples
+/// speedup ratio. Both passes follow bit-identical search trajectories
+/// (pinned by fact-core's equivalence tests), so evals/sec is the only
+/// thing that differs.
+fn measure(budget: usize) -> Vec<fact_bench::search_perf::SearchPerf> {
+    let incremental = standard_config(budget);
+    let mut full = standard_config(budget);
+    full.incremental = false;
+    vec![
+        run_with("incremental", &incremental),
+        run_with("full", &full),
+    ]
+}

@@ -24,5 +24,6 @@ pub mod example1;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;
+pub mod search_perf;
 pub mod sweep;
 pub mod table2;

@@ -1,0 +1,185 @@
+//! Search-throughput measurement: evaluations/sec over the §5 suite.
+//!
+//! Unlike the paper-artifact drivers, this module records the *perf
+//! trajectory* of the engine itself: how many candidate evaluations per
+//! second the full FACT pipeline sustains on each suite benchmark, plus
+//! wall time and evaluation-cache hit rate. The `search_perf` bench
+//! target writes the result as `BENCH_search.json` so successive PRs can
+//! be compared number-for-number.
+//!
+//! Std-only by design (the offline build has no serde/criterion): the
+//! JSON is emitted by hand from a flat result struct.
+
+use fact_core::{optimize_with, suite, EvalCache, FactConfig, OptimizeHooks, TransformLibrary};
+use fact_estim::section5_library;
+use std::time::Instant;
+
+/// Throughput measurement of one suite benchmark.
+#[derive(Clone, Debug)]
+pub struct SuitePerf {
+    /// Benchmark name (Table 2 row).
+    pub name: &'static str,
+    /// Candidate evaluations performed by the search.
+    pub evaluated: usize,
+    /// Evaluations answered by the [`EvalCache`].
+    pub cache_hits: usize,
+    /// Wall-clock time of the whole `optimize_with` run, seconds.
+    pub wall_s: f64,
+    /// `evaluated / wall_s`.
+    pub evals_per_sec: f64,
+    /// Cache hit rate over the run (`hits / lookups`).
+    pub cache_hit_rate: f64,
+}
+
+/// One full measurement pass: every Table 2 benchmark, fresh cache each.
+#[derive(Clone, Debug)]
+pub struct SearchPerf {
+    /// Label for the engine configuration measured (e.g. `incremental`).
+    pub mode: String,
+    /// Evaluation budget per benchmark (`SearchConfig::max_evaluations`).
+    pub budget: usize,
+    /// Per-benchmark measurements.
+    pub suites: Vec<SuitePerf>,
+}
+
+impl SearchPerf {
+    /// Total evaluations across all suites.
+    pub fn total_evaluated(&self) -> usize {
+        self.suites.iter().map(|s| s.evaluated).sum()
+    }
+
+    /// Total wall time across all suites, seconds.
+    pub fn total_wall_s(&self) -> f64 {
+        self.suites.iter().map(|s| s.wall_s).sum()
+    }
+
+    /// Aggregate evaluations/sec (total evals over total wall time).
+    pub fn total_evals_per_sec(&self) -> f64 {
+        let w = self.total_wall_s();
+        if w > 0.0 {
+            self.total_evaluated() as f64 / w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the search-throughput measurement over the §5 suite with the
+/// given configuration, labeled `mode` in the report.
+///
+/// Each benchmark gets a fresh [`EvalCache`] so hit rates reflect
+/// within-run reuse only (cross-run reuse would make the numbers depend
+/// on measurement order).
+pub fn run_with(mode: &str, config: &FactConfig) -> SearchPerf {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    let mut suites = Vec::new();
+    for b in suite(&lib) {
+        let cache = EvalCache::default();
+        let hooks = OptimizeHooks {
+            cache: Some(&cache),
+            stop: None,
+        };
+        let t0 = Instant::now();
+        let r = optimize_with(
+            &b.function,
+            &lib,
+            &rules,
+            &b.allocation,
+            &b.traces,
+            &tlib,
+            config,
+            hooks,
+        );
+        let wall_s = t0.elapsed().as_secs_f64();
+        let (evaluated, cache_hits) = match &r {
+            Ok(r) => (r.evaluated, r.cache_hits),
+            Err(_) => (0, 0),
+        };
+        let cs = cache.stats();
+        suites.push(SuitePerf {
+            name: b.name,
+            evaluated,
+            cache_hits,
+            wall_s,
+            evals_per_sec: if wall_s > 0.0 {
+                evaluated as f64 / wall_s
+            } else {
+                0.0
+            },
+            cache_hit_rate: cs.hit_rate(),
+        });
+    }
+    SearchPerf {
+        mode: mode.to_string(),
+        budget: config.search.max_evaluations,
+        suites,
+    }
+}
+
+/// The standard measurement configuration: defaults with the given
+/// per-benchmark evaluation budget, single-threaded so evals/sec
+/// reflects per-candidate cost rather than core count.
+pub fn standard_config(budget: usize) -> FactConfig {
+    let mut config = FactConfig::default();
+    config.search.max_evaluations = budget;
+    config.search.threads = 1;
+    config
+}
+
+/// Renders one or more measurement passes as a JSON document.
+pub fn to_json(passes: &[SearchPerf]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"search\",\n  \"passes\": [\n");
+    for (pi, p) in passes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"mode\": \"{}\",\n      \"budget\": {},\n      \"suites\": [\n",
+            p.mode, p.budget
+        ));
+        for (i, s) in p.suites.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"evaluated\": {}, \"cache_hits\": {}, \
+                 \"wall_s\": {:.4}, \"evals_per_sec\": {:.1}, \"cache_hit_rate\": {:.4}}}{}\n",
+                s.name,
+                s.evaluated,
+                s.cache_hits,
+                s.wall_s,
+                s.evals_per_sec,
+                s.cache_hit_rate,
+                if i + 1 < p.suites.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ],\n      \"total_evaluated\": {},\n      \"total_wall_s\": {:.4},\n      \
+             \"total_evals_per_sec\": {:.1}\n    }}{}\n",
+            p.total_evaluated(),
+            p.total_wall_s(),
+            p.total_evals_per_sec(),
+            if pi + 1 < passes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_numbers() {
+        let p = run_with("smoke", &standard_config(8));
+        assert_eq!(p.suites.len(), 6);
+        assert!(p.total_evaluated() > 0);
+        assert!(p.total_wall_s() > 0.0);
+        let json = to_json(&[p]);
+        assert!(json.contains("\"bench\": \"search\""));
+        assert!(json.contains("\"mode\": \"smoke\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

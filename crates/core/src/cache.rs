@@ -73,38 +73,69 @@ impl ContextHasher {
 /// A 64-bit structural hash of a CDFG.
 ///
 /// Two functions hash equal iff they have the same block structure,
-/// operation kinds, dataflow (operand references are renumbered densely
-/// in traversal order, so arena layout and dead/tombstoned operations do
-/// not affect the hash), terminators, and memory sizes. Cosmetic block
-/// names are ignored; the function name is ignored too, since the score
-/// of a candidate does not depend on it.
+/// operation kinds, dataflow (operand references are encoded by position,
+/// so arena layout and dead/tombstoned operations do not affect the
+/// hash), terminators, and memory sizes. Cosmetic block names are
+/// ignored; the function name is ignored too, since the score of a
+/// candidate does not depend on it.
+///
+/// The hash is a combination of [`block_hashes`] plus the memory sizes,
+/// so whole-function and per-block structural equality are decided by
+/// the same pass.
 pub fn structural_hash(f: &Function) -> u64 {
     let mut h = ContextHasher::new(0xFAC7_CDF6);
-    // Dense renumbering of placed ops: arena ids are allocation order,
-    // which differs between structurally identical candidates produced by
-    // different transformation paths.
-    let mut dense: Vec<u64> = vec![u64::MAX; f.num_ops()];
-    let mut next = 0u64;
+    let sub = block_hashes(f);
+    h.write_u64(sub.len() as u64);
+    for s in sub {
+        h.write_u64(s);
+    }
+    h.write_u64(f.memories().count() as u64);
+    for (_, m) in f.memories() {
+        h.write_u64(m.size as u64);
+    }
+    h.finish()
+}
+
+/// Per-block structural sub-hashes: entry `i` covers block `i`'s
+/// operations and terminator.
+///
+/// Operand references are encoded positionally — in-block position for
+/// local references, `(block index, position)` for cross-block ones — so
+/// a rewrite confined to one block changes only that block's sub-hash
+/// (unless it moves operations other blocks refer to). This is the
+/// per-block keying behind incremental evaluation: [`structural_hash`]
+/// combines these sub-hashes, and the scheduler's fragment memo reuses
+/// list schedules for blocks whose structure is unchanged between
+/// candidates.
+pub fn block_hashes(f: &Function) -> Vec<u64> {
+    // Position map: arena id -> (owning block, position within block).
+    // Arena ids themselves are allocation order, which differs between
+    // structurally identical candidates produced by different
+    // transformation paths, so they never enter a hash directly (except
+    // for detached ops, which verified IR does not reference).
+    const DETACHED: (u64, u64) = (u64::MAX, u64::MAX);
+    let mut place: Vec<(u64, u64)> = vec![DETACHED; f.num_ops()];
     for b in f.block_ids() {
-        for &op in &f.block(b).ops {
-            dense[op.index()] = next;
-            next += 1;
+        for (i, &op) in f.block(b).ops.iter().enumerate() {
+            place[op.index()] = (b.index() as u64, i as u64);
         }
     }
-    let val = |v: fact_ir::OpId| -> u64 {
-        let d = dense[v.index()];
-        // A reference to a detached op (should not happen in verified
-        // IR) still hashes deterministically via its arena id.
-        if d == u64::MAX {
-            (1 << 63) | v.index() as u64
-        } else {
-            d
-        }
-    };
 
-    h.write_u64(f.num_blocks() as u64);
+    let mut out = Vec::with_capacity(f.num_blocks());
     for b in f.block_ids() {
         let blk = f.block(b);
+        let here = b.index() as u64;
+        let mut h = ContextHasher::new(0xFAC7_B10C);
+        let val = |h: &mut ContextHasher, v: fact_ir::OpId| {
+            let (owner, pos) = place[v.index()];
+            if (owner, pos) == DETACHED {
+                h.write_u64(2).write_u64(v.index() as u64);
+            } else if owner == here {
+                h.write_u64(0).write_u64(pos);
+            } else {
+                h.write_u64(1).write_u64(owner).write_u64(pos);
+            }
+        };
         h.write_u64(blk.ops.len() as u64);
         for &op in &blk.ops {
             match &f.op(op).kind {
@@ -115,45 +146,43 @@ pub fn structural_hash(f: &Function) -> u64 {
                     h.write_u64(2).write_bytes(name.as_bytes());
                 }
                 OpKind::Bin(bin, a, bb) => {
-                    h.write_u64(3)
-                        .write_u64(*bin as u64)
-                        .write_u64(val(*a))
-                        .write_u64(val(*bb));
+                    h.write_u64(3).write_u64(*bin as u64);
+                    val(&mut h, *a);
+                    val(&mut h, *bb);
                 }
                 OpKind::Un(un, a) => {
-                    h.write_u64(4).write_u64(*un as u64).write_u64(val(*a));
+                    h.write_u64(4).write_u64(*un as u64);
+                    val(&mut h, *a);
                 }
                 OpKind::Mux {
                     cond,
                     on_true,
                     on_false,
                 } => {
-                    h.write_u64(5)
-                        .write_u64(val(*cond))
-                        .write_u64(val(*on_true))
-                        .write_u64(val(*on_false));
+                    h.write_u64(5);
+                    val(&mut h, *cond);
+                    val(&mut h, *on_true);
+                    val(&mut h, *on_false);
                 }
                 OpKind::Phi(incoming) => {
                     h.write_u64(6).write_u64(incoming.len() as u64);
                     for (from, v) in incoming {
-                        h.write_u64(from.index() as u64).write_u64(val(*v));
+                        h.write_u64(from.index() as u64);
+                        val(&mut h, *v);
                     }
                 }
                 OpKind::Load { mem, addr } => {
-                    h.write_u64(7)
-                        .write_u64(mem.index() as u64)
-                        .write_u64(val(*addr));
+                    h.write_u64(7).write_u64(mem.index() as u64);
+                    val(&mut h, *addr);
                 }
                 OpKind::Store { mem, addr, value } => {
-                    h.write_u64(8)
-                        .write_u64(mem.index() as u64)
-                        .write_u64(val(*addr))
-                        .write_u64(val(*value));
+                    h.write_u64(8).write_u64(mem.index() as u64);
+                    val(&mut h, *addr);
+                    val(&mut h, *value);
                 }
                 OpKind::Output(name, v) => {
-                    h.write_u64(9)
-                        .write_bytes(name.as_bytes())
-                        .write_u64(val(*v));
+                    h.write_u64(9).write_bytes(name.as_bytes());
+                    val(&mut h, *v);
                 }
             }
         }
@@ -166,25 +195,27 @@ pub fn structural_hash(f: &Function) -> u64 {
                 on_true,
                 on_false,
             } => {
-                h.write_u64(21)
-                    .write_u64(val(*cond))
-                    .write_u64(on_true.index() as u64)
+                h.write_u64(21);
+                val(&mut h, *cond);
+                h.write_u64(on_true.index() as u64)
                     .write_u64(on_false.index() as u64);
             }
             Terminator::Return(v) => {
                 h.write_u64(22);
                 match v {
-                    Some(v) => h.write_u64(1).write_u64(val(*v)),
-                    None => h.write_u64(0),
+                    Some(v) => {
+                        h.write_u64(1);
+                        val(&mut h, *v);
+                    }
+                    None => {
+                        h.write_u64(0);
+                    }
                 };
             }
         }
+        out.push(h.finish());
     }
-    h.write_u64(f.memories().count() as u64);
-    for (_, m) in f.memories() {
-        h.write_u64(m.size as u64);
-    }
-    h.finish()
+    out
 }
 
 /// A memoized evaluation outcome. `None` records an *invalid* candidate
@@ -391,6 +422,26 @@ mod tests {
         let f1 = compile("proc f(a) { array x[8]; x[0] = a; out y = x[0]; }").unwrap();
         let f2 = compile("proc f(a) { array x[16]; x[0] = a; out y = x[0]; }").unwrap();
         assert_ne!(structural_hash(&f1), structural_hash(&f2));
+    }
+
+    #[test]
+    fn block_sub_hashes_localize_single_block_edits() {
+        let before = compile(
+            "proc f(a, c) { var y = 0; if (c > 0) { y = a + 1; } else { y = a - 1; } out r = y; }",
+        )
+        .unwrap();
+        let after = compile(
+            "proc f(a, c) { var y = 0; if (c > 0) { y = a + 1; } else { y = a - 2; } out r = y; }",
+        )
+        .unwrap();
+        let (hb, ha) = (block_hashes(&before), block_hashes(&after));
+        assert_eq!(hb.len(), ha.len());
+        let differing = hb.iter().zip(&ha).filter(|(x, y)| x != y).count();
+        // Only the rewritten else-arm differs; the entry, then-arm, and
+        // join blocks keep their sub-hashes (the join's phi refers to the
+        // changed op by position, which is unchanged).
+        assert_eq!(differing, 1, "edit must stay local: {hb:?} vs {ha:?}");
+        assert_ne!(structural_hash(&before), structural_hash(&after));
     }
 
     #[test]

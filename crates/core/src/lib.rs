@@ -49,7 +49,7 @@ pub mod search;
 pub mod suite;
 
 pub use baselines::{flamel, m1, BaselineResult};
-pub use cache::{structural_hash, CacheStats, ContextHasher, EvalCache};
+pub use cache::{block_hashes, structural_hash, CacheStats, ContextHasher, EvalCache};
 pub use fact_xform::TransformLibrary;
 pub use objective::Objective;
 pub use partition::{partition, region_of_block, PartitionConfig, StgBlock};

@@ -12,10 +12,18 @@ use crate::cache::{structural_hash, ContextHasher, EvalCache};
 use crate::objective::Objective;
 use crate::partition::{partition, region_of_block, PartitionConfig};
 use crate::search::{apply_transforms_parallel, SearchConfig, SearchResult};
-use fact_estim::{evaluate, evaluate_power_mode, markov_of, Estimate};
+use fact_estim::{
+    evaluate_power_mode_with_memo, evaluate_with_memo, markov_of, Estimate, MarkovMemo,
+};
 use fact_ir::Function;
-use fact_sched::{schedule, Allocation, FuLibrary, SchedOptions, ScheduleResult, SelectionRules};
-use fact_sim::{check_equivalence, profile, BranchProfile, TraceSet};
+use fact_sched::{
+    schedule_with_memo, Allocation, FuLibrary, SchedOptions, ScheduleMemo, ScheduleReport,
+    ScheduleResult, SelectionRules,
+};
+use fact_sim::{
+    check_equivalence, profile, profile_compiled, BranchProfile, CompiledFn, EquivReference,
+    TraceSet,
+};
 use fact_xform::{Region, TransformLibrary};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -37,6 +45,14 @@ pub struct FactConfig {
     pub check_equivalence: bool,
     /// Optimize at most this many STG blocks (hottest first).
     pub max_blocks: usize,
+    /// Evaluate candidates incrementally: splice memoized per-block
+    /// schedule fragments, memoize Markov solves per STG structure,
+    /// profile through the compiled simulator, and check equivalence
+    /// against a reference captured once instead of re-running the
+    /// original per candidate. Bit-identical to full evaluation (the
+    /// incremental-equivalence tests hold the two paths together);
+    /// `false` keeps the straight-line path as fallback and oracle.
+    pub incremental: bool,
 }
 
 impl Default for FactConfig {
@@ -48,6 +64,7 @@ impl Default for FactConfig {
             partition: PartitionConfig::default(),
             check_equivalence: true,
             max_blocks: 3,
+            incremental: true,
         }
     }
 }
@@ -74,6 +91,12 @@ pub struct FactResult {
     /// Candidate evaluations answered by the shared [`EvalCache`]
     /// (0 when the run was not given a cache).
     pub cache_hits: usize,
+    /// Schedules computed entirely from scratch — no memoized block
+    /// fragment was spliced in (in non-incremental mode, every schedule).
+    pub full_reschedules: usize,
+    /// Schedules that spliced at least one memoized per-block fragment
+    /// instead of re-running list scheduling (0 in non-incremental mode).
+    pub block_spliced: usize,
     /// `true` when the run was cut short by cancellation or timeout;
     /// the result is the best of what was explored.
     pub stopped: bool,
@@ -113,9 +136,54 @@ impl fmt::Display for FactError {
 
 impl std::error::Error for FactError {}
 
+/// Per-run incremental-evaluation machinery, shared by every candidate
+/// evaluation of one [`optimize_with`] call (including across the
+/// parallel search's worker threads — all members are `Sync`).
+///
+/// The memo/reference members are populated only in incremental mode;
+/// the reuse counters are kept either way so [`FactResult`] (and the
+/// daemon's STATS line) can report the breakdown honestly in both modes.
+struct IncrementalCtx {
+    /// Captured original-side equivalence data (incremental mode with
+    /// equivalence checking on).
+    equiv: Option<EquivReference>,
+    /// Per-block list-schedule fragments keyed by structural hash.
+    sched: Option<ScheduleMemo>,
+    /// Markov solves keyed by STG structure.
+    markov: Option<MarkovMemo>,
+    /// Schedules computed with no memoized fragment spliced in.
+    full_reschedules: AtomicUsize,
+    /// Schedules that reused at least one memoized block fragment.
+    block_spliced: AtomicUsize,
+}
+
+impl IncrementalCtx {
+    fn new(f: &Function, traces: &TraceSet, config: &FactConfig) -> IncrementalCtx {
+        IncrementalCtx {
+            equiv: (config.incremental && config.check_equivalence)
+                .then(|| EquivReference::capture(f, traces, 0xC0FFEE)),
+            sched: config.incremental.then(ScheduleMemo::default),
+            markov: config.incremental.then(MarkovMemo::default),
+            full_reschedules: AtomicUsize::new(0),
+            block_spliced: AtomicUsize::new(0),
+        }
+    }
+
+    /// Classifies one completed schedule as spliced or from-scratch.
+    fn note_schedule(&self, report: &ScheduleReport) {
+        if report.memo_hits > 0 {
+            self.block_spliced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.full_reschedules.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Schedules + estimates one candidate; `None` when the candidate cannot
 /// be realized under the allocation (e.g. a strength-reduced shift with no
-/// shifter).
+/// shifter). `cf` is the candidate pre-compiled for simulation — passed in
+/// incremental mode so one compilation serves both the equivalence check
+/// and profiling.
 #[allow(clippy::too_many_arguments)]
 fn eval_candidate(
     g: &Function,
@@ -125,16 +193,43 @@ fn eval_candidate(
     traces: &TraceSet,
     config: &FactConfig,
     base_cycles: f64,
+    ctx: &IncrementalCtx,
+    cf: Option<&CompiledFn>,
+    prof: Option<BranchProfile>,
 ) -> Option<(ScheduleResult, Estimate)> {
-    let prof: BranchProfile = profile(g, traces);
+    let prof: BranchProfile = match (prof, cf) {
+        (Some(p), _) => p,
+        (None, Some(cf)) => profile_compiled(cf, traces),
+        (None, None) => profile(g, traces),
+    };
     if prof.runs_ok == 0 {
         return None;
     }
-    let sr = schedule(g, library, rules, alloc, &prof, &config.sched).ok()?;
+    let sr = schedule_with_memo(
+        g,
+        library,
+        rules,
+        alloc,
+        &prof,
+        &config.sched,
+        ctx.sched.as_ref(),
+    )
+    .ok()?;
+    ctx.note_schedule(&sr.report);
+    let memo = ctx.markov.as_ref();
     let est = match config.objective {
-        Objective::Throughput => evaluate(&sr, library, config.sched.clock_ns).ok()?,
+        Objective::Throughput => {
+            evaluate_with_memo(&sr, library, config.sched.clock_ns, memo).ok()?
+        }
         Objective::Power => {
-            let est = evaluate_power_mode(&sr, library, config.sched.clock_ns, base_cycles).ok()?;
+            let est = evaluate_power_mode_with_memo(
+                &sr,
+                library,
+                config.sched.clock_ns,
+                base_cycles,
+                memo,
+            )
+            .ok()?;
             // The paper's power mode holds performance at the baseline
             // ("our aim is to keep the performance … the same while
             // reducing power"): slower candidates are not admissible, or
@@ -239,13 +334,31 @@ pub fn optimize_with(
     config: &FactConfig,
     hooks: OptimizeHooks<'_>,
 ) -> Result<FactResult, FactError> {
-    // Step 1: schedule the input behavior.
+    let ctx = IncrementalCtx::new(f, traces, config);
+
+    // Step 1: schedule the input behavior (through the memo, so the
+    // baseline's block fragments are already warm for candidates that
+    // leave blocks untouched).
     let prof = profile(f, traces);
-    let sr0 =
-        schedule(f, library, rules, alloc, &prof, &config.sched).map_err(FactError::Schedule)?;
-    let markov0 = markov_of(&sr0).map_err(FactError::Analysis)?;
+    let sr0 = schedule_with_memo(
+        f,
+        library,
+        rules,
+        alloc,
+        &prof,
+        &config.sched,
+        ctx.sched.as_ref(),
+    )
+    .map_err(FactError::Schedule)?;
+    ctx.note_schedule(&sr0.report);
+    let markov0 = match ctx.markov.as_ref() {
+        Some(m) => m.analyze_memoized(&sr0.stg),
+        None => markov_of(&sr0),
+    }
+    .map_err(FactError::Analysis)?;
     let base_cycles = markov0.average_schedule_length;
-    let baseline = evaluate(&sr0, library, config.sched.clock_ns).map_err(FactError::Analysis)?;
+    let baseline = evaluate_with_memo(&sr0, library, config.sched.clock_ns, ctx.markov.as_ref())
+        .map_err(FactError::Analysis)?;
 
     // Step 2: partition the STG into blocks, hottest first.
     let blocks = partition(&sr0.stg, &markov0, &config.partition);
@@ -278,11 +391,45 @@ pub fn optimize_with(
         }
         let eval = |g: &Function| -> Option<f64> {
             let score_of = || -> Option<f64> {
-                if config.check_equivalence && check_equivalence(f, g, traces, 0xC0FFEE).is_err() {
-                    return None;
+                // Incremental mode compiles the candidate once; the
+                // compiled form serves the equivalence check and the
+                // profiling pass (verdicts and profiles are identical to
+                // the interpreter's — fact-sim's tests pin this).
+                let cf = config.incremental.then(|| CompiledFn::compile(g));
+                let mut merged_prof = None;
+                if config.check_equivalence {
+                    let verdict_ok = match (&ctx.equiv, &cf) {
+                        // Memory-free behaviors: the equivalence pass
+                        // executes the exact machine profiling would, so
+                        // one simulation pass serves both.
+                        (Some(reference), Some(cf)) if g.memories().count() == 0 => {
+                            match reference.check_profiled(cf, traces) {
+                                Ok((_, prof)) => {
+                                    merged_prof = Some(prof);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        (Some(reference), Some(cf)) => reference.check(cf, traces).is_ok(),
+                        _ => check_equivalence(f, g, traces, 0xC0FFEE).is_ok(),
+                    };
+                    if !verdict_ok {
+                        return None;
+                    }
                 }
-                let (_, est) =
-                    eval_candidate(g, library, rules, alloc, traces, config, base_cycles)?;
+                let (_, est) = eval_candidate(
+                    g,
+                    library,
+                    rules,
+                    alloc,
+                    traces,
+                    config,
+                    base_cycles,
+                    &ctx,
+                    cf.as_ref(),
+                    merged_prof,
+                )?;
                 Some(config.objective.score(&est))
             };
             match hooks.cache {
@@ -319,9 +466,19 @@ pub fn optimize_with(
     }
 
     // Final schedule + estimate of the winner.
-    let (schedule_result, estimate) =
-        eval_candidate(&current, library, rules, alloc, traces, config, base_cycles)
-            .ok_or_else(|| FactError::Analysis("final candidate failed to schedule".to_string()))?;
+    let (schedule_result, estimate) = eval_candidate(
+        &current,
+        library,
+        rules,
+        alloc,
+        traces,
+        config,
+        base_cycles,
+        &ctx,
+        None,
+        None,
+    )
+    .ok_or_else(|| FactError::Analysis("final candidate failed to schedule".to_string()))?;
 
     Ok(FactResult {
         best: current,
@@ -332,6 +489,8 @@ pub fn optimize_with(
         evaluated,
         blocks_optimized,
         cache_hits: cache_hits.into_inner(),
+        full_reschedules: ctx.full_reschedules.into_inner(),
+        block_spliced: ctx.block_spliced.into_inner(),
         stopped,
     })
 }
@@ -631,6 +790,35 @@ mod tests {
                 "expected >1.5x on >=4 cores, got {speedup:.2}x"
             );
         }
+    }
+
+    #[test]
+    fn incremental_evaluation_is_bit_identical_to_full() {
+        let (f, lib, rules, alloc, traces) = cache_fixture();
+        let tlib = TransformLibrary::full();
+        let inc_cfg = quick_config(Objective::Throughput);
+        assert!(inc_cfg.incremental, "incremental is the default");
+        let mut full_cfg = inc_cfg.clone();
+        full_cfg.incremental = false;
+        let inc = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &inc_cfg).unwrap();
+        let full = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &full_cfg).unwrap();
+        assert_eq!(inc.applied, full.applied);
+        assert_eq!(inc.evaluated, full.evaluated);
+        assert_eq!(
+            inc.estimate.average_schedule_length,
+            full.estimate.average_schedule_length
+        );
+        assert_eq!(inc.estimate.power, full.estimate.power);
+        assert_eq!(structural_hash(&inc.best), structural_hash(&full.best));
+        // Identical trajectory, so the schedule counts agree; only the
+        // spliced/from-scratch split differs, and the incremental run
+        // must actually have spliced (candidates share most blocks).
+        assert!(inc.block_spliced > 0, "no block schedule was ever reused");
+        assert_eq!(full.block_spliced, 0);
+        assert_eq!(
+            full.full_reschedules,
+            inc.full_reschedules + inc.block_spliced
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use fact_prng::{Rng, SeedableRng};
 use fact_xform::{Region, TransformLibrary};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Search configuration (the knobs of Figure 6).
 #[derive(Clone, Debug)]
@@ -94,12 +95,38 @@ pub struct SearchResult {
     pub stopped: bool,
 }
 
-/// A scored element of the search frontier.
+/// One applied transformation step, linked to its predecessors.
+///
+/// Paths used to be `Vec<String>` cloned per candidate — O(depth)
+/// allocations for every element of every `Behavior_set`. As a linked
+/// list of `Arc` nodes, extending a path is one allocation and sharing a
+/// parent's prefix is a refcount bump; the vector form is materialized
+/// only for the final [`SearchResult`].
+struct PathNode {
+    step: String,
+    parent: Option<Arc<PathNode>>,
+}
+
+/// Walks a path chain back to the root and returns the steps in
+/// application order.
+fn materialize_path(tip: &Option<Arc<PathNode>>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = tip.as_ref();
+    while let Some(n) = cur {
+        out.push(n.step.clone());
+        cur = n.parent.as_ref();
+    }
+    out.reverse();
+    out
+}
+
+/// A scored element of the search frontier. Cloning is cheap: the
+/// function and path are shared, not copied.
 #[derive(Clone)]
 struct Scored {
-    f: Function,
+    f: Arc<Function>,
     score: f64,
-    path: Vec<String>,
+    path: Option<Arc<PathNode>>,
 }
 
 /// How a batch of candidates gets scored.
@@ -272,9 +299,9 @@ fn run_search(
     };
 
     let mut best = Scored {
-        f: g0.clone(),
+        f: Arc::new(g0.clone()),
         score: base_score,
-        path: Vec::new(),
+        path: None,
     };
     let mut in_set: Vec<Scored> = vec![best.clone()];
     let mut k = config.k_initial;
@@ -295,7 +322,7 @@ fn run_search(
             let budget = config.max_evaluations.saturating_sub(evaluated);
             let mut candidates: Vec<Candidate> = Vec::new();
             'expand: for (parent, g) in in_set.iter().enumerate() {
-                for cand in library.all_candidates(&g.f, region) {
+                for cand in library.all_candidates(g.f.as_ref(), region) {
                     if candidates.len() >= budget {
                         break 'expand;
                     }
@@ -329,12 +356,13 @@ fn run_search(
             let mut behavior_set: Vec<Scored> = Vec::new();
             for (cand, score) in candidates.into_iter().zip(scores) {
                 let Some(score) = score else { continue };
-                let mut path = in_set[cand.parent].path.clone();
-                path.push(cand.description);
                 behavior_set.push(Scored {
-                    f: cand.f,
+                    f: Arc::new(cand.f),
                     score,
-                    path,
+                    path: Some(Arc::new(PathNode {
+                        step: cand.description,
+                        parent: in_set[cand.parent].path.clone(),
+                    })),
                 });
             }
             if behavior_set.is_empty() {
@@ -375,11 +403,11 @@ fn run_search(
     }
 
     SearchResult {
-        best: best.f,
+        applied: materialize_path(&best.path),
+        best: Arc::try_unwrap(best.f).unwrap_or_else(|shared| (*shared).clone()),
         best_score: best.score,
         evaluated,
         rounds,
-        applied: best.path,
         stopped,
     }
 }
@@ -608,9 +636,9 @@ mod tests {
     fn rank_selection_prefers_better_with_high_k() {
         let mut rng = StdRng::seed_from_u64(1);
         let mk = |score: f64| Scored {
-            f: Function::new("x"),
+            f: Arc::new(Function::new("x")),
             score,
-            path: Vec::new(),
+            path: None,
         };
         let ranked = vec![mk(5.0), mk(4.0), mk(3.0), mk(2.0)];
         // With very sharp k, the top element is (essentially) always first.

@@ -1,0 +1,294 @@
+//! Incremental-vs-full equivalence property tests.
+//!
+//! The incremental evaluation engine (compiled-simulator profiling, merged
+//! check+profile passes, per-block schedule splicing, Markov memoization)
+//! must be *bit-identical* to the straight-line full-reschedule path — not
+//! approximately equal. These tests hold the two paths together:
+//!
+//! 1. seed-driven random walks through the transformation space of the
+//!    example1 (TEST1) and Table 2 graphs, comparing every candidate's
+//!    schedule length, power estimate, and structural hash between the two
+//!    paths, and
+//! 2. whole `optimize` runs over the suite with `incremental` toggled,
+//!    comparing the search trajectory (candidate ordering, evaluation
+//!    count) and the winning design.
+//!
+//! Deliberately std-only and seed-driven (no proptest): the walks are
+//! deterministic, so a failure reproduces exactly.
+
+use fact_core::{optimize, structural_hash, suite, FactConfig, Objective, TransformLibrary};
+use fact_estim::{evaluate, evaluate_with_memo, section5_library, table1_library, MarkovMemo};
+use fact_ir::Function;
+use fact_lang::compile;
+use fact_prng::rngs::StdRng;
+use fact_prng::{Rng, SeedableRng};
+use fact_sched::{schedule, schedule_with_memo, Allocation, SchedOptions, ScheduleMemo};
+use fact_sim::{
+    check_equivalence, generate, profile, profile_compiled, CompiledFn, EquivReference, InputSpec,
+    TraceSet,
+};
+use fact_xform::Region;
+
+/// The §2 walkthrough fixture (same setup as the example1 binary).
+fn example1() -> (
+    Function,
+    fact_sched::FuLibrary,
+    fact_sched::SelectionRules,
+    Allocation,
+    TraceSet,
+) {
+    let f = compile(suite::TEST1_SRC).expect("TEST1 compiles");
+    let (lib, rules) = table1_library();
+    let mut alloc = Allocation::new();
+    for (name, n) in [("comp1", 2), ("cla1", 2), ("incr1", 1), ("w_mult1", 1)] {
+        alloc.set(lib.by_name(name).unwrap(), n);
+    }
+    let traces = generate(
+        &[
+            ("c1".to_string(), InputSpec::Constant(18)),
+            ("c2".to_string(), InputSpec::Constant(49)),
+        ],
+        4,
+        7,
+    );
+    (f, lib, rules, alloc, traces)
+}
+
+/// Evaluates `g` the full way and the incremental way and asserts the
+/// results are bit-identical. Returns whether the candidate survived
+/// (equivalent and schedulable), judged identically by both paths.
+#[allow(clippy::too_many_arguments)]
+fn assert_paths_agree(
+    original: &Function,
+    g: &Function,
+    lib: &fact_sched::FuLibrary,
+    rules: &fact_sched::SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    reference: &EquivReference,
+    sched_memo: &ScheduleMemo,
+    markov_memo: &MarkovMemo,
+    ctx: &str,
+) -> bool {
+    let opts = SchedOptions::default();
+
+    // Full path: interpret the source IR, schedule from scratch.
+    let full_verdict = check_equivalence(original, g, traces, 0xC0FFEE).is_ok();
+    // Incremental path: one compiled artifact feeds the reference check
+    // and the profile; memory-free functions merge them into one pass.
+    let cf = CompiledFn::compile(g);
+    let (inc_verdict, inc_prof) = if g.memories().count() == 0 {
+        match reference.check_profiled(&cf, traces) {
+            Ok((_, prof)) => (true, Some(prof)),
+            Err(_) => (false, None),
+        }
+    } else {
+        (reference.check(&cf, traces).is_ok(), None)
+    };
+    assert_eq!(
+        full_verdict, inc_verdict,
+        "equivalence verdict differs ({ctx})"
+    );
+    if !full_verdict {
+        return false;
+    }
+
+    let full_prof = profile(g, traces);
+    let inc_prof = inc_prof.unwrap_or_else(|| profile_compiled(&cf, traces));
+    assert_eq!(full_prof, inc_prof, "branch profile differs ({ctx})");
+
+    let full_sr = schedule(g, lib, rules, alloc, &full_prof, &opts);
+    let inc_sr = schedule_with_memo(g, lib, rules, alloc, &inc_prof, &opts, Some(sched_memo));
+    let (full_sr, inc_sr) = match (full_sr, inc_sr) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(_), Err(_)) => return false,
+        (a, b) => panic!(
+            "schedulability differs ({ctx}): full={} incremental={}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    };
+    assert_eq!(
+        structural_hash(&full_sr.function),
+        structural_hash(&inc_sr.function),
+        "scheduled function structural hash differs ({ctx})"
+    );
+
+    let full_est = evaluate(&full_sr, lib, opts.clock_ns).expect("full estimate");
+    let inc_est =
+        evaluate_with_memo(&inc_sr, lib, opts.clock_ns, Some(markov_memo)).expect("inc estimate");
+    assert_eq!(
+        full_est.average_schedule_length.to_bits(),
+        inc_est.average_schedule_length.to_bits(),
+        "schedule length differs ({ctx})"
+    );
+    assert_eq!(
+        full_est.power.to_bits(),
+        inc_est.power.to_bits(),
+        "power estimate differs ({ctx})"
+    );
+    true
+}
+
+/// Walks `depth` random transformation steps from `f`, comparing every
+/// visited candidate between the two evaluation paths.
+#[allow(clippy::too_many_arguments)]
+fn random_walk(
+    name: &str,
+    f: &Function,
+    lib: &fact_sched::FuLibrary,
+    rules: &fact_sched::SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    seed: u64,
+    depth: usize,
+) -> usize {
+    let tlib = TransformLibrary::full();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // The memos persist across the whole walk: late steps hit fragments
+    // cached by early steps, exactly as in a real search.
+    let sched_memo = ScheduleMemo::default();
+    let markov_memo = MarkovMemo::default();
+    let reference = EquivReference::capture(f, traces, 0xC0FFEE);
+
+    let mut compared = 0;
+    let mut current = f.clone();
+    for step in 0..depth {
+        let cands = tlib.all_candidates(&current, &Region::whole());
+        if cands.is_empty() {
+            break;
+        }
+        // Compare a bounded random sample of the frontier, then step to a
+        // random surviving candidate.
+        let mut next = None;
+        for _ in 0..cands.len().min(6) {
+            let c = &cands[rng.gen_range(0..cands.len())];
+            let ctx = format!("{name} seed={seed} step={step} cand={}", c.description);
+            if assert_paths_agree(
+                f,
+                &c.function,
+                lib,
+                rules,
+                alloc,
+                traces,
+                &reference,
+                &sched_memo,
+                &markov_memo,
+                &ctx,
+            ) {
+                next = Some(c.function.clone());
+            }
+            compared += 1;
+        }
+        match next {
+            Some(g) => current = g,
+            None => break,
+        }
+    }
+    compared
+}
+
+#[test]
+fn random_walks_example1_paths_agree() {
+    let (f, lib, rules, alloc, traces) = example1();
+    let mut compared = 0;
+    for seed in [1, 2, 3] {
+        compared += random_walk("example1", &f, &lib, &rules, &alloc, &traces, seed, 3);
+    }
+    assert!(compared >= 10, "walks compared only {compared} candidates");
+}
+
+#[test]
+fn random_walks_table2_paths_agree() {
+    let (lib, rules) = section5_library();
+    let mut compared = 0;
+    for b in suite(&lib) {
+        // Two seeds per benchmark, short walks: enough to mix cold and
+        // warm memo states without dominating test time.
+        for seed in [11, 29] {
+            compared += random_walk(
+                b.name,
+                &b.function,
+                &lib,
+                &rules,
+                &b.allocation,
+                &b.traces,
+                seed,
+                2,
+            );
+        }
+    }
+    assert!(compared >= 30, "walks compared only {compared} candidates");
+}
+
+/// Whole-search invariance: for fixed seeds, `optimize` with incremental
+/// evaluation must reproduce the full-reschedule run exactly — same
+/// candidate ordering (applied path), same evaluation count, same winner.
+#[test]
+fn optimize_suite_incremental_matches_full() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    for b in suite(&lib) {
+        for (objective, seed) in [(Objective::Throughput, 3), (Objective::Power, 17)] {
+            let mut config = FactConfig {
+                objective,
+                ..FactConfig::default()
+            };
+            config.search.seed = seed;
+            config.search.max_moves = 3;
+            config.search.in_set_size = 2;
+            config.search.max_rounds = 2;
+            config.search.max_evaluations = 60;
+
+            config.incremental = true;
+            let inc = optimize(
+                &b.function,
+                &lib,
+                &rules,
+                &b.allocation,
+                &b.traces,
+                &tlib,
+                &config,
+            )
+            .expect("incremental run");
+            config.incremental = false;
+            let full = optimize(
+                &b.function,
+                &lib,
+                &rules,
+                &b.allocation,
+                &b.traces,
+                &tlib,
+                &config,
+            )
+            .expect("full run");
+
+            let ctx = format!("{} {objective:?} seed={seed}", b.name);
+            assert_eq!(inc.applied, full.applied, "applied path differs ({ctx})");
+            assert_eq!(inc.evaluated, full.evaluated, "eval count differs ({ctx})");
+            assert_eq!(
+                structural_hash(&inc.best),
+                structural_hash(&full.best),
+                "winner structural hash differs ({ctx})"
+            );
+            assert_eq!(
+                inc.estimate.average_schedule_length.to_bits(),
+                full.estimate.average_schedule_length.to_bits(),
+                "schedule length differs ({ctx})"
+            );
+            assert_eq!(
+                inc.estimate.power.to_bits(),
+                full.estimate.power.to_bits(),
+                "power differs ({ctx})"
+            );
+            // The fallback path never splices; both paths compute the same
+            // number of schedules, just differently.
+            assert_eq!(full.block_spliced, 0, "fallback spliced ({ctx})");
+            assert_eq!(
+                full.full_reschedules,
+                inc.full_reschedules + inc.block_spliced,
+                "schedule count not conserved ({ctx})"
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Memoized Markov analysis for incremental candidate evaluation.
+//!
+//! During the transformation search, candidates that differ only in
+//! untouched partitions produce STGs whose transition structure (and
+//! empirical visit annotations) repeat across evaluations. The analysis is
+//! a pure function of exactly that structure, so [`MarkovMemo`] caches
+//! [`analyze_preferring_empirical`] results keyed by a structural hash of
+//! everything the solver reads: state count, entry/done ids, per-state
+//! empirical visit annotations, and every transition's `(from, to, prob)`
+//! triple. Hits return a clone of the stored [`MarkovAnalysis`] —
+//! bit-identical to a fresh solve.
+
+use crate::markov::{analyze_preferring_empirical, MarkovAnalysis};
+use fact_sched::Stg;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A shared, thread-safe cache of Markov analyses keyed by STG structure.
+pub struct MarkovMemo {
+    shards: Vec<Mutex<HashMap<u64, Result<MarkovAnalysis, String>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl Default for MarkovMemo {
+    fn default() -> Self {
+        MarkovMemo::with_shards(16)
+    }
+}
+
+impl MarkovMemo {
+    /// Creates a memo with the given shard count (rounded up to 1).
+    pub fn with_shards(n: usize) -> Self {
+        MarkovMemo {
+            shards: (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` over the memo's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached analyses.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// [`analyze_preferring_empirical`] through the memo.
+    ///
+    /// # Errors
+    /// Same as [`analyze_preferring_empirical`] (memoized errors included).
+    pub fn analyze_memoized(&self, stg: &Stg) -> Result<MarkovAnalysis, String> {
+        let key = stg_key(stg);
+        let shard = &self.shards[(key as usize) % self.shards.len()];
+        if let Some(cached) = shard.lock().ok().and_then(|g| g.get(&key).cloned()) {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return cached;
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let fresh = analyze_preferring_empirical(stg);
+        if let Ok(mut guard) = shard.lock() {
+            guard.insert(key, fresh.clone());
+        }
+        fresh
+    }
+}
+
+/// Hashes the STG fields the Markov solver reads: state count, entry and
+/// done ids, empirical visit annotations, and transition triples in order.
+/// State names, labels, and scheduled ops are display/energy concerns and
+/// deliberately excluded.
+fn stg_key(stg: &Stg) -> u64 {
+    let mut h = 0x4D41_524B_0565_7374u64; // arbitrary seed
+    let mut mix = |v: u64| {
+        let mut z = h.rotate_left(7) ^ v;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = z ^ (z >> 31);
+    };
+    mix(stg.num_states() as u64);
+    mix(stg.entry().index() as u64);
+    mix(stg.done().index() as u64);
+    for s in stg.state_ids() {
+        match stg.state(s).expected_visits {
+            Some(v) => mix(v.to_bits()),
+            None => mix(1),
+        }
+    }
+    for t in stg.transitions() {
+        mix(t.from.index() as u64);
+        mix(t.to.index() as u64);
+        mix(t.prob.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stg(q: f64) -> Stg {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, a, q, "loop");
+        stg.add_transition(a, b, 1.0 - q, "");
+        let done = stg.done();
+        stg.add_transition(b, done, 1.0, "");
+        stg
+    }
+
+    #[test]
+    fn memoized_equals_fresh_and_hits_on_repeat() {
+        let stg = sample_stg(0.9);
+        let memo = MarkovMemo::default();
+        let fresh = analyze_preferring_empirical(&stg).unwrap();
+        let cold = memo.analyze_memoized(&stg).unwrap();
+        let warm = memo.analyze_memoized(&stg).unwrap();
+        for m in [&cold, &warm] {
+            assert_eq!(m.expected_visits, fresh.expected_visits);
+            assert_eq!(m.state_probs, fresh.state_probs);
+            assert_eq!(m.average_schedule_length, fresh.average_schedule_length);
+        }
+        assert_eq!(memo.stats(), (1, 1));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn different_probabilities_miss() {
+        let memo = MarkovMemo::default();
+        let a = memo.analyze_memoized(&sample_stg(0.9)).unwrap();
+        let b = memo.analyze_memoized(&sample_stg(0.5)).unwrap();
+        assert_eq!(memo.stats(), (0, 2));
+        assert!(a.average_schedule_length > b.average_schedule_length);
+    }
+
+    #[test]
+    fn empirical_annotations_feed_the_key() {
+        let memo = MarkovMemo::default();
+        let plain = sample_stg(0.9);
+        let mut annotated = sample_stg(0.9);
+        for s in annotated.state_ids().collect::<Vec<_>>() {
+            if s != annotated.done() {
+                annotated.state_mut(s).expected_visits = Some(3.0);
+            }
+        }
+        let a = memo.analyze_memoized(&plain).unwrap();
+        let b = memo.analyze_memoized(&annotated).unwrap();
+        assert_eq!(memo.stats(), (0, 2), "annotations must change the key");
+        assert_ne!(a.average_schedule_length, b.average_schedule_length);
+    }
+
+    #[test]
+    fn errors_are_memoized() {
+        let mut stg = Stg::new();
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_entry(a);
+        stg.add_transition(a, b, 1.0, "");
+        stg.add_transition(b, a, 1.0, "");
+        let memo = MarkovMemo::default();
+        let e1 = memo.analyze_memoized(&stg);
+        let e2 = memo.analyze_memoized(&stg);
+        assert!(e1.is_err());
+        assert_eq!(e1.err(), e2.err());
+        assert_eq!(memo.stats(), (1, 1));
+    }
+}

@@ -12,7 +12,7 @@
 use crate::markov::MarkovAnalysis;
 use fact_ir::{Function, OpKind};
 use fact_sched::{FuLibrary, FuSelection, Stg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fraction of datapath+storage energy added for interconnect+controller.
 pub const OVERHEAD_FRACTION: f64 = 0.15;
@@ -21,8 +21,10 @@ pub const OVERHEAD_FRACTION: f64 = 0.15;
 /// Table 1 convention: coefficients are `E/Vdd²`).
 #[derive(Clone, Debug, Default)]
 pub struct EnergyBreakdown {
-    /// Energy per FU type name.
-    pub per_fu: HashMap<String, f64>,
+    /// Energy per FU type name. Ordered map: [`EnergyBreakdown::total`]
+    /// sums these floats, and the summation order must not depend on
+    /// hash-map iteration order for estimates to be bit-reproducible.
+    pub per_fu: BTreeMap<String, f64>,
     /// Register-file access energy.
     pub registers: f64,
     /// Memory access energy.

@@ -5,6 +5,7 @@ use crate::ids::{BlockId, MemId, OpId};
 use crate::op::{BinOp, Op, OpKind, UnOp};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A memory (array). The paper maps each array to its own memory so that
 /// distinct arrays can be accessed in the same cycle (§3, Example 2).
@@ -122,7 +123,12 @@ impl BasicBlock {
 #[derive(Clone, PartialEq, Debug)]
 pub struct Function {
     name: String,
-    blocks: Vec<BasicBlock>,
+    // Blocks are individually Arc-backed so cloning a function — which the
+    // transformation search does once per candidate — shares every block
+    // until it is actually mutated ([`Arc::make_mut`] in the mutating
+    // accessors). Untouched blocks therefore stay pointer-identical across
+    // a parent and its candidates, which keeps candidate cloning cheap.
+    blocks: Vec<Arc<BasicBlock>>,
     ops: Vec<Op>,
     mems: Vec<Memory>,
     entry: BlockId,
@@ -133,7 +139,7 @@ impl Function {
     pub fn new(name: impl Into<String>) -> Self {
         Function {
             name: name.into(),
-            blocks: vec![BasicBlock::new()],
+            blocks: vec![Arc::new(BasicBlock::new())],
             ops: Vec::new(),
             mems: Vec::new(),
             entry: BlockId(0),
@@ -173,12 +179,24 @@ impl Function {
         &self.blocks[id.index()]
     }
 
-    /// Mutably accesses a block.
+    /// Mutably accesses a block, un-sharing it first if its storage is
+    /// shared with clones of this function (copy-on-write).
     ///
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
-        &mut self.blocks[id.index()]
+        Arc::make_mut(&mut self.blocks[id.index()])
+    }
+
+    /// Whether `self` and `other` share the physical storage of block
+    /// `id` (true only for never-mutated blocks of clones). Diagnostic
+    /// aid for the copy-on-write behavior; equality of contents is
+    /// checked with `==` as usual.
+    pub fn shares_block_storage(&self, other: &Function, id: BlockId) -> bool {
+        match (self.blocks.get(id.index()), other.blocks.get(id.index())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Accesses an operation.
@@ -236,13 +254,13 @@ impl Function {
         let id = BlockId::new(self.blocks.len());
         let mut b = BasicBlock::new();
         b.name = Some(name.into());
-        self.blocks.push(b);
+        self.blocks.push(Arc::new(b));
         id
     }
 
     /// Sets the terminator of `block`.
     pub fn set_terminator(&mut self, block: BlockId, term: Terminator) {
-        self.blocks[block.index()].term = term;
+        Arc::make_mut(&mut self.blocks[block.index()]).term = term;
     }
 
     /// Creates an operation in the arena and appends it to `block`.
@@ -253,13 +271,19 @@ impl Function {
         let is_phi = matches!(op.kind, OpKind::Phi(_));
         let id = OpId::new(self.ops.len());
         self.ops.push(op);
-        let b = &mut self.blocks[block.index()];
-        if is_phi {
-            let pos = b
-                .ops
-                .iter()
-                .position(|&o| !matches!(self.ops[o.index()].kind, OpKind::Phi(_)))
-                .unwrap_or(b.ops.len());
+        let phi_pos = if is_phi {
+            let b = &self.blocks[block.index()];
+            Some(
+                b.ops
+                    .iter()
+                    .position(|&o| !matches!(self.ops[o.index()].kind, OpKind::Phi(_)))
+                    .unwrap_or(b.ops.len()),
+            )
+        } else {
+            None
+        };
+        let b = Arc::make_mut(&mut self.blocks[block.index()]);
+        if let Some(pos) = phi_pos {
             b.ops.insert(pos, id);
         } else {
             b.ops.push(id);
@@ -286,7 +310,9 @@ impl Function {
     pub fn insert(&mut self, block: BlockId, index: usize, op: Op) -> OpId {
         let id = OpId::new(self.ops.len());
         self.ops.push(op);
-        self.blocks[block.index()].ops.insert(index, id);
+        Arc::make_mut(&mut self.blocks[block.index()])
+            .ops
+            .insert(index, id);
         id
     }
 

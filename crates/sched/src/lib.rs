@@ -17,12 +17,16 @@
 
 pub mod ifconv;
 pub mod listsched;
+pub mod memo;
 pub mod parloops;
 pub mod pipeline;
 pub mod resources;
 pub mod schedule;
 pub mod stg;
 
+pub use memo::ScheduleMemo;
 pub use resources::{Allocation, FuId, FuLibrary, FuSelection, FuSpec, SelectionRules};
-pub use schedule::{schedule, SchedOptions, ScheduleError, ScheduleReport, ScheduleResult};
+pub use schedule::{
+    schedule, schedule_with_memo, SchedOptions, ScheduleError, ScheduleReport, ScheduleResult,
+};
 pub use stg::{ScheduledOp, State, StateId, Stg, Transition};

@@ -8,6 +8,7 @@
 
 use crate::ifconv::if_convert;
 use crate::listsched::{schedule_block, BlockSchedule, SchedError};
+use crate::memo::ScheduleMemo;
 use crate::parloops::{plan_phases, LoopRate, Phase};
 use crate::pipeline::{analyze_kernel, LoopKernel, ResKey};
 use crate::resources::{Allocation, FuLibrary, FuSelection, SelectionError, SelectionRules};
@@ -58,6 +59,11 @@ pub struct ScheduleReport {
     pub kernels: Vec<(BlockId, u32)>,
     /// Number of concurrent-loop groups formed.
     pub concurrent_groups: usize,
+    /// Blocks whose list schedule was spliced from a [`ScheduleMemo`]
+    /// (zero when scheduling without a memo).
+    pub memo_hits: usize,
+    /// Blocks list-scheduled from scratch.
+    pub memo_misses: usize,
 }
 
 /// A complete scheduling result.
@@ -243,6 +249,28 @@ pub fn schedule(
     profile: &BranchProfile,
     opts: &SchedOptions,
 ) -> Result<ScheduleResult, ScheduleError> {
+    schedule_with_memo(f, library, rules, alloc, profile, opts, None)
+}
+
+/// [`schedule`] with an optional per-block schedule cache.
+///
+/// With `Some(memo)`, every per-block list schedule is looked up by
+/// structural hash before being computed; hits are spliced in and counted
+/// in [`ScheduleReport::memo_hits`]. Results are bit-identical to
+/// [`schedule`] — the memo layer only caches a pure function (see
+/// [`crate::memo`]).
+///
+/// # Errors
+/// Same as [`schedule`] (memoized errors included).
+pub fn schedule_with_memo(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    profile: &BranchProfile,
+    opts: &SchedOptions,
+    memo: Option<&ScheduleMemo>,
+) -> Result<ScheduleResult, ScheduleError> {
     let mut work = f.clone();
     let mut prof = profile.clone();
     let mut report = ScheduleReport::default();
@@ -262,13 +290,26 @@ pub fn schedule(
     let rpo: Vec<BlockId> = dom.rpo().to_vec();
     let rpo_index: HashMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
 
-    // Per-block schedules.
+    // Per-block schedules, spliced from the memo where available.
     let mut chains_sched: HashMap<BlockId, BlockSchedule> = HashMap::new();
     for &b in &rpo {
-        chains_sched.insert(
-            b,
-            schedule_block(&work, b, library, &selection, alloc, opts.clock_ns)?,
-        );
+        let bs = match memo {
+            Some(m) => {
+                let (outcome, hit) =
+                    m.schedule_block_memoized(&work, b, library, &selection, alloc, opts.clock_ns);
+                if hit {
+                    report.memo_hits += 1;
+                } else {
+                    report.memo_misses += 1;
+                }
+                outcome?
+            }
+            None => {
+                report.memo_misses += 1;
+                schedule_block(&work, b, library, &selection, alloc, opts.clock_ns)?
+            }
+        };
+        chains_sched.insert(b, bs);
     }
 
     // Loop metrics.

@@ -257,6 +257,14 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .evaluations
                     .fetch_add(result.evaluated as u64, Ordering::Relaxed);
+                shared
+                    .stats
+                    .full_reschedules
+                    .fetch_add(result.full_reschedules as u64, Ordering::Relaxed);
+                shared
+                    .stats
+                    .block_spliced
+                    .fetch_add(result.block_spliced as u64, Ordering::Relaxed);
                 let counter = if result.stopped {
                     &shared.stats.timed_out
                 } else {

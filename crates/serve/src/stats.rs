@@ -30,6 +30,12 @@ pub struct ServerStats {
     /// Candidate evaluations performed across all jobs (cache hits
     /// included; see `FactResult::evaluated`).
     pub evaluations: AtomicU64,
+    /// Candidate schedules computed from scratch, across all jobs
+    /// (`FactResult::full_reschedules`).
+    pub full_reschedules: AtomicU64,
+    /// Candidate schedules that spliced memoized block fragments
+    /// (`FactResult::block_spliced`).
+    pub block_spliced: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -49,6 +55,8 @@ impl ServerStats {
             timed_out: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
+            full_reschedules: AtomicU64::new(0),
+            block_spliced: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
@@ -100,6 +108,8 @@ impl ServerStats {
             ("jobs_timed_out", counter(&self.timed_out)),
             ("jobs_rejected", counter(&self.rejected)),
             ("evaluations", counter(&self.evaluations)),
+            ("full_reschedules", counter(&self.full_reschedules)),
+            ("block_spliced", counter(&self.block_spliced)),
             ("cache_hits", Value::Int(cs.hits as i64)),
             ("cache_misses", Value::Int(cs.misses as i64)),
             ("cache_entries", Value::Int(cs.entries as i64)),
@@ -115,7 +125,8 @@ impl ServerStats {
         let cs = cache.stats();
         format!(
             "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
-             evals={} cache={:.0}% ({} entries) p50={}ms p95={}ms",
+             evals={} resched full={} spliced={} cache={:.0}% ({} entries) \
+             p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
             self.completed.load(Ordering::Relaxed)
                 + self.failed.load(Ordering::Relaxed)
@@ -126,6 +137,8 @@ impl ServerStats {
             self.timed_out.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.evaluations.load(Ordering::Relaxed),
+            self.full_reschedules.load(Ordering::Relaxed),
+            self.block_spliced.load(Ordering::Relaxed),
             cs.hit_rate() * 100.0,
             cs.entries,
             p50,
@@ -179,12 +192,18 @@ mod tests {
         s.submitted.fetch_add(3, Ordering::Relaxed);
         s.completed.fetch_add(2, Ordering::Relaxed);
         s.rejected.fetch_add(1, Ordering::Relaxed);
+        s.full_reschedules.fetch_add(7, Ordering::Relaxed);
+        s.block_spliced.fetch_add(5, Ordering::Relaxed);
         let cache = EvalCache::default();
         let v = s.snapshot(&cache);
         assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
         assert_eq!(v.get("jobs_completed").unwrap().as_i64(), Some(2));
         assert_eq!(v.get("jobs_rejected").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("full_reschedules").unwrap().as_i64(), Some(7));
+        assert_eq!(v.get("block_spliced").unwrap().as_i64(), Some(5));
         assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
-        assert!(s.log_line(&cache).contains("ok=2"));
+        let line = s.log_line(&cache);
+        assert!(line.contains("ok=2"));
+        assert!(line.contains("resched full=7 spliced=5"));
     }
 }

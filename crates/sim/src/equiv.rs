@@ -7,7 +7,9 @@
 //! memory contents) and comparing the full observable behavior: output
 //! streams, final memory images, and return values.
 
-use crate::interp::{execute_with, ExecConfig, ExecError};
+use crate::compiled::CompiledFn;
+use crate::interp::{execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
+use crate::profile::{assemble_profile, BranchProfile};
 use crate::trace::TraceSet;
 use fact_ir::Function;
 use fact_prng::rngs::StdRng;
@@ -182,6 +184,198 @@ pub fn check_equivalence(
     Ok(checked)
 }
 
+/// The original behavior's observable results on success.
+struct RefOk {
+    outputs: Vec<(String, i64)>,
+    memories: Vec<Vec<i64>>,
+    returned: Option<i64>,
+}
+
+/// One captured trace vector: the shared random initial memory images and
+/// the original behavior's outcome on them.
+struct RefVector {
+    init: Vec<Vec<i64>>,
+    outcome: Result<RefOk, ExecError>,
+}
+
+/// The reference side of equivalence checking, captured once and reused
+/// across many transformed candidates.
+///
+/// [`check_equivalence`] re-executes the *original* behavior — and
+/// regenerates the shared random initial memories — for every candidate,
+/// even though that side never changes within a search. `EquivReference`
+/// hoists it: [`EquivReference::capture`] runs the original over all trace
+/// vectors once (recording memory images and results), and
+/// [`EquivReference::check`] then verifies each candidate by executing
+/// only the transformed side. Verdicts are identical to
+/// [`check_equivalence`] with the same traces and seed, including the
+/// skip-when-both-fail rule; the equivalence property tests in `fact-core`
+/// hold the two paths together.
+pub struct EquivReference {
+    vectors: Vec<RefVector>,
+    step_limit: u64,
+}
+
+impl EquivReference {
+    /// Executes `original` over `traces` with seeded random initial
+    /// memories (same generation order as [`check_equivalence`] with the
+    /// same `seed`), recording everything a candidate must match.
+    pub fn capture(original: &Function, traces: &TraceSet, seed: u64) -> EquivReference {
+        let cf = CompiledFn::compile(original);
+        let step_limit = ExecConfig::default().step_limit;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vectors = Vec::with_capacity(traces.vectors.len());
+        for v in &traces.vectors {
+            let init: Vec<Vec<i64>> = original
+                .memories()
+                .map(|(_, m)| (0..m.size).map(|_| rng.gen_range(-100i64..100)).collect())
+                .collect();
+            let outcome = cf.execute_seeded(v, &init, step_limit).map(|r| RefOk {
+                outputs: r.outputs,
+                memories: r.memories,
+                returned: r.returned,
+            });
+            vectors.push(RefVector { init, outcome });
+        }
+        EquivReference {
+            vectors,
+            step_limit,
+        }
+    }
+
+    /// Checks `transformed` against the captured reference. `traces` must
+    /// be the set given to [`EquivReference::capture`].
+    ///
+    /// Returns `Ok(checked)` — the number of vectors actually compared —
+    /// or the first [`Mismatch`], exactly as [`check_equivalence`] would.
+    ///
+    /// # Errors
+    /// Returns [`Mismatch`] describing the first observable difference.
+    ///
+    /// # Panics
+    /// Panics if `traces` has a different vector count than the captured
+    /// set.
+    pub fn check(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+    ) -> Result<usize, Box<Mismatch>> {
+        self.check_observed(transformed, traces, |_| {})
+    }
+
+    /// [`EquivReference::check`] that also returns the branch profile
+    /// observed during the very same executions, saving a second
+    /// simulation pass per candidate.
+    ///
+    /// Only valid for memory-free functions: equivalence checking runs
+    /// with seeded random initial memories while profiling runs with
+    /// zeroed ones, so with no memories to initialize the two
+    /// configurations execute identically and the returned profile is
+    /// bit-identical to [`crate::profile_compiled`] (same step limit,
+    /// same vectors, same accounting).
+    ///
+    /// # Errors
+    /// Returns the first [`Mismatch`], exactly as
+    /// [`EquivReference::check`] would.
+    ///
+    /// # Panics
+    /// Panics if `transformed` declares memories, or if `traces` has a
+    /// different vector count than the captured set.
+    pub fn check_profiled(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+    ) -> Result<(usize, BranchProfile), Box<Mismatch>> {
+        assert_eq!(
+            transformed.num_memories(),
+            0,
+            "check_profiled requires a memory-free function: profiles \
+             would otherwise depend on the memory initialization, which \
+             differs between equivalence checking and profiling"
+        );
+        let mut stats = BranchStats::default();
+        let mut visit_totals = vec![0u64; transformed.num_blocks()];
+        let (mut ok, mut failed) = (0usize, 0usize);
+        let checked = self.check_observed(transformed, traces, |r| match r {
+            Ok(r) => {
+                stats.merge(&r.branches);
+                for (i, &c) in r.block_visits.iter().enumerate() {
+                    visit_totals[i] += c;
+                }
+                ok += 1;
+            }
+            Err(_) => failed += 1,
+        })?;
+        let profile = assemble_profile(transformed, &stats, &visit_totals, ok, failed);
+        Ok((checked, profile))
+    }
+
+    /// The comparison loop behind [`EquivReference::check`]; `observe`
+    /// sees every transformed-side execution result before it is judged.
+    fn check_observed(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+        mut observe: impl FnMut(&Result<ExecResult, ExecError>),
+    ) -> Result<usize, Box<Mismatch>> {
+        assert_eq!(
+            traces.vectors.len(),
+            self.vectors.len(),
+            "EquivReference::check needs the traces it was captured with"
+        );
+        let mut checked = 0;
+        for (i, v) in traces.vectors.iter().enumerate() {
+            let rv = &self.vectors[i];
+            let r2 = transformed.execute_seeded(v, &rv.init, self.step_limit);
+            observe(&r2);
+            match (&rv.outcome, r2) {
+                (Ok(a), Ok(b)) => {
+                    if a.outputs != b.outputs {
+                        return Err(Box::new(Mismatch::Outputs {
+                            vector: i,
+                            expected: a.outputs.clone(),
+                            actual: b.outputs,
+                        }));
+                    }
+                    if a.returned != b.returned {
+                        return Err(Box::new(Mismatch::Returned {
+                            vector: i,
+                            expected: a.returned,
+                            actual: b.returned,
+                        }));
+                    }
+                    for (mi, (ma, mb)) in a.memories.iter().zip(&b.memories).enumerate() {
+                        if let Some(addr) = ma.iter().zip(mb).position(|(x, y)| x != y) {
+                            return Err(Box::new(Mismatch::Memory {
+                                vector: i,
+                                mem: mi,
+                                addr,
+                            }));
+                        }
+                    }
+                    checked += 1;
+                }
+                (Err(_), Err(_)) => { /* both failed: equivalently undefined */ }
+                (Err(e), Ok(_)) => {
+                    return Err(Box::new(Mismatch::Execution {
+                        vector: i,
+                        error: e.clone(),
+                        original_failed: true,
+                    }))
+                }
+                (Ok(_), Err(e)) => {
+                    return Err(Box::new(Mismatch::Execution {
+                        vector: i,
+                        error: e,
+                        original_failed: false,
+                    }))
+                }
+            }
+        }
+        Ok(checked)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +391,39 @@ mod tests {
             n,
             77,
         )
+    }
+
+    #[test]
+    fn check_profiled_matches_separate_passes() {
+        use crate::profile::profile_compiled;
+        let f = compile(
+            "proc f(a, b) { var y = 0; if (a > b) { y = a - b; } else { y = b - a; } out r = y; }",
+        )
+        .unwrap();
+        let g = compile(
+            "proc f(a, b) { var y = 0; if (a > b) { y = a - b; } else { y = 0 - (a - b); } out r = y; }",
+        )
+        .unwrap();
+        let traces = traces_ab(40);
+        let reference = EquivReference::capture(&f, &traces, 9);
+        let cg = CompiledFn::compile(&g);
+        let (checked, prof) = reference.check_profiled(&cg, &traces).unwrap();
+        assert_eq!(checked, reference.check(&cg, &traces).unwrap());
+        assert_eq!(prof, profile_compiled(&cg, &traces));
+        // A non-equivalent candidate still gets the same verdict.
+        let bad = compile("proc f(a, b) { out r = a; }").unwrap();
+        let cbad = CompiledFn::compile(&bad);
+        assert!(reference.check_profiled(&cbad, &traces).is_err());
+        assert!(reference.check(&cbad, &traces).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory-free")]
+    fn check_profiled_rejects_functions_with_memories() {
+        let f = compile("proc f(a) { array m[4]; m[0] = a; out y = m[0]; }").unwrap();
+        let traces = traces_ab(4);
+        let reference = EquivReference::capture(&f, &traces, 9);
+        let _ = reference.check_profiled(&CompiledFn::compile(&f), &traces);
     }
 
     #[test]
@@ -239,6 +466,41 @@ mod tests {
         let t = generate(&[("a".to_string(), InputSpec::Constant(0))], 10, 6);
         let m = check_equivalence(&f1, &f2, &t, 5).unwrap_err();
         assert!(matches!(*m, Mismatch::Outputs { .. }));
+    }
+
+    /// Both equivalence paths must return the same verdict.
+    fn verdicts_agree(f1: &fact_ir::Function, f2: &fact_ir::Function, t: &TraceSet, seed: u64) {
+        let slow = check_equivalence(f1, f2, t, seed);
+        let reference = EquivReference::capture(f1, t, seed);
+        let fast = reference.check(&CompiledFn::compile(f2), t);
+        match (slow, fast) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "checked counts differ"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("verdicts diverge: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_check_matches_check_equivalence() {
+        let f1 = compile("proc f(a, b) { out y = a * b - a * 3; }").unwrap();
+        let f2 = compile("proc f(a, b) { out y = a * (b - 3); }").unwrap();
+        let f3 = compile("proc f(a, b) { out y = a - b; }").unwrap();
+        let t = traces_ab(60);
+        verdicts_agree(&f1, &f2, &t, 2);
+        verdicts_agree(&f1, &f3, &t, 3);
+        verdicts_agree(&f1, &f1.clone(), &t, 9);
+    }
+
+    #[test]
+    fn reference_check_matches_on_random_memories() {
+        // The random-initial-memory stream must line up exactly with
+        // check_equivalence's, or read-before-write dependences would be
+        // judged differently.
+        let f1 = compile("proc f(a) { array x[4]; array z[6]; x[0] = a; out y = a; }").unwrap();
+        let f2 = compile("proc f(a) { array x[4]; array z[6]; out y = x[0]; x[0] = a; }").unwrap();
+        let t = generate(&[("a".to_string(), InputSpec::Constant(0))], 10, 6);
+        verdicts_agree(&f1, &f2, &t, 5);
+        verdicts_agree(&f1, &f1.clone(), &t, 5);
     }
 
     #[test]

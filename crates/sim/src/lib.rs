@@ -12,12 +12,14 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod equiv;
 mod interp;
 pub mod profile;
 pub mod trace;
 
-pub use equiv::{check_equivalence, Mismatch};
+pub use compiled::CompiledFn;
+pub use equiv::{check_equivalence, EquivReference, Mismatch};
 pub use interp::{execute, execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
-pub use profile::{profile, profile_with, BranchProfile};
+pub use profile::{profile, profile_compiled, profile_with, BranchProfile};
 pub use trace::{generate, InputSpec, TraceSet};

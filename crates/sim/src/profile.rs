@@ -6,6 +6,7 @@
 //! [`BranchProfile`] is consumed by the scheduler (edge probabilities on
 //! the STG) and by the estimator (Markov analysis).
 
+use crate::compiled::CompiledFn;
 use crate::interp::{execute_with, BranchStats, ExecConfig};
 use crate::trace::TraceSet;
 use fact_ir::{BlockId, Function, Terminator};
@@ -15,7 +16,7 @@ use std::collections::HashMap;
 ///
 /// For every block ending in a conditional branch, the probability that
 /// the branch is taken. Blocks never observed branching fall back to 0.5.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BranchProfile {
     probs: HashMap<usize, f64>,
     visits: HashMap<usize, f64>,
@@ -129,6 +130,66 @@ pub fn profile_with(f: &Function, traces: &TraceSet, config: &ExecConfig) -> Bra
     }
 }
 
+/// [`profile`] over an already-compiled function (default interpreter
+/// configuration: zeroed memories). Profiles produced here are identical
+/// to [`profile`] on the source function; the candidate-evaluation fast
+/// path in `fact-core` uses this to share one [`CompiledFn`] between the
+/// equivalence check and the profile.
+pub fn profile_compiled(cf: &CompiledFn, traces: &TraceSet) -> BranchProfile {
+    let config = ExecConfig::default();
+    let mut stats = BranchStats::default();
+    let mut ok = 0;
+    let mut failed = 0;
+    let mut visit_totals: Vec<u64> = vec![0; cf.num_blocks()];
+    for v in &traces.vectors {
+        match cf.execute(v, &config) {
+            Ok(r) => {
+                stats.merge(&r.branches);
+                for (i, &c) in r.block_visits.iter().enumerate() {
+                    visit_totals[i] += c;
+                }
+                ok += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    assemble_profile(cf, &stats, &visit_totals, ok, failed)
+}
+
+/// Builds a [`BranchProfile`] from run statistics accumulated over a
+/// compiled function's executions — the shared tail of
+/// [`profile_compiled`] and `EquivReference::check_profiled`, which
+/// gather the same statistics from different execution loops.
+pub(crate) fn assemble_profile(
+    cf: &CompiledFn,
+    stats: &BranchStats,
+    visit_totals: &[u64],
+    ok: usize,
+    failed: usize,
+) -> BranchProfile {
+    let mut probs = HashMap::new();
+    for b in cf.branch_blocks() {
+        if let Some(p) = stats.prob_true(b) {
+            probs.insert(b, p);
+        }
+    }
+    let visits = if ok > 0 {
+        visit_totals
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, t as f64 / ok as f64))
+            .collect()
+    } else {
+        HashMap::new()
+    };
+    BranchProfile {
+        probs,
+        visits,
+        runs_ok: ok,
+        runs_failed: failed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +243,30 @@ mod tests {
         let mut p = BranchProfile::uniform();
         p.set_prob(BlockId(1), 1.7);
         assert_eq!(p.prob_true(BlockId(1)), 1.0);
+    }
+
+    #[test]
+    fn compiled_profile_matches_interpreted() {
+        let f = compile(
+            "proc f(a, n) { var i = 0; var s = 0; \
+             while (i < n) { if (a < i) { s = s + i; } else { s = s - 1; } i = i + 1; } \
+             out s = s; }",
+        )
+        .unwrap();
+        let traces = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 20 }),
+                ("n".to_string(), InputSpec::Uniform { lo: 0, hi: 15 }),
+            ],
+            40,
+            13,
+        );
+        let slow = profile(&f, &traces);
+        let fast = profile_compiled(&CompiledFn::compile(&f), &traces);
+        assert_eq!(slow.runs_ok, fast.runs_ok);
+        assert_eq!(slow.runs_failed, fast.runs_failed);
+        assert_eq!(slow.probs, fast.probs);
+        assert_eq!(slow.visits, fast.visits);
     }
 
     #[test]

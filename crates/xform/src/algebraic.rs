@@ -7,7 +7,7 @@
 //! `(y1-y3)+(y2-y4)` is better depends entirely on which units the
 //! surrounding schedule leaves idle.
 
-use crate::transform::{Candidate, Region, Transform, TransformKind};
+use crate::transform::{Candidate, DirtyRegion, Region, Transform, TransformKind};
 use crate::util::{as_bin, placed_ops, use_counts};
 use fact_ir::{BinOp, Function, Op, OpId, OpKind};
 
@@ -42,6 +42,7 @@ impl Transform for Commutativity {
                 out.push(Candidate {
                     kind: TransformKind::Commutativity,
                     description: format!("swap operands of {op} ({bin})"),
+                    dirty: DirtyRegion::diff(f, &g),
                     function: g,
                 });
             }
@@ -252,6 +253,7 @@ fn rebuild_tree(
                 TreeShape::LeftChain => "chain",
             }
         ),
+        dirty: DirtyRegion::diff(f, &g),
         function: g,
     }
 }
@@ -302,6 +304,7 @@ impl Transform for Distributivity {
                             out.push(Candidate {
                                 kind: TransformKind::Distributivity,
                                 description: format!("factor {k} out of {op}"),
+                                dirty: DirtyRegion::diff(f, &g),
                                 function: g,
                             });
                             break;
@@ -327,6 +330,7 @@ impl Transform for Distributivity {
                         out.push(Candidate {
                             kind: TransformKind::Distributivity,
                             description: format!("sum-of-differences rewrite at {op}"),
+                            dirty: DirtyRegion::diff(f, &g),
                             function: g,
                         });
                     }
@@ -354,6 +358,7 @@ impl Transform for Distributivity {
                         out.push(Candidate {
                             kind: TransformKind::Distributivity,
                             description: format!("expand {op} over {inner_bin}"),
+                            dirty: DirtyRegion::diff(f, &g),
                             function: g,
                         });
                         break;

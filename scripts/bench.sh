@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Search-throughput benchmark: writes crates/bench/BENCH_search.json
+# (beside BENCH_search.baseline.json, the committed reference numbers).
+#
+#   scripts/bench.sh            # full run (400 evals/benchmark budget)
+#   scripts/bench.sh --smoke    # tiny run, JSON to stdout, writes nothing
+#   scripts/bench.sh --budget 1000 --out /tmp/b.json
+#
+# The JSON records evals/sec, wall time, and cache hit rate per suite
+# benchmark, one pass per engine mode — the repo's perf trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo bench -q -p fact-bench --bench search_perf -- "$@"

@@ -17,4 +17,10 @@ cargo build --release
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
+echo "== incremental-vs-full equivalence property tests"
+cargo test -q -p fact-core --release --test incremental_equiv
+
+echo "== bench smoke run (JSON well-formedness)"
+scripts/bench.sh --smoke | python3 -c 'import json,sys; json.load(sys.stdin)'
+
 echo "ci.sh: all gates passed"

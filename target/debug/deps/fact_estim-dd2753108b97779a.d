@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/fact_estim-dd2753108b97779a.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
+/root/repo/target/debug/deps/fact_estim-dd2753108b97779a.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_estim-dd2753108b97779a.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_estim-dd2753108b97779a.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs Cargo.toml
 
 crates/estim/src/lib.rs:
 crates/estim/src/area.rs:
 crates/estim/src/evaluate.rs:
 crates/estim/src/library.rs:
 crates/estim/src/markov.rs:
+crates/estim/src/memo.rs:
 crates/estim/src/montecarlo.rs:
 crates/estim/src/power.rs:
 crates/estim/src/vdd.rs:

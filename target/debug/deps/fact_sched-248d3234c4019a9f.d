@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/fact_sched-248d3234c4019a9f.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs Cargo.toml
+/root/repo/target/debug/deps/fact_sched-248d3234c4019a9f.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_sched-248d3234c4019a9f.rmeta: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_sched-248d3234c4019a9f.rmeta: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs Cargo.toml
 
 crates/sched/src/lib.rs:
 crates/sched/src/ifconv.rs:
 crates/sched/src/listsched.rs:
+crates/sched/src/memo.rs:
 crates/sched/src/parloops.rs:
 crates/sched/src/pipeline.rs:
 crates/sched/src/resources.rs:

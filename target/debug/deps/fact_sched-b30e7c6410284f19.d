@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/fact_sched-b30e7c6410284f19.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+/root/repo/target/debug/deps/fact_sched-b30e7c6410284f19.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
 
-/root/repo/target/debug/deps/fact_sched-b30e7c6410284f19: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+/root/repo/target/debug/deps/fact_sched-b30e7c6410284f19: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
 
 crates/sched/src/lib.rs:
 crates/sched/src/ifconv.rs:
 crates/sched/src/listsched.rs:
+crates/sched/src/memo.rs:
 crates/sched/src/parloops.rs:
 crates/sched/src/pipeline.rs:
 crates/sched/src/resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_equiv-875ee2ba710f4944.d: crates/core/tests/incremental_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_equiv-875ee2ba710f4944.rmeta: crates/core/tests/incremental_equiv.rs Cargo.toml
+
+crates/core/tests/incremental_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

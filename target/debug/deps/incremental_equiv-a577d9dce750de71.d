@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_equiv-a577d9dce750de71.d: crates/core/tests/incremental_equiv.rs
+
+/root/repo/target/debug/deps/incremental_equiv-a577d9dce750de71: crates/core/tests/incremental_equiv.rs
+
+crates/core/tests/incremental_equiv.rs:

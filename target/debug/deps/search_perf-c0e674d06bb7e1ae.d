@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_perf-c0e674d06bb7e1ae.d: crates/bench/benches/search_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_perf-c0e674d06bb7e1ae.rmeta: crates/bench/benches/search_perf.rs Cargo.toml
+
+crates/bench/benches/search_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

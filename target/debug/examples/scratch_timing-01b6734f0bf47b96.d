@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scratch_timing-01b6734f0bf47b96.d: examples/scratch_timing.rs
+
+/root/repo/target/debug/examples/scratch_timing-01b6734f0bf47b96: examples/scratch_timing.rs
+
+examples/scratch_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/driver_edge_cases-4d7a7f462212882a.d: crates/sched/tests/driver_edge_cases.rs
+
+/root/repo/target/release/deps/driver_edge_cases-4d7a7f462212882a: crates/sched/tests/driver_edge_cases.rs
+
+crates/sched/tests/driver_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-9d5bc32faa36ce71.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-9d5bc32faa36ce71: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimator_validation-1b73277a063ca767.d: tests/estimator_validation.rs
+
+/root/repo/target/release/deps/estimator_validation-1b73277a063ca767: tests/estimator_validation.rs
+
+tests/estimator_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-2f3ff6a2aea7ac38.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-2f3ff6a2aea7ac38: tests/extensions.rs
+
+tests/extensions.rs:

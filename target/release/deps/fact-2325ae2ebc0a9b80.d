@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fact-2325ae2ebc0a9b80.d: src/lib.rs
+
+/root/repo/target/release/deps/fact-2325ae2ebc0a9b80: src/lib.rs
+
+src/lib.rs:

@@ -1,14 +1,15 @@
-/root/repo/target/release/deps/fact_estim-8b5cb5d393fd3c18.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
+/root/repo/target/release/deps/fact_estim-8b5cb5d393fd3c18.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
 
-/root/repo/target/release/deps/libfact_estim-8b5cb5d393fd3c18.rlib: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
+/root/repo/target/release/deps/libfact_estim-8b5cb5d393fd3c18.rlib: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
 
-/root/repo/target/release/deps/libfact_estim-8b5cb5d393fd3c18.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
+/root/repo/target/release/deps/libfact_estim-8b5cb5d393fd3c18.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
 
 crates/estim/src/lib.rs:
 crates/estim/src/area.rs:
 crates/estim/src/evaluate.rs:
 crates/estim/src/library.rs:
 crates/estim/src/markov.rs:
+crates/estim/src/memo.rs:
 crates/estim/src/montecarlo.rs:
 crates/estim/src/power.rs:
 crates/estim/src/vdd.rs:

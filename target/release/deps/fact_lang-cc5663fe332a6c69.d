@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fact_lang-cc5663fe332a6c69.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/token.rs
+
+/root/repo/target/release/deps/fact_lang-cc5663fe332a6c69: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/token.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/token.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fact_prng-74fcc58e7b270121.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/fact_prng-74fcc58e7b270121: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/fact_sched-af4ca1e84ed40702.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+/root/repo/target/release/deps/fact_sched-af4ca1e84ed40702.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
 
-/root/repo/target/release/deps/libfact_sched-af4ca1e84ed40702.rlib: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+/root/repo/target/release/deps/libfact_sched-af4ca1e84ed40702.rlib: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
 
-/root/repo/target/release/deps/libfact_sched-af4ca1e84ed40702.rmeta: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+/root/repo/target/release/deps/libfact_sched-af4ca1e84ed40702.rmeta: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
 
 crates/sched/src/lib.rs:
 crates/sched/src/ifconv.rs:
 crates/sched/src/listsched.rs:
+crates/sched/src/memo.rs:
 crates/sched/src/parloops.rs:
 crates/sched/src/pipeline.rs:
 crates/sched/src/resources.rs:

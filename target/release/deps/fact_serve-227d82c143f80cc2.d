@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fact_serve-227d82c143f80cc2.d: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/release/deps/fact_serve-227d82c143f80cc2: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/job.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

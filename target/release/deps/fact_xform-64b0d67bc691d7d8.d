@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fact_xform-64b0d67bc691d7d8.d: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+/root/repo/target/release/deps/fact_xform-64b0d67bc691d7d8: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+crates/xform/src/lib.rs:
+crates/xform/src/algebraic.rs:
+crates/xform/src/codemotion.rs:
+crates/xform/src/constprop.rs:
+crates/xform/src/crossbb.rs:
+crates/xform/src/cse.rs:
+crates/xform/src/distribute.rs:
+crates/xform/src/transform.rs:
+crates/xform/src/unroll.rs:
+crates/xform/src/util.rs:

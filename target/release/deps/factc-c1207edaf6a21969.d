@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/factc-c1207edaf6a21969.d: src/bin/factc.rs
+
+/root/repo/target/release/deps/factc-c1207edaf6a21969: src/bin/factc.rs
+
+src/bin/factc.rs:

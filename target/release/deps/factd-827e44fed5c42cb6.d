@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/factd-827e44fed5c42cb6.d: src/bin/factd.rs
+
+/root/repo/target/release/deps/factd-827e44fed5c42cb6: src/bin/factd.rs
+
+src/bin/factd.rs:

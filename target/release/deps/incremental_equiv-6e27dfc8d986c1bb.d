@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_equiv-6e27dfc8d986c1bb.d: crates/core/tests/incremental_equiv.rs
+
+/root/repo/target/release/deps/incremental_equiv-6e27dfc8d986c1bb: crates/core/tests/incremental_equiv.rs
+
+crates/core/tests/incremental_equiv.rs:

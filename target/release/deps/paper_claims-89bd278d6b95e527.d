@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-89bd278d6b95e527.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-89bd278d6b95e527: tests/paper_claims.rs
+
+tests/paper_claims.rs:

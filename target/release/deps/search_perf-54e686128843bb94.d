@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_perf-54e686128843bb94.d: crates/bench/benches/search_perf.rs
+
+/root/repo/target/release/deps/search_perf-54e686128843bb94: crates/bench/benches/search_perf.rs
+
+crates/bench/benches/search_perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_e2e-f27698141444bd7b.d: tests/serve_e2e.rs
+
+/root/repo/target/release/deps/serve_e2e-f27698141444bd7b: tests/serve_e2e.rs
+
+tests/serve_e2e.rs:

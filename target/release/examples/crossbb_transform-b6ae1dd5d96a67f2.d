@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crossbb_transform-b6ae1dd5d96a67f2.d: examples/crossbb_transform.rs
+
+/root/repo/target/release/examples/crossbb_transform-b6ae1dd5d96a67f2: examples/crossbb_transform.rs
+
+examples/crossbb_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gcd_power-46198e3f679f7f8b.d: examples/gcd_power.rs
+
+/root/repo/target/release/examples/gcd_power-46198e3f679f7f8b: examples/gcd_power.rs
+
+examples/gcd_power.rs:

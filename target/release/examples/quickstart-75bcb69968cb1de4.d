@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-75bcb69968cb1de4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-75bcb69968cb1de4: examples/quickstart.rs
+
+examples/quickstart.rs:

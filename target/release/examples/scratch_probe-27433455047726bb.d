@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_probe-27433455047726bb.d: examples/scratch_probe.rs
+
+/root/repo/target/release/examples/scratch_probe-27433455047726bb: examples/scratch_probe.rs
+
+examples/scratch_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scratch_timing-23c03f2c597a882b.d: examples/scratch_timing.rs
+
+/root/repo/target/release/examples/scratch_timing-23c03f2c597a882b: examples/scratch_timing.rs
+
+examples/scratch_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/test2_throughput-3befca5f685ea592.d: examples/test2_throughput.rs
+
+/root/repo/target/release/examples/test2_throughput-3befca5f685ea592: examples/test2_throughput.rs
+
+examples/test2_throughput.rs:
