@@ -25,5 +25,6 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig4;
 pub mod search_perf;
+pub mod sim_perf;
 pub mod sweep;
 pub mod table2;

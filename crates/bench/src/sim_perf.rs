@@ -1,0 +1,238 @@
+//! Simulation-throughput measurement: trace vectors/sec, scalar vs
+//! batched, over the §5 suite behaviors.
+//!
+//! The candidate-evaluation inner loop of a FACT search is dominated by
+//! simulation (equivalence checks + branch profiling), so this module
+//! measures that layer in isolation: how many trace vectors per second
+//! each execution engine sustains when profiling a suite behavior over a
+//! large trace set drawn from the benchmark's own input distributions
+//! ([`fact_core::suite::input_specs`]). Both engines are run over the
+//! *same* compiled function and trace set, their profiles are asserted
+//! identical (the engines are bit-identical by contract), and only the
+//! wall-clock differs. The `sim_perf` bench target writes the result as
+//! `BENCH_sim.json`.
+//!
+//! Vectors are counted *logically* (through [`SimCounters`]): a
+//! deduplicated lane of multiplicity `k` counts `k`, so constant-heavy
+//! trace sets (Test2, SINTRAN) show the dedup win while the all-distinct
+//! PPS set isolates the raw lockstep-lane win.
+//!
+//! Std-only by design (the offline build has no serde/criterion): the
+//! JSON is emitted by hand from a flat result struct.
+
+use fact_core::suite::{input_specs, suite};
+use fact_estim::section5_library;
+use fact_sim::{
+    generate, profile_compiled_with, CompiledFn, ExecConfig, SimCounters, SimEngine, TraceSet,
+};
+use std::time::Instant;
+
+/// Throughput of one engine on one benchmark.
+#[derive(Clone, Debug)]
+pub struct EnginePerf {
+    /// Engine label (`scalar` or `batched`).
+    pub engine: &'static str,
+    /// Profiling passes completed inside the measurement window.
+    pub passes: usize,
+    /// Logical trace vectors simulated (dedup multiplicities included).
+    pub vectors: u64,
+    /// `run_batch` invocations (0 for the scalar engine).
+    pub batches: u64,
+    /// Wall-clock time of the measurement window, seconds.
+    pub wall_s: f64,
+    /// `vectors / wall_s`.
+    pub vectors_per_sec: f64,
+}
+
+/// Scalar-vs-batched measurement of one suite benchmark.
+#[derive(Clone, Debug)]
+pub struct SimSuitePerf {
+    /// Benchmark name (Table 2 row).
+    pub name: &'static str,
+    /// Trace vectors per profiling pass.
+    pub trace_vectors: usize,
+    /// Distinct vectors after [`TraceSet::dedup`] (the batched engine's
+    /// actual per-pass workload).
+    pub distinct_lanes: usize,
+    /// Scalar-engine measurement.
+    pub scalar: EnginePerf,
+    /// Batched-engine measurement.
+    pub batched: EnginePerf,
+    /// `batched.vectors_per_sec / scalar.vectors_per_sec`.
+    pub speedup: f64,
+}
+
+/// One full measurement: every Table 2 benchmark, both engines.
+#[derive(Clone, Debug)]
+pub struct SimPerf {
+    /// Trace vectors generated per benchmark.
+    pub vectors: usize,
+    /// Per-benchmark measurements.
+    pub suites: Vec<SimSuitePerf>,
+}
+
+/// Runs one engine repeatedly over `(cf, traces)` until both `min_passes`
+/// and `min_wall_s` are met (capped at 20k passes so a microsecond-fast
+/// configuration cannot spin unboundedly).
+fn measure_engine(
+    label: &'static str,
+    cf: &CompiledFn,
+    traces: &TraceSet,
+    engine: SimEngine,
+    min_passes: usize,
+    min_wall_s: f64,
+) -> EnginePerf {
+    let config = ExecConfig {
+        engine,
+        ..ExecConfig::default()
+    };
+    let counters = SimCounters::default();
+    let mut passes = 0usize;
+    let t0 = Instant::now();
+    loop {
+        std::hint::black_box(profile_compiled_with(cf, traces, &config, Some(&counters)));
+        passes += 1;
+        if passes >= min_passes && (t0.elapsed().as_secs_f64() >= min_wall_s || passes >= 20_000) {
+            break;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let vectors = counters.vectors();
+    EnginePerf {
+        engine: label,
+        passes,
+        vectors,
+        batches: counters.batches(),
+        wall_s,
+        vectors_per_sec: if wall_s > 0.0 {
+            vectors as f64 / wall_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs the simulation-throughput measurement over the §5 suite:
+/// `vectors` trace vectors per benchmark, each engine run for at least
+/// `min_passes` passes and `min_wall_s` seconds.
+///
+/// # Panics
+/// Panics if the two engines disagree on a profile — bit-identity is the
+/// contract this bench rides on, so a disagreement is a bug worth
+/// aborting the measurement for.
+pub fn run_with(vectors: usize, min_passes: usize, min_wall_s: f64) -> SimPerf {
+    let (lib, _) = section5_library();
+    let mut suites = Vec::new();
+    for b in suite(&lib) {
+        let specs = input_specs(b.name).expect("suite benchmark has input specs");
+        let traces = generate(&specs, vectors, 0x51AB5);
+        let cf = CompiledFn::compile(&b.function);
+        let distinct_lanes = traces.dedup().len();
+        // Bit-identity guard before timing anything.
+        let scalar_prof = profile_compiled_with(&cf, &traces, &scalar_config(), None);
+        let batched_prof = profile_compiled_with(&cf, &traces, &ExecConfig::default(), None);
+        assert_eq!(
+            scalar_prof, batched_prof,
+            "{}: engines disagree on the profile",
+            b.name
+        );
+        let scalar = measure_engine(
+            "scalar",
+            &cf,
+            &traces,
+            SimEngine::Scalar,
+            min_passes,
+            min_wall_s,
+        );
+        let batched = measure_engine(
+            "batched",
+            &cf,
+            &traces,
+            SimEngine::default(),
+            min_passes,
+            min_wall_s,
+        );
+        let speedup = if scalar.vectors_per_sec > 0.0 {
+            batched.vectors_per_sec / scalar.vectors_per_sec
+        } else {
+            0.0
+        };
+        suites.push(SimSuitePerf {
+            name: b.name,
+            trace_vectors: traces.len(),
+            distinct_lanes,
+            scalar,
+            batched,
+            speedup,
+        });
+    }
+    SimPerf { vectors, suites }
+}
+
+fn scalar_config() -> ExecConfig {
+    ExecConfig {
+        engine: SimEngine::Scalar,
+        ..ExecConfig::default()
+    }
+}
+
+fn engine_json(e: &EnginePerf) -> String {
+    format!(
+        "{{\"passes\": {}, \"vectors\": {}, \"batches\": {}, \
+         \"wall_s\": {:.4}, \"vectors_per_sec\": {:.1}}}",
+        e.passes, e.vectors, e.batches, e.wall_s, e.vectors_per_sec
+    )
+}
+
+/// Renders a measurement as a JSON document.
+pub fn to_json(p: &SimPerf) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"vectors\": {},\n  \"suites\": [\n",
+        p.vectors
+    );
+    for (i, s) in p.suites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trace_vectors\": {}, \"distinct_lanes\": {},\n     \
+             \"scalar\": {},\n     \"batched\": {},\n     \"speedup\": {:.2}}}{}\n",
+            s.name,
+            s.trace_vectors,
+            s.distinct_lanes,
+            engine_json(&s.scalar),
+            engine_json(&s.batched),
+            s.speedup,
+            if i + 1 < p.suites.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_numbers() {
+        let p = run_with(32, 1, 0.0);
+        assert_eq!(p.suites.len(), 6);
+        for s in &p.suites {
+            assert_eq!(s.trace_vectors, 32);
+            assert!(s.distinct_lanes >= 1 && s.distinct_lanes <= 32);
+            assert_eq!(s.scalar.batches, 0, "{}: scalar engine batched", s.name);
+            assert!(s.batched.batches > 0, "{}: batched engine did not", s.name);
+            assert!(s.scalar.vectors >= 32);
+            assert!(s.batched.vectors >= 32);
+        }
+        // Constant-trace benchmarks collapse to one lane.
+        let test2 = p.suites.iter().find(|s| s.name == "Test2").unwrap();
+        assert_eq!(test2.distinct_lanes, 1);
+        let json = to_json(&p);
+        assert!(json.contains("\"bench\": \"sim\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -21,8 +21,8 @@ use fact_sched::{
     ScheduleResult, SelectionRules,
 };
 use fact_sim::{
-    check_equivalence, profile, profile_compiled, BranchProfile, CompiledFn, EquivReference,
-    TraceSet,
+    check_equivalence_with, profile, profile_compiled_with, BranchProfile, CompiledFn,
+    EquivReference, ExecConfig, SimCounters, SimEngine, TraceSet,
 };
 use fact_xform::{Region, TransformLibrary};
 use std::fmt;
@@ -53,6 +53,14 @@ pub struct FactConfig {
     /// incremental-equivalence tests hold the two paths together);
     /// `false` keeps the straight-line path as fallback and oracle.
     pub incremental: bool,
+    /// Simulate candidates with the batched lockstep engine
+    /// (`fact_sim::SimEngine::Batched`): all trace vectors run as
+    /// structure-of-arrays lanes through one pass per batch, with
+    /// duplicate vectors deduplicated where sound. Verdicts, profiles,
+    /// and scores are bit-identical to the scalar engine (fact-sim's
+    /// property tests pin this); `false` keeps the one-vector-at-a-time
+    /// scalar path as fallback and oracle.
+    pub sim_batch: bool,
 }
 
 impl Default for FactConfig {
@@ -65,6 +73,7 @@ impl Default for FactConfig {
             check_equivalence: true,
             max_blocks: 3,
             incremental: true,
+            sim_batch: true,
         }
     }
 }
@@ -97,6 +106,12 @@ pub struct FactResult {
     /// Schedules that spliced at least one memoized per-block fragment
     /// instead of re-running list scheduling (0 in non-incremental mode).
     pub block_spliced: usize,
+    /// Trace vectors simulated during candidate evaluation (equivalence
+    /// checks and compiled profiling passes; logical vectors, so a
+    /// deduplicated lane of multiplicity *k* counts *k*).
+    pub sim_vectors: u64,
+    /// Batched simulation passes executed (0 with `sim_batch` off).
+    pub sim_batches: u64,
     /// `true` when the run was cut short by cancellation or timeout;
     /// the result is the best of what was explored.
     pub stopped: bool,
@@ -155,6 +170,10 @@ struct IncrementalCtx {
     full_reschedules: AtomicUsize,
     /// Schedules that reused at least one memoized block fragment.
     block_spliced: AtomicUsize,
+    /// Execution engine for candidate simulation (equivalence + profile).
+    engine: SimEngine,
+    /// Vectors/batches simulated so far (shared across worker threads).
+    sim: SimCounters,
 }
 
 impl IncrementalCtx {
@@ -166,6 +185,21 @@ impl IncrementalCtx {
             markov: config.incremental.then(MarkovMemo::default),
             full_reschedules: AtomicUsize::new(0),
             block_spliced: AtomicUsize::new(0),
+            engine: if config.sim_batch {
+                SimEngine::default()
+            } else {
+                SimEngine::Scalar
+            },
+            sim: SimCounters::default(),
+        }
+    }
+
+    /// Default interpreter configuration carrying this run's engine, for
+    /// the simulation entry points that take an [`ExecConfig`].
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            engine: self.engine,
+            ..ExecConfig::default()
         }
     }
 
@@ -199,7 +233,7 @@ fn eval_candidate(
 ) -> Option<(ScheduleResult, Estimate)> {
     let prof: BranchProfile = match (prof, cf) {
         (Some(p), _) => p,
-        (None, Some(cf)) => profile_compiled(cf, traces),
+        (None, Some(cf)) => profile_compiled_with(cf, traces, &ctx.exec_config(), Some(&ctx.sim)),
         (None, None) => profile(g, traces),
     };
     if prof.runs_ok == 0 {
@@ -402,17 +436,27 @@ pub fn optimize_with(
                         // Memory-free behaviors: the equivalence pass
                         // executes the exact machine profiling would, so
                         // one simulation pass serves both.
-                        (Some(reference), Some(cf)) if g.memories().count() == 0 => {
-                            match reference.check_profiled(cf, traces) {
-                                Ok((_, prof)) => {
-                                    merged_prof = Some(prof);
-                                    true
-                                }
-                                Err(_) => false,
+                        (Some(reference), Some(cf)) if g.memories().count() == 0 => match reference
+                            .check_profiled_with(cf, traces, ctx.engine, Some(&ctx.sim))
+                        {
+                            Ok((_, prof)) => {
+                                merged_prof = Some(prof);
+                                true
                             }
-                        }
-                        (Some(reference), Some(cf)) => reference.check(cf, traces).is_ok(),
-                        _ => check_equivalence(f, g, traces, 0xC0FFEE).is_ok(),
+                            Err(_) => false,
+                        },
+                        (Some(reference), Some(cf)) => reference
+                            .check_with(cf, traces, ctx.engine, Some(&ctx.sim))
+                            .is_ok(),
+                        _ => check_equivalence_with(
+                            f,
+                            g,
+                            traces,
+                            0xC0FFEE,
+                            &ctx.exec_config(),
+                            Some(&ctx.sim),
+                        )
+                        .is_ok(),
                     };
                     if !verdict_ok {
                         return None;
@@ -491,6 +535,8 @@ pub fn optimize_with(
         cache_hits: cache_hits.into_inner(),
         full_reschedules: ctx.full_reschedules.into_inner(),
         block_spliced: ctx.block_spliced.into_inner(),
+        sim_vectors: ctx.sim.vectors(),
+        sim_batches: ctx.sim.batches(),
         stopped,
     })
 }
@@ -500,7 +546,7 @@ mod tests {
     use super::*;
     use fact_estim::section5_library;
     use fact_lang::compile;
-    use fact_sim::{generate, InputSpec};
+    use fact_sim::{check_equivalence, generate, InputSpec};
 
     fn quick_config(objective: Objective) -> FactConfig {
         FactConfig {

@@ -37,12 +37,44 @@ fn alloc_of(lib: &FuLibrary, pairs: &[(&str, u32)]) -> Allocation {
     a
 }
 
-fn traces_of(specs: &[(&str, InputSpec)], n: usize, seed: u64) -> TraceSet {
-    let s: Vec<_> = specs
-        .iter()
-        .map(|(k, v)| (k.to_string(), v.clone()))
-        .collect();
-    generate(&s, n, seed)
+/// The input-trace specification a named benchmark draws from — the
+/// single source both for the small per-benchmark [`Benchmark::traces`]
+/// sets and for harnesses that want *more* vectors from the same
+/// distributions (the sim-throughput bench draws ~1k per run). Returns
+/// `None` for unknown names.
+pub fn input_specs(name: &str) -> Option<Vec<(String, InputSpec)>> {
+    let own = |specs: &[(&str, InputSpec)]| {
+        specs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    };
+    Some(match name {
+        "GCD" => own(&[
+            ("a", InputSpec::Uniform { lo: 1, hi: 64 }),
+            ("b", InputSpec::Uniform { lo: 1, hi: 64 }),
+        ]),
+        "FIR" => own(&[("n", InputSpec::Constant(16))]),
+        "Test2" => own(&[
+            ("n1", InputSpec::Constant(50)),
+            ("n2", InputSpec::Constant(50)),
+            ("n3", InputSpec::Constant(125)),
+        ]),
+        "SINTRAN" => own(&[("n", InputSpec::Constant(12))]),
+        "IGF" => own(&[
+            ("a", InputSpec::Uniform { lo: 1, hi: 9 }),
+            ("n", InputSpec::Constant(24)),
+        ]),
+        "PPS" => (1..=16)
+            .map(|i| (format!("x{i}"), InputSpec::Uniform { lo: -100, hi: 100 }))
+            .collect(),
+        _ => return None,
+    })
+}
+
+fn traces_of(name: &str, n: usize, seed: u64) -> TraceSet {
+    let specs = input_specs(name).unwrap_or_else(|| panic!("no input specs for {name}"));
+    generate(&specs, n, seed)
 }
 
 /// Source of the paper's TEST1 (Figure 1(a)).
@@ -186,14 +218,7 @@ pub fn gcd(lib: &FuLibrary) -> Benchmark {
         name: "GCD",
         function: compile(GCD_SRC).expect("GCD compiles"),
         allocation: alloc_of(lib, &[("sb1", 2), ("cp1", 1), ("e1", 1)]),
-        traces: traces_of(
-            &[
-                ("a", InputSpec::Uniform { lo: 1, hi: 64 }),
-                ("b", InputSpec::Uniform { lo: 1, hi: 64 }),
-            ],
-            12,
-            101,
-        ),
+        traces: traces_of("GCD", 12, 101),
     }
 }
 
@@ -203,7 +228,7 @@ pub fn fir(lib: &FuLibrary) -> Benchmark {
         name: "FIR",
         function: compile(FIR_SRC).expect("FIR compiles"),
         allocation: alloc_of(lib, &[("a1", 2), ("mt1", 1), ("cp1", 1), ("i1", 1)]),
-        traces: traces_of(&[("n", InputSpec::Constant(16))], 4, 102),
+        traces: traces_of("FIR", 4, 102),
     }
 }
 
@@ -213,15 +238,7 @@ pub fn test2(lib: &FuLibrary) -> Benchmark {
         name: "Test2",
         function: compile(TEST2_SRC).expect("Test2 compiles"),
         allocation: alloc_of(lib, &[("a1", 2), ("sb1", 2), ("cp1", 2), ("i1", 2)]),
-        traces: traces_of(
-            &[
-                ("n1", InputSpec::Constant(50)),
-                ("n2", InputSpec::Constant(50)),
-                ("n3", InputSpec::Constant(125)),
-            ],
-            3,
-            103,
-        ),
+        traces: traces_of("Test2", 3, 103),
     }
 }
 
@@ -235,7 +252,7 @@ pub fn sintran(lib: &FuLibrary) -> Benchmark {
             lib,
             &[("a1", 4), ("sb1", 4), ("mt1", 1), ("cp1", 1), ("i1", 1)],
         ),
-        traces: traces_of(&[("n", InputSpec::Constant(12))], 3, 104),
+        traces: traces_of("SINTRAN", 3, 104),
     }
 }
 
@@ -256,32 +273,17 @@ pub fn igf(lib: &FuLibrary) -> Benchmark {
                 ("s1", 1),
             ],
         ),
-        traces: traces_of(
-            &[
-                ("a", InputSpec::Uniform { lo: 1, hi: 9 }),
-                ("n", InputSpec::Constant(24)),
-            ],
-            6,
-            105,
-        ),
+        traces: traces_of("IGF", 6, 105),
     }
 }
 
 /// PPS benchmark (Table 3: 5 a1).
 pub fn pps(lib: &FuLibrary) -> Benchmark {
-    let names = [
-        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14",
-        "x15", "x16",
-    ];
-    let specs: Vec<(&str, InputSpec)> = names
-        .iter()
-        .map(|&n| (n, InputSpec::Uniform { lo: -100, hi: 100 }))
-        .collect();
     Benchmark {
         name: "PPS",
         function: compile(PPS_SRC).expect("PPS compiles"),
         allocation: alloc_of(lib, &[("a1", 5)]),
-        traces: traces_of(&specs, 10, 106),
+        traces: traces_of("PPS", 10, 106),
     }
 }
 

@@ -1,0 +1,110 @@
+//! Whole-search invariance of the batched simulation engine.
+//!
+//! `FactConfig::sim_batch` selects the execution engine for every
+//! simulation pass inside `optimize` (equivalence checks and compiled
+//! branch profiling). The engines are bit-identical, so toggling the flag
+//! must not change the search in any observable way: same candidate
+//! ordering, same evaluation count, same winner, same estimates down to
+//! the bits — only the work counters differ (`sim_batches` is zero when
+//! scalar). This mirrors `incremental_equiv.rs`'s whole-search test for
+//! the `incremental` toggle.
+
+use fact_core::{
+    optimize, structural_hash, suite, Benchmark, FactConfig, FactResult, Objective,
+    TransformLibrary,
+};
+use fact_estim::section5_library;
+
+fn run(b: &Benchmark, config: &FactConfig) -> FactResult {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    optimize(
+        &b.function,
+        &lib,
+        &rules,
+        &b.allocation,
+        &b.traces,
+        &tlib,
+        config,
+    )
+    .expect("optimize run")
+}
+
+fn assert_searches_identical(batched: &FactResult, scalar: &FactResult, ctx: &str) {
+    assert_eq!(
+        batched.applied, scalar.applied,
+        "applied path differs ({ctx})"
+    );
+    assert_eq!(
+        batched.evaluated, scalar.evaluated,
+        "eval count differs ({ctx})"
+    );
+    assert_eq!(
+        structural_hash(&batched.best),
+        structural_hash(&scalar.best),
+        "winner structural hash differs ({ctx})"
+    );
+    assert_eq!(
+        batched.estimate.average_schedule_length.to_bits(),
+        scalar.estimate.average_schedule_length.to_bits(),
+        "schedule length differs ({ctx})"
+    );
+    assert_eq!(
+        batched.estimate.power.to_bits(),
+        scalar.estimate.power.to_bits(),
+        "power differs ({ctx})"
+    );
+    // The engines must actually have differed in *how* they simulated.
+    assert!(batched.sim_batches > 0, "no batches recorded ({ctx})");
+    assert_eq!(scalar.sim_batches, 0, "scalar run batched ({ctx})");
+    assert!(scalar.sim_vectors > 0, "no vectors recorded ({ctx})");
+}
+
+#[test]
+fn optimize_suite_batched_matches_scalar() {
+    let (lib, _) = section5_library();
+    for b in suite(&lib) {
+        for (objective, seed) in [(Objective::Throughput, 5), (Objective::Power, 23)] {
+            let mut config = FactConfig {
+                objective,
+                ..FactConfig::default()
+            };
+            config.search.seed = seed;
+            config.search.max_moves = 3;
+            config.search.in_set_size = 2;
+            config.search.max_rounds = 2;
+            config.search.max_evaluations = 60;
+
+            config.sim_batch = true;
+            let batched = run(&b, &config);
+            config.sim_batch = false;
+            let scalar = run(&b, &config);
+            let ctx = format!("{} {objective:?} seed={seed}", b.name);
+            assert_searches_identical(&batched, &scalar, &ctx);
+        }
+    }
+}
+
+/// The toggle must also be inert on the full (non-incremental)
+/// evaluation path, whose equivalence fallback funnels through
+/// `check_equivalence_with` with the configured engine.
+#[test]
+fn optimize_full_path_batched_matches_scalar() {
+    let (lib, _) = section5_library();
+    let b = suite(&lib).into_iter().next().expect("suite nonempty");
+    let mut config = FactConfig {
+        incremental: false,
+        ..FactConfig::default()
+    };
+    config.search.seed = 9;
+    config.search.max_moves = 2;
+    config.search.in_set_size = 2;
+    config.search.max_rounds = 1;
+    config.search.max_evaluations = 30;
+
+    config.sim_batch = true;
+    let batched = run(&b, &config);
+    config.sim_batch = false;
+    let scalar = run(&b, &config);
+    assert_searches_identical(&batched, &scalar, "full path");
+}

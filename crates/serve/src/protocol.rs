@@ -141,6 +141,11 @@ fn decode_optimize(v: &Value) -> Result<OptimizeRequest, ProtocolError> {
             .as_bool()
             .ok_or_else(|| bad("`check_equivalence` must be a boolean"))?;
     }
+    if let Some(sb) = v.get("sim_batch") {
+        config.sim_batch = sb
+            .as_bool()
+            .ok_or_else(|| bad("`sim_batch` must be a boolean"))?;
+    }
     if let Some(mb) = v.get("max_blocks") {
         config.max_blocks = usize_member(mb, "max_blocks")?;
     }
@@ -301,7 +306,7 @@ mod tests {
             "traces":{"n":8,"seed":42,"inputs":{
                 "a":{"const":16},"b":{"lo":0,"hi":9},"c":{"sigma":10.0,"rho":0.9}}},
             "search":{"seed":7,"threads":2,"max_evaluations":100},
-            "timeout_ms":5000,"check_equivalence":false,"max_blocks":2}"#;
+            "timeout_ms":5000,"check_equivalence":false,"sim_batch":false,"max_blocks":2}"#;
         let Request::Optimize(req) = decode_request(&parse(src).unwrap()).unwrap() else {
             panic!("expected optimize");
         };
@@ -310,6 +315,7 @@ mod tests {
         assert!(matches!(req.config.objective, Objective::Power));
         assert_eq!(req.config.sched.clock_ns, 20.0);
         assert!(!req.config.check_equivalence);
+        assert!(!req.config.sim_batch);
         assert_eq!(req.config.max_blocks, 2);
         assert_eq!(req.config.search.seed, 7);
         assert_eq!(req.config.search.threads, 2);
@@ -335,6 +341,7 @@ mod tests {
         assert_eq!(req.id, "");
         assert!(matches!(req.config.objective, Objective::Throughput));
         assert!(req.config.check_equivalence);
+        assert!(req.config.sim_batch);
         assert_eq!(req.timeout_ms, None);
         assert_eq!(req.traces.seed, 1);
     }

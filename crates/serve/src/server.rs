@@ -265,6 +265,14 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .block_spliced
                     .fetch_add(result.block_spliced as u64, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sim_vectors
+                    .fetch_add(result.sim_vectors, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sim_batches
+                    .fetch_add(result.sim_batches, Ordering::Relaxed);
                 let counter = if result.stopped {
                     &shared.stats.timed_out
                 } else {

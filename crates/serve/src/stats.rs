@@ -36,6 +36,13 @@ pub struct ServerStats {
     /// Candidate schedules that spliced memoized block fragments
     /// (`FactResult::block_spliced`).
     pub block_spliced: AtomicU64,
+    /// Trace vectors simulated across all jobs
+    /// (`FactResult::sim_vectors`; logical vectors, dedup multiplicities
+    /// included).
+    pub sim_vectors: AtomicU64,
+    /// Batched simulation passes across all jobs
+    /// (`FactResult::sim_batches`).
+    pub sim_batches: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -57,6 +64,8 @@ impl ServerStats {
             evaluations: AtomicU64::new(0),
             full_reschedules: AtomicU64::new(0),
             block_spliced: AtomicU64::new(0),
+            sim_vectors: AtomicU64::new(0),
+            sim_batches: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
@@ -74,6 +83,16 @@ impl ServerStats {
             ring.samples[i] = ms;
             ring.next = (i + 1) % LATENCY_WINDOW;
         }
+    }
+
+    /// Average simulation throughput over the server's lifetime, in
+    /// trace vectors per second (0.0 in the first instants of uptime).
+    pub fn sim_vectors_per_sec(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_vectors.load(Ordering::Relaxed) as f64 / secs
     }
 
     /// `(p50, p95)` over the recent-latency window, in milliseconds;
@@ -110,6 +129,12 @@ impl ServerStats {
             ("evaluations", counter(&self.evaluations)),
             ("full_reschedules", counter(&self.full_reschedules)),
             ("block_spliced", counter(&self.block_spliced)),
+            ("sim_vectors", counter(&self.sim_vectors)),
+            ("sim_batches", counter(&self.sim_batches)),
+            (
+                "sim_vectors_per_sec",
+                Value::Float(self.sim_vectors_per_sec()),
+            ),
             ("cache_hits", Value::Int(cs.hits as i64)),
             ("cache_misses", Value::Int(cs.misses as i64)),
             ("cache_entries", Value::Int(cs.entries as i64)),
@@ -125,8 +150,8 @@ impl ServerStats {
         let cs = cache.stats();
         format!(
             "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
-             evals={} resched full={} spliced={} cache={:.0}% ({} entries) \
-             p50={}ms p95={}ms",
+             evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
+             cache={:.0}% ({} entries) p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
             self.completed.load(Ordering::Relaxed)
                 + self.failed.load(Ordering::Relaxed)
@@ -139,6 +164,9 @@ impl ServerStats {
             self.evaluations.load(Ordering::Relaxed),
             self.full_reschedules.load(Ordering::Relaxed),
             self.block_spliced.load(Ordering::Relaxed),
+            self.sim_vectors.load(Ordering::Relaxed),
+            self.sim_batches.load(Ordering::Relaxed),
+            self.sim_vectors_per_sec(),
             cs.hit_rate() * 100.0,
             cs.entries,
             p50,
@@ -194,6 +222,8 @@ mod tests {
         s.rejected.fetch_add(1, Ordering::Relaxed);
         s.full_reschedules.fetch_add(7, Ordering::Relaxed);
         s.block_spliced.fetch_add(5, Ordering::Relaxed);
+        s.sim_vectors.fetch_add(640, Ordering::Relaxed);
+        s.sim_batches.fetch_add(16, Ordering::Relaxed);
         let cache = EvalCache::default();
         let v = s.snapshot(&cache);
         assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
@@ -201,9 +231,13 @@ mod tests {
         assert_eq!(v.get("jobs_rejected").unwrap().as_i64(), Some(1));
         assert_eq!(v.get("full_reschedules").unwrap().as_i64(), Some(7));
         assert_eq!(v.get("block_spliced").unwrap().as_i64(), Some(5));
+        assert_eq!(v.get("sim_vectors").unwrap().as_i64(), Some(640));
+        assert_eq!(v.get("sim_batches").unwrap().as_i64(), Some(16));
+        assert!(v.get("sim_vectors_per_sec").unwrap().as_f64().unwrap() >= 0.0);
         assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
         let line = s.log_line(&cache);
         assert!(line.contains("ok=2"));
         assert!(line.contains("resched full=7 spliced=5"));
+        assert!(line.contains("sim=640v/16b"));
     }
 }

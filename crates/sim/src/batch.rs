@@ -1,0 +1,799 @@
+//! Batched lockstep execution: every trace vector in one SIMT-style pass.
+//!
+//! Candidate evaluation in the search runs the *same* [`CompiledFn`] over
+//! every vector of a trace set — once for equivalence checking and once
+//! for profiling. The scalar path pays the full interpreter dispatch
+//! (match on the decoded instruction, bounds checks, block walking) per
+//! vector. The batch engine amortizes it: a structure-of-arrays
+//! [`BatchState`] holds one *lane* per vector, lanes are bucketed by the
+//! block they are about to execute, and each decoded instruction is
+//! dispatched once per block execution and applied across all lanes in
+//! the bucket. Correlated traces — the common case, since typical traces
+//! exercise the same hot control paths — execute each hot block once per
+//! batch instead of once per vector.
+//!
+//! Control-flow divergence is handled CFI-style: at a conditional branch
+//! the bucket is partitioned by taken successor; lanes meeting again at a
+//! join land in the same bucket and regroup automatically. The scheduler
+//! always runs the lowest-numbered non-empty bucket next and sorts each
+//! bucket into ascending lane order before executing it, so the execution
+//! order is a pure function of the program and the lanes — no
+//! nondeterminism enters anywhere.
+//!
+//! The contract is the crate's usual one, per lane: [`CompiledFn::run_batch`]
+//! returns results **bit-identical** to [`CompiledFn::execute_seeded`] on
+//! the same inputs — identical outputs, memories, return values,
+//! `ops_executed`, block visits, branch statistics, and identical
+//! [`ExecError`]s (including the exact step-limit boundary: phi copies
+//! are counted but never trip the limit, every non-phi operation checks
+//! after executing). Lanes are fully independent; an erroring lane
+//! retires without disturbing the others. `crates/sim/tests/batched_equiv.rs`
+//! holds the two engines together over randomized programs and traces.
+
+use crate::compiled::{CTerm, CompiledFn, Inst};
+use crate::interp::{BranchStats, ExecError, ExecResult};
+use crate::trace::{InputVector, TraceColumns};
+use fact_ir::MemId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many lanes one batch holds at most (bounds the structure-of-arrays
+/// working set; larger trace sets run as several batches).
+pub const DEFAULT_MAX_LANES: usize = 256;
+
+/// Which execution engine a multi-vector simulation pass uses.
+///
+/// Both engines are bit-identical in everything they report; the choice
+/// affects wall-clock time only. `Scalar` is retained as the fallback and
+/// as the oracle the batched property tests compare against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEngine {
+    /// One [`CompiledFn::execute_seeded`] call per vector.
+    Scalar,
+    /// Lockstep lanes via [`CompiledFn::run_batch`], at most `max_lanes`
+    /// vectors per batch.
+    Batched {
+        /// Upper bound on lanes per batch (memory/working-set knob).
+        max_lanes: usize,
+    },
+}
+
+impl SimEngine {
+    /// The default batched engine ([`DEFAULT_MAX_LANES`] lanes per batch).
+    pub fn batched() -> SimEngine {
+        SimEngine::Batched {
+            max_lanes: DEFAULT_MAX_LANES,
+        }
+    }
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        SimEngine::batched()
+    }
+}
+
+/// Lock-free tallies of simulation work, shared across the threads of a
+/// candidate search and surfaced by `factd`'s STATS line.
+#[derive(Debug, Default)]
+pub struct SimCounters {
+    /// Trace vectors covered by simulation passes (logical vectors: a
+    /// deduplicated lane of multiplicity *k* counts *k*).
+    pub vectors: AtomicU64,
+    /// `run_batch` invocations (0 when the scalar engine ran).
+    pub batches: AtomicU64,
+}
+
+impl SimCounters {
+    /// Adds one pass's tallies.
+    pub fn add(&self, vectors: u64, batches: u64) {
+        self.vectors.fetch_add(vectors, Ordering::Relaxed);
+        self.batches.fetch_add(batches, Ordering::Relaxed);
+    }
+
+    /// Vectors covered so far.
+    pub fn vectors(&self) -> u64 {
+        self.vectors.load(Ordering::Relaxed)
+    }
+
+    /// Batches executed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+/// One lane's inputs: the named input vector and its private initial
+/// memory images (positional, like [`CompiledFn::execute_seeded`]:
+/// memory `i` starts as `init[i]` resized to the declared size, missing
+/// entries zero-filled). Pass `&[]` for all-zero memories.
+#[derive(Clone, Copy)]
+pub struct Lane<'a> {
+    /// Named inputs for this lane.
+    pub inputs: &'a InputVector,
+    /// Initial memory images, by memory index.
+    pub init: &'a [Vec<i64>],
+}
+
+/// The structure-of-arrays execution state of one batch: every per-run
+/// array of the scalar interpreter, widened by one lane axis. Values for
+/// op slot `s` live at `values[s * lanes + lane]`, so the inner loop over
+/// a bucket's lanes walks contiguous memory.
+struct BatchState {
+    /// Number of lanes in this batch.
+    lanes: usize,
+    /// Dense value array, `num_ops × lanes`.
+    values: Vec<i64>,
+    /// Pre-resolved inputs, `input_names × lanes` (`None` = absent, an
+    /// error only if the corresponding `Input` op executes in that lane).
+    resolved: Vec<Option<i64>>,
+    /// Per input name: whether every lane has it (fast-path gate for
+    /// `Inst::Input`, which then cannot fail).
+    all_present: Vec<bool>,
+    /// Per-lane memory images.
+    memories: Vec<Vec<Vec<i64>>>,
+    /// Per-lane emitted outputs as (output-name index, value).
+    outputs: Vec<Vec<(u32, i64)>>,
+    /// Per-lane branch counters, `lanes × num_blocks`, laid out lane-major.
+    branch_counts: Vec<(u64, u64)>,
+    /// Per-lane block visit counters, lane-major.
+    block_visits: Vec<u64>,
+    /// Per-lane executed-operation counters.
+    ops: Vec<u64>,
+    /// Per-lane predecessor block (`usize::MAX` before the first edge).
+    prev: Vec<usize>,
+    /// Per-lane final outcome; `None` while the lane is still running.
+    results: Vec<Option<Result<ExecResult, ExecError>>>,
+}
+
+/// Builds the name-major resolved-input matrix (`input_names × lanes`) for
+/// a batch whose lanes' inputs are `rows` of a [`TraceColumns`] view —
+/// bit-identical to the hash-map resolution of [`CompiledFn::run_batch`]
+/// when the columns exist (every vector has the same key set): a name
+/// absent from the columns is absent from every vector.
+pub(crate) fn resolve_columns(
+    cf: &CompiledFn,
+    cols: &TraceColumns,
+    rows: impl ExactSizeIterator<Item = usize> + Clone,
+) -> Vec<Option<i64>> {
+    let n = rows.len();
+    let mut resolved = vec![None; cf.input_names.len() * n];
+    for (ni, name) in cf.input_names.iter().enumerate() {
+        if let Some(c) = cols.col(name) {
+            for (k, row) in rows.clone().enumerate() {
+                resolved[ni * n + k] = Some(cols.value(row, c));
+            }
+        }
+    }
+    resolved
+}
+
+/// Resizes the shared/per-lane initial images to the function's declared
+/// memory sizes, exactly as [`CompiledFn::execute_seeded`] does: memory `i`
+/// starts as `init[i]` resized to its declared size, missing entries
+/// zero-filled.
+pub(crate) fn sized_memories(cf: &CompiledFn, init: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    cf.mem_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &sz)| {
+            init.get(i)
+                .cloned()
+                .map(|mut v| {
+                    v.resize(sz, 0);
+                    v
+                })
+                .unwrap_or_else(|| vec![0; sz])
+        })
+        .collect()
+}
+
+impl BatchState {
+    fn from_parts(
+        cf: &CompiledFn,
+        resolved: Vec<Option<i64>>,
+        memories: Vec<Vec<Vec<i64>>>,
+    ) -> BatchState {
+        let n = memories.len();
+        let nb = cf.blocks.len();
+        debug_assert_eq!(resolved.len(), cf.input_names.len() * n);
+        let all_present = (0..cf.input_names.len())
+            .map(|ni| resolved[ni * n..(ni + 1) * n].iter().all(Option::is_some))
+            .collect();
+        BatchState {
+            lanes: n,
+            values: vec![0; cf.num_ops * n],
+            resolved,
+            all_present,
+            memories,
+            outputs: vec![Vec::new(); n],
+            branch_counts: vec![(0, 0); n * nb],
+            block_visits: vec![0; n * nb],
+            ops: vec![0; n],
+            prev: vec![usize::MAX; n],
+            results: vec![None; n],
+        }
+    }
+
+    /// Retires lane `l` with an error.
+    fn fail(&mut self, l: usize, e: ExecError) {
+        self.results[l] = Some(Err(e));
+    }
+
+    /// Retires lane `l` successfully, materializing the [`ExecResult`]
+    /// exactly as the scalar run loop would at its `Return`.
+    fn retire(&mut self, cf: &CompiledFn, l: usize, returned: Option<usize>) {
+        let nb = cf.blocks.len();
+        let mut branches = BranchStats::default();
+        for (b, &(t, f)) in self.branch_counts[l * nb..(l + 1) * nb].iter().enumerate() {
+            if t + f > 0 {
+                branches.counts.insert(b, (t, f));
+            }
+        }
+        let outputs = std::mem::take(&mut self.outputs[l])
+            .into_iter()
+            .map(|(name, v)| (cf.output_names[name as usize].clone(), v))
+            .collect();
+        self.results[l] = Some(Ok(ExecResult {
+            outputs,
+            memories: std::mem::take(&mut self.memories[l]),
+            returned: returned.map(|slot| self.values[slot * self.lanes + l]),
+            branches,
+            ops_executed: self.ops[l],
+            block_visits: self.block_visits[l * nb..(l + 1) * nb].to_vec(),
+        }));
+    }
+}
+
+impl CompiledFn {
+    /// Executes one lane per entry of `lanes` in lockstep.
+    ///
+    /// Result `i` is bit-identical to
+    /// `self.execute_seeded(lanes[i].inputs, lanes[i].init, step_limit)`;
+    /// the batch engine only changes how the work is scheduled, never what
+    /// any lane observes.
+    ///
+    /// # Panics
+    /// Panics where the scalar interpreter would: a phi in the entry
+    /// block, or an executed edge missing from a phi's incoming list.
+    pub fn run_batch(
+        &self,
+        lanes: &[Lane<'_>],
+        step_limit: u64,
+    ) -> Vec<Result<ExecResult, ExecError>> {
+        let n = lanes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let resolved = self
+            .input_names
+            .iter()
+            .flat_map(|name| lanes.iter().map(move |l| l.inputs.get(name).copied()))
+            .collect();
+        let memories = lanes.iter().map(|l| sized_memories(self, l.init)).collect();
+        self.run_batch_prepared(resolved, memories, step_limit)
+    }
+
+    /// [`CompiledFn::run_batch`] over already-resolved inputs and
+    /// already-sized memory images (one entry per lane; see
+    /// [`sized_memories`]). `resolved` is name-major: input `i` of lane `l`
+    /// is at `resolved[i * lanes + l]`, `None` meaning the lane lacks the
+    /// input. The columnar trace paths use this to skip the per-(name,
+    /// lane) hash-map probes of the `Lane`-based entry point.
+    pub(crate) fn run_batch_prepared(
+        &self,
+        resolved: Vec<Option<i64>>,
+        memories: Vec<Vec<Vec<i64>>>,
+        step_limit: u64,
+    ) -> Vec<Result<ExecResult, ExecError>> {
+        let n = memories.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nb = self.blocks.len();
+        let mut st = BatchState::from_parts(self, resolved, memories);
+        // Lanes about to execute block `b` wait in `buckets[b]`.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        buckets[self.entry] = (0..n as u32).collect();
+        let mut phi_scratch: Vec<i64> = Vec::new();
+
+        // Deterministic schedule: lowest-numbered non-empty bucket, lanes
+        // in ascending order. Blocks are numbered roughly topologically by
+        // the front end, so lanes inside a loop all drain before the join
+        // block past the exit runs — maximal regrouping for the common
+        // divergence shapes. `scan_from` is a cursor below which every
+        // bucket is known empty: the previous iteration drained the lowest
+        // non-empty bucket `b` and refilled at most its successors, so the
+        // next lowest is at or above min(successors, b + 1).
+        let mut scan_from = self.entry;
+        while let Some(b) = (scan_from..nb).find(|&b| !buckets[b].is_empty()) {
+            let mut group = std::mem::take(&mut buckets[b]);
+            group.sort_unstable();
+            let block = &self.blocks[b];
+
+            for &l in &group {
+                st.block_visits[l as usize * nb + b] += 1;
+            }
+
+            // Step-limit headroom: if even the slowest lane cannot reach
+            // the limit within this block (every lane executes at most
+            // `worst` more ops before the terminator), the per-op limit
+            // checks are skipped and contiguous lane groups take
+            // vectorizable fast loops, with the op counts applied in bulk
+            // at the end of the block (`pending`).
+            let phi_worst = if block.has_phis {
+                block
+                    .phi_copies
+                    .iter()
+                    .map(|(_, c)| c.as_ref().map_or(0, |c| c.len()))
+                    .max()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let worst = (phi_worst + block.insts.len()) as u64;
+            let max_ops = group.iter().map(|&l| st.ops[l as usize]).max().unwrap_or(0);
+            let headroom = max_ops.saturating_add(worst) <= step_limit;
+            let mut pending: u64 = 0;
+
+            // Phase 1: phis, parallel-copy semantics per lane. The copy
+            // list depends on each lane's predecessor, so the group is
+            // sub-partitioned by `prev`; within one lane all sources are
+            // read before any destination is written.
+            if block.has_phis {
+                for &l in &group {
+                    let li = l as usize;
+                    assert!(st.prev[li] != usize::MAX, "phi in entry block");
+                    let copies = block
+                        .phi_copies
+                        .iter()
+                        .find(|(p, _)| *p == st.prev[li])
+                        .map(|(_, c)| c.as_ref())
+                        .expect("executed edge comes from a structural predecessor")
+                        .expect("phi has entry for executed predecessor");
+                    phi_scratch.clear();
+                    phi_scratch.extend(copies.iter().map(|&(_, src)| st.values[src * n + li]));
+                    for (&(dst, _), &v) in copies.iter().zip(&phi_scratch) {
+                        st.values[dst * n + li] = v;
+                        st.ops[li] += 1;
+                    }
+                }
+            }
+
+            // Phase 2: non-phi operations — instruction-outer, lane-inner,
+            // so each decode/dispatch is paid once per *block execution*
+            // rather than once per vector. Lanes that error retire and
+            // drop out of the group before the next instruction. When the
+            // group is a contiguous lane range and `headroom` holds,
+            // pure instructions run branch-free loops over dense rows of
+            // the value array (the autovectorizable hot path); the group
+            // only loses contiguity when a lane fails mid-block.
+            for inst in &block.insts {
+                if group.is_empty() {
+                    break;
+                }
+                let lo = group[0] as usize;
+                let glen = group.len();
+                let fast = headroom && group[glen - 1] as usize - lo + 1 == glen;
+                let mut any_failed = false;
+                match *inst {
+                    Inst::Const { dst, value } => {
+                        if fast {
+                            st.values[dst * n + lo..dst * n + lo + glen].fill(value);
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                st.values[dst * n + li] = value;
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Input { dst, name } => {
+                        if fast && st.all_present[name as usize] {
+                            let rb = name as usize * n + lo;
+                            let db = dst * n + lo;
+                            let src = &st.resolved[rb..rb + glen];
+                            for (d, r) in st.values[db..db + glen].iter_mut().zip(src) {
+                                *d = r.unwrap_or(0);
+                            }
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                match st.resolved[name as usize * n + li] {
+                                    Some(v) => {
+                                        st.values[dst * n + li] = v;
+                                        st.ops[li] += 1;
+                                        if st.ops[li] > step_limit {
+                                            st.fail(
+                                                li,
+                                                ExecError::StepLimitExceeded { limit: step_limit },
+                                            );
+                                            any_failed = true;
+                                        }
+                                    }
+                                    None => {
+                                        st.fail(
+                                            li,
+                                            ExecError::MissingInput(
+                                                self.input_names[name as usize].clone(),
+                                            ),
+                                        );
+                                        any_failed = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Inst::Bin { dst, op, a, b: b2 } => {
+                        if fast {
+                            let (ab, bb, db) = (a * n + lo, b2 * n + lo, dst * n + lo);
+                            // One specialized loop per operator: each arm
+                            // calls `eval` on a *constant* op, so the
+                            // dispatch const-folds away and the loop body
+                            // vectorizes, while the semantics stay
+                            // `BinOp::eval`'s by construction.
+                            macro_rules! specialized {
+                                ($($v:ident),*) => {
+                                    match op {
+                                        $(fact_ir::BinOp::$v => {
+                                            for k in 0..glen {
+                                                st.values[db + k] = fact_ir::BinOp::$v
+                                                    .eval(st.values[ab + k], st.values[bb + k]);
+                                            }
+                                        })*
+                                    }
+                                };
+                            }
+                            specialized!(
+                                Add, Sub, Mul, Div, Rem, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Xor, Shl,
+                                Shr
+                            );
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                st.values[dst * n + li] =
+                                    op.eval(st.values[a * n + li], st.values[b2 * n + li]);
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Un { dst, op, a } => {
+                        if fast {
+                            let (ab, db) = (a * n + lo, dst * n + lo);
+                            macro_rules! specialized_un {
+                                ($($v:ident),*) => {
+                                    match op {
+                                        $(fact_ir::UnOp::$v => {
+                                            for k in 0..glen {
+                                                st.values[db + k] =
+                                                    fact_ir::UnOp::$v.eval(st.values[ab + k]);
+                                            }
+                                        })*
+                                    }
+                                };
+                            }
+                            specialized_un!(Neg, Not, LNot);
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                st.values[dst * n + li] = op.eval(st.values[a * n + li]);
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Mux {
+                        dst,
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
+                        if fast {
+                            let (cb, tb, fb, db) = (
+                                cond * n + lo,
+                                on_true * n + lo,
+                                on_false * n + lo,
+                                dst * n + lo,
+                            );
+                            for k in 0..glen {
+                                st.values[db + k] = if st.values[cb + k] != 0 {
+                                    st.values[tb + k]
+                                } else {
+                                    st.values[fb + k]
+                                };
+                            }
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                st.values[dst * n + li] = if st.values[cond * n + li] != 0 {
+                                    st.values[on_true * n + li]
+                                } else {
+                                    st.values[on_false * n + li]
+                                };
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Load { dst, mem, addr } => {
+                        for &l in &group {
+                            let li = l as usize;
+                            let a = st.values[addr * n + li];
+                            let arr = &st.memories[li][mem];
+                            if a < 0 || a as usize >= arr.len() {
+                                let size = arr.len() as u32;
+                                st.fail(
+                                    li,
+                                    ExecError::OutOfBounds {
+                                        mem: MemId::new(mem),
+                                        addr: a,
+                                        size,
+                                    },
+                                );
+                                any_failed = true;
+                            } else {
+                                st.values[dst * n + li] = arr[a as usize];
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Store {
+                        dst,
+                        mem,
+                        addr,
+                        value,
+                    } => {
+                        for &l in &group {
+                            let li = l as usize;
+                            let a = st.values[addr * n + li];
+                            let v = st.values[value * n + li];
+                            let arr = &mut st.memories[li][mem];
+                            if a < 0 || a as usize >= arr.len() {
+                                let size = arr.len() as u32;
+                                st.fail(
+                                    li,
+                                    ExecError::OutOfBounds {
+                                        mem: MemId::new(mem),
+                                        addr: a,
+                                        size,
+                                    },
+                                );
+                                any_failed = true;
+                            } else {
+                                arr[a as usize] = v;
+                                st.values[dst * n + li] = 0;
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                    Inst::Output { dst, name, value } => {
+                        if fast {
+                            let (vb, db) = (value * n + lo, dst * n + lo);
+                            for k in 0..glen {
+                                let v = st.values[vb + k];
+                                st.outputs[lo + k].push((name, v));
+                                st.values[db + k] = 0;
+                            }
+                            pending += 1;
+                        } else {
+                            for &l in &group {
+                                let li = l as usize;
+                                st.outputs[li].push((name, st.values[value * n + li]));
+                                st.values[dst * n + li] = 0;
+                                st.ops[li] += 1;
+                                if st.ops[li] > step_limit {
+                                    st.fail(li, ExecError::StepLimitExceeded { limit: step_limit });
+                                    any_failed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if any_failed {
+                    group.retain(|&l| st.results[l as usize].is_none());
+                }
+            }
+
+            // Apply the deferred op counts of the fast loops. Surviving
+            // lanes executed every instruction counted in `pending`; lanes
+            // that failed mid-block already retired (their partial counts
+            // are unobservable — errors carry no op count).
+            if pending > 0 {
+                for &l in &group {
+                    st.ops[l as usize] += pending;
+                }
+            }
+
+            // Terminator: partition surviving lanes by taken successor.
+            match block.term {
+                CTerm::Jump(next) => {
+                    for &l in &group {
+                        st.prev[l as usize] = b;
+                    }
+                    buckets[next].append(&mut group);
+                    scan_from = next.min(b + 1);
+                }
+                CTerm::Branch {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    for &l in &group {
+                        let li = l as usize;
+                        let taken = st.values[cond * n + li] != 0;
+                        let e = &mut st.branch_counts[li * nb + b];
+                        if taken {
+                            e.0 += 1;
+                        } else {
+                            e.1 += 1;
+                        }
+                        st.prev[li] = b;
+                        buckets[if taken { on_true } else { on_false }].push(l);
+                    }
+                    scan_from = on_true.min(on_false).min(b + 1);
+                }
+                CTerm::Return(v) => {
+                    for &l in &group {
+                        st.retire(self, l as usize, v);
+                    }
+                    scan_from = b + 1;
+                }
+            }
+        }
+
+        st.results
+            .into_iter()
+            .map(|r| r.expect("every lane either returns or errors"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::ExecConfig;
+    use fact_lang::compile;
+    use std::collections::HashMap;
+
+    fn vectors(pairs: &[&[(&str, i64)]]) -> Vec<InputVector> {
+        pairs
+            .iter()
+            .map(|kv| kv.iter().map(|(k, v)| (k.to_string(), *v)).collect())
+            .collect()
+    }
+
+    /// Runs every vector through both engines and asserts bit-identity.
+    fn assert_batch_matches_scalar(src: &str, vecs: &[InputVector], init: &[Vec<i64>], limit: u64) {
+        let f = compile(src).unwrap();
+        let cf = CompiledFn::compile(&f);
+        let lanes: Vec<Lane<'_>> = vecs.iter().map(|v| Lane { inputs: v, init }).collect();
+        let batched = cf.run_batch(&lanes, limit);
+        assert_eq!(batched.len(), vecs.len());
+        for (i, v) in vecs.iter().enumerate() {
+            let scalar = cf.execute_seeded(v, init, limit);
+            match (&scalar, &batched[i]) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.outputs, b.outputs, "lane {i}");
+                    assert_eq!(a.memories, b.memories, "lane {i}");
+                    assert_eq!(a.returned, b.returned, "lane {i}");
+                    assert_eq!(a.ops_executed, b.ops_executed, "lane {i}");
+                    assert_eq!(a.block_visits, b.block_visits, "lane {i}");
+                    assert_eq!(a.branches.counts, b.branches.counts, "lane {i}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "lane {i}"),
+                (a, b) => panic!("lane {i} diverges: scalar {a:?} vs batched {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_lanes_match_scalar() {
+        let src = r#"
+            proc f(n, a) {
+                var i = 0; var s = 0;
+                while (i < n) {
+                    if (a < i) { s = s + i; } else { s = s - a; }
+                    i = i + 1;
+                }
+                out s = s;
+            }
+        "#;
+        let vecs = vectors(&[
+            &[("n", 5), ("a", 2)],
+            &[("n", 5), ("a", 2)],
+            &[("n", 9), ("a", 0)],
+            &[("n", 0), ("a", 7)],
+        ]);
+        assert_batch_matches_scalar(src, &vecs, &[], ExecConfig::default().step_limit);
+    }
+
+    #[test]
+    fn divergent_trip_counts_match_scalar() {
+        let src = "proc f(n) { var i = 0; while (i < n) { i = i + 1; } out i = i; }";
+        let vecs = vectors(&[&[("n", 0)], &[("n", 17)], &[("n", 3)], &[("n", 17)]]);
+        assert_batch_matches_scalar(src, &vecs, &[], ExecConfig::default().step_limit);
+    }
+
+    #[test]
+    fn per_lane_errors_match_scalar() {
+        // Lane 0 is fine, lane 1 goes out of bounds, lane 2 misses input
+        // handling (negative index), lane 3 diverges into the step limit.
+        let src = r#"
+            proc f(i, n) {
+                array x[4];
+                x[i] = 1;
+                var k = 0;
+                while (k < n) { k = k + 1; }
+                out k = k;
+            }
+        "#;
+        let vecs = vectors(&[
+            &[("i", 2), ("n", 3)],
+            &[("i", 9), ("n", 3)],
+            &[("i", -1), ("n", 3)],
+            &[("i", 0), ("n", 1_000_000)],
+        ]);
+        assert_batch_matches_scalar(src, &vecs, &[], 500);
+    }
+
+    #[test]
+    fn missing_inputs_fail_per_lane() {
+        let src = "proc f(x) { out y = x + 1; }";
+        let mut vecs = vectors(&[&[("x", 4)]]);
+        vecs.push(HashMap::new()); // lane without the input
+        assert_batch_matches_scalar(src, &vecs, &[], ExecConfig::default().step_limit);
+    }
+
+    #[test]
+    fn seeded_memories_are_per_lane_private() {
+        let src = "proc f(i) { array x[4]; var v = x[i]; x[i] = v + 1; out y = v; }";
+        let vecs = vectors(&[&[("i", 0)], &[("i", 0)], &[("i", 3)]]);
+        assert_batch_matches_scalar(
+            src,
+            &vecs,
+            &[vec![10, 20, 30, 40]],
+            ExecConfig::default().step_limit,
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let f = compile("proc f(a) { out y = a; }").unwrap();
+        let cf = CompiledFn::compile(&f);
+        assert!(cf.run_batch(&[], 100).is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = SimCounters::default();
+        c.add(10, 1);
+        c.add(5, 0);
+        assert_eq!(c.vectors(), 15);
+        assert_eq!(c.batches(), 1);
+    }
+}

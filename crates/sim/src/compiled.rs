@@ -23,7 +23,7 @@ use std::collections::HashMap;
 
 /// One decoded non-phi operation. Value operands are plain indices into
 /// the dense value array (slot = `OpId::index()`).
-enum Inst {
+pub(crate) enum Inst {
     /// `values[dst] = value`.
     Const { dst: usize, value: i64 },
     /// `values[dst] = inputs[name]`; `name` indexes the interned table.
@@ -62,7 +62,7 @@ enum Inst {
 }
 
 /// Decoded terminator with block indices instead of [`fact_ir::BlockId`]s.
-enum CTerm {
+pub(crate) enum CTerm {
     Jump(usize),
     Branch {
         cond: usize,
@@ -77,17 +77,17 @@ enum CTerm {
 /// order, or `None` when some phi has no entry for that predecessor
 /// (executing the edge then panics, exactly like the reference
 /// interpreter).
-type PhiCopies = (usize, Option<Vec<(usize, usize)>>);
+pub(crate) type PhiCopies = (usize, Option<Vec<(usize, usize)>>);
 
 /// One decoded block.
-struct CBlock {
+pub(crate) struct CBlock {
     /// Parallel-copy lists, one per structural predecessor.
-    phi_copies: Vec<PhiCopies>,
+    pub(crate) phi_copies: Vec<PhiCopies>,
     /// Whether the block has any phis (skips phase 1 entirely when not).
-    has_phis: bool,
+    pub(crate) has_phis: bool,
     /// Non-phi operations in program order.
-    insts: Vec<Inst>,
-    term: CTerm,
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) term: CTerm,
 }
 
 /// A function decoded for repeated execution.
@@ -96,15 +96,15 @@ struct CBlock {
 /// [`CompiledFn::execute`] (or [`CompiledFn::execute_seeded`]) as many
 /// times as needed; results are bit-identical to [`crate::execute_with`].
 pub struct CompiledFn {
-    blocks: Vec<CBlock>,
-    entry: usize,
-    num_ops: usize,
+    pub(crate) blocks: Vec<CBlock>,
+    pub(crate) entry: usize,
+    pub(crate) num_ops: usize,
     /// Declared size of each memory, by index.
-    mem_sizes: Vec<usize>,
+    pub(crate) mem_sizes: Vec<usize>,
     /// Interned input names (deduplicated; `Inst::Input` indexes here).
-    input_names: Vec<String>,
+    pub(crate) input_names: Vec<String>,
     /// Output names (`Inst::Output` indexes here).
-    output_names: Vec<String>,
+    pub(crate) output_names: Vec<String>,
 }
 
 impl CompiledFn {

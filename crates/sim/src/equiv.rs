@@ -6,15 +6,23 @@
 //! both CDFGs on shared random input vectors (and shared random initial
 //! memory contents) and comparing the full observable behavior: output
 //! streams, final memory images, and return values.
+//!
+//! Every entry point here runs on either execution engine
+//! ([`SimEngine`]): the scalar one-vector-at-a-time path is the reference,
+//! the batched lockstep path (default) runs all vectors through
+//! [`CompiledFn::run_batch`] in structure-of-arrays lanes. Verdicts —
+//! checked counts, the first [`Mismatch`] and its vector index, and the
+//! merged branch profile of [`EquivReference::check_profiled`] — are
+//! bit-identical between the two.
 
+use crate::batch::{resolve_columns, sized_memories, Lane, SimCounters, SimEngine};
 use crate::compiled::CompiledFn;
-use crate::interp::{execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
-use crate::profile::{assemble_profile, BranchProfile};
+use crate::interp::{execute_with, ExecConfig, ExecError, ExecResult};
+use crate::profile::{BranchProfile, ProfileAccum};
 use crate::trace::TraceSet;
 use fact_ir::Function;
 use fact_prng::rngs::StdRng;
 use fact_prng::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::fmt;
 
 /// The observable difference that falsified equivalence.
@@ -85,6 +93,104 @@ impl fmt::Display for Mismatch {
     }
 }
 
+/// The original side of one vector's comparison: observable success data,
+/// or the error it failed with.
+type Expected<'a> = Result<(&'a [(String, i64)], &'a [Vec<i64>], Option<i64>), &'a ExecError>;
+
+/// Judges one vector: compares the transformed side's result against the
+/// original's, in the fixed order outputs → return value → memories.
+/// Vectors where both sides fail are skipped (the transformation preserved
+/// the undefined behavior); both-Ok vectors add `weight` to `checked`.
+fn judge(
+    vector: usize,
+    expected: Expected<'_>,
+    actual: &Result<ExecResult, ExecError>,
+    weight: usize,
+    checked: &mut usize,
+) -> Result<(), Box<Mismatch>> {
+    match (expected, actual) {
+        (Ok((outputs, memories, returned)), Ok(b)) => {
+            if outputs != b.outputs.as_slice() {
+                return Err(Box::new(Mismatch::Outputs {
+                    vector,
+                    expected: outputs.to_vec(),
+                    actual: b.outputs.clone(),
+                }));
+            }
+            if returned != b.returned {
+                return Err(Box::new(Mismatch::Returned {
+                    vector,
+                    expected: returned,
+                    actual: b.returned,
+                }));
+            }
+            for (mi, (ma, mb)) in memories.iter().zip(&b.memories).enumerate() {
+                if let Some(addr) = ma.iter().zip(mb).position(|(x, y)| x != y) {
+                    return Err(Box::new(Mismatch::Memory {
+                        vector,
+                        mem: mi,
+                        addr,
+                    }));
+                }
+            }
+            *checked += weight;
+            Ok(())
+        }
+        (Err(_), Err(_)) => Ok(()),
+        (Err(e), Ok(_)) => Err(Box::new(Mismatch::Execution {
+            vector,
+            error: e.clone(),
+            original_failed: true,
+        })),
+        (Ok(_), Err(e)) => Err(Box::new(Mismatch::Execution {
+            vector,
+            error: e.clone(),
+            original_failed: false,
+        })),
+    }
+}
+
+fn expected_of(r: &Result<ExecResult, ExecError>) -> Expected<'_> {
+    match r {
+        Ok(a) => Ok((&a.outputs, &a.memories, a.returned)),
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs one batch of trace vectors (`idxs`, with per-vector initial
+/// memories from `init_of`) through `cf`, taking the columnar
+/// input-resolution fast path when the trace set supports it. Results are
+/// bit-identical to building [`Lane`]s and calling
+/// [`CompiledFn::run_batch`].
+fn run_chunk<'i>(
+    cf: &CompiledFn,
+    traces: &TraceSet,
+    idxs: &[usize],
+    init_of: &dyn Fn(usize) -> &'i [Vec<i64>],
+    step_limit: u64,
+) -> Vec<Result<ExecResult, ExecError>> {
+    match traces.columns() {
+        Some(cols) => {
+            let resolved = resolve_columns(cf, cols, idxs.iter().map(|&i| cols.row_of(i)));
+            let memories = idxs
+                .iter()
+                .map(|&i| sized_memories(cf, init_of(i)))
+                .collect();
+            cf.run_batch_prepared(resolved, memories, step_limit)
+        }
+        None => {
+            let lanes: Vec<Lane<'_>> = idxs
+                .iter()
+                .map(|&i| Lane {
+                    inputs: &traces.vectors[i],
+                    init: init_of(i),
+                })
+                .collect();
+            cf.run_batch(&lanes, step_limit)
+        }
+    }
+}
+
 /// Checks observable equivalence of `original` and `transformed` over the
 /// given traces, with `seed` controlling shared random initial memories.
 ///
@@ -121,67 +227,92 @@ pub fn check_equivalence(
     traces: &TraceSet,
     seed: u64,
 ) -> Result<usize, Box<Mismatch>> {
+    check_equivalence_with(
+        original,
+        transformed,
+        traces,
+        seed,
+        &ExecConfig::default(),
+        None,
+    )
+}
+
+/// [`check_equivalence`] with an explicit configuration and optional work
+/// counters.
+///
+/// `config` supplies the step limit and the execution engine
+/// (`config.initial_memories` is ignored — the checker always draws its
+/// own shared random images from `seed`). The scalar engine runs the
+/// reference interpreter one vector at a time; the batched engine runs
+/// both behaviors through [`CompiledFn::run_batch`]. Verdicts are
+/// bit-identical either way. Vectors are never deduplicated here: each
+/// vector gets its own random memory images, so duplicates are observable.
+///
+/// # Errors
+/// Returns [`Mismatch`] describing the first observable difference.
+pub fn check_equivalence_with(
+    original: &Function,
+    transformed: &Function,
+    traces: &TraceSet,
+    seed: u64,
+    config: &ExecConfig,
+    counters: Option<&SimCounters>,
+) -> Result<usize, Box<Mismatch>> {
+    // Shared random initial memory images, one set per vector, sized to
+    // the original's memories (the transformed function declares the same
+    // arrays). The stream is positional in `seed` and identical for both
+    // engines.
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut checked = 0;
-    for (i, v) in traces.vectors.iter().enumerate() {
-        // Shared random initial memory contents, sized to the original's
-        // memories (the transformed function declares the same arrays).
-        let mut init: HashMap<usize, Vec<i64>> = HashMap::new();
-        for (idx, (_, m)) in original.memories().enumerate() {
-            let data: Vec<i64> = (0..m.size).map(|_| rng.gen_range(-100i64..100)).collect();
-            init.insert(idx, data);
-        }
-        let cfg = ExecConfig {
-            initial_memories: init,
-            ..Default::default()
-        };
-        let r1 = execute_with(original, v, &cfg);
-        let r2 = execute_with(transformed, v, &cfg);
-        match (r1, r2) {
-            (Ok(a), Ok(b)) => {
-                if a.outputs != b.outputs {
-                    return Err(Box::new(Mismatch::Outputs {
-                        vector: i,
-                        expected: a.outputs,
-                        actual: b.outputs,
-                    }));
+    let inits: Vec<Vec<Vec<i64>>> = traces
+        .vectors
+        .iter()
+        .map(|_| {
+            original
+                .memories()
+                .map(|(_, m)| (0..m.size).map(|_| rng.gen_range(-100i64..100)).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut vectors_run = 0u64;
+    let mut batches = 0u64;
+    let mut checked = 0usize;
+    let result = (|| -> Result<(), Box<Mismatch>> {
+        match config.engine {
+            SimEngine::Scalar => {
+                for (i, v) in traces.vectors.iter().enumerate() {
+                    let cfg = ExecConfig {
+                        initial_memories: inits[i].iter().cloned().enumerate().collect(),
+                        ..config.clone()
+                    };
+                    let r1 = execute_with(original, v, &cfg);
+                    let r2 = execute_with(transformed, v, &cfg);
+                    vectors_run += 2;
+                    judge(i, expected_of(&r1), &r2, 1, &mut checked)?;
                 }
-                if a.returned != b.returned {
-                    return Err(Box::new(Mismatch::Returned {
-                        vector: i,
-                        expected: a.returned,
-                        actual: b.returned,
-                    }));
-                }
-                for (mi, (ma, mb)) in a.memories.iter().zip(&b.memories).enumerate() {
-                    if let Some(addr) = ma.iter().zip(mb).position(|(x, y)| x != y) {
-                        return Err(Box::new(Mismatch::Memory {
-                            vector: i,
-                            mem: mi,
-                            addr,
-                        }));
+            }
+            SimEngine::Batched { max_lanes } => {
+                let cf1 = CompiledFn::compile(original);
+                let cf2 = CompiledFn::compile(transformed);
+                let indices: Vec<usize> = (0..traces.vectors.len()).collect();
+                let init_of = |i: usize| inits[i].as_slice();
+                for chunk in indices.chunks(max_lanes.max(1)) {
+                    let r1 = run_chunk(&cf1, traces, chunk, &init_of, config.step_limit);
+                    let r2 = run_chunk(&cf2, traces, chunk, &init_of, config.step_limit);
+                    vectors_run += 2 * chunk.len() as u64;
+                    batches += 2;
+                    for (k, &i) in chunk.iter().enumerate() {
+                        judge(i, expected_of(&r1[k]), &r2[k], 1, &mut checked)?;
                     }
                 }
-                checked += 1;
-            }
-            (Err(_), Err(_)) => { /* both failed: equivalently undefined */ }
-            (Err(e), Ok(_)) => {
-                return Err(Box::new(Mismatch::Execution {
-                    vector: i,
-                    error: e,
-                    original_failed: true,
-                }))
-            }
-            (Ok(_), Err(e)) => {
-                return Err(Box::new(Mismatch::Execution {
-                    vector: i,
-                    error: e,
-                    original_failed: false,
-                }))
             }
         }
+        Ok(())
+    })();
+    if let Some(c) = counters {
+        c.add(vectors_run, batches);
     }
-    Ok(checked)
+    result.map(|()| checked)
 }
 
 /// The original behavior's observable results on success.
@@ -243,6 +374,12 @@ impl EquivReference {
         }
     }
 
+    /// Whether the captured original declared no memories (every lane's
+    /// initial memory image is empty).
+    fn memory_free(&self) -> bool {
+        self.vectors.first().is_none_or(|rv| rv.init.is_empty())
+    }
+
     /// Checks `transformed` against the captured reference. `traces` must
     /// be the set given to [`EquivReference::capture`].
     ///
@@ -260,7 +397,63 @@ impl EquivReference {
         transformed: &CompiledFn,
         traces: &TraceSet,
     ) -> Result<usize, Box<Mismatch>> {
-        self.check_observed(transformed, traces, |_| {})
+        self.check_with(transformed, traces, SimEngine::default(), None)
+    }
+
+    /// [`EquivReference::check`] with an explicit engine and optional work
+    /// counters. Vectors are never deduplicated: each carries its own
+    /// captured random memory images.
+    ///
+    /// # Errors
+    /// Returns [`Mismatch`] describing the first observable difference.
+    ///
+    /// # Panics
+    /// Panics if `traces` has a different vector count than the captured
+    /// set.
+    pub fn check_with(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+        engine: SimEngine,
+        counters: Option<&SimCounters>,
+    ) -> Result<usize, Box<Mismatch>> {
+        assert_eq!(
+            traces.vectors.len(),
+            self.vectors.len(),
+            "EquivReference::check needs the traces it was captured with"
+        );
+        let mut vectors_run = 0u64;
+        let mut batches = 0u64;
+        let mut checked = 0usize;
+        let result = (|| -> Result<(), Box<Mismatch>> {
+            match engine {
+                SimEngine::Scalar => {
+                    for (i, v) in traces.vectors.iter().enumerate() {
+                        let rv = &self.vectors[i];
+                        let r2 = transformed.execute_seeded(v, &rv.init, self.step_limit);
+                        vectors_run += 1;
+                        judge(i, self.expected(i), &r2, 1, &mut checked)?;
+                    }
+                }
+                SimEngine::Batched { max_lanes } => {
+                    let indices: Vec<usize> = (0..traces.vectors.len()).collect();
+                    let init_of = |i: usize| self.vectors[i].init.as_slice();
+                    for chunk in indices.chunks(max_lanes.max(1)) {
+                        let r2 = run_chunk(transformed, traces, chunk, &init_of, self.step_limit);
+                        vectors_run += chunk.len() as u64;
+                        batches += 1;
+                        for (k, &i) in chunk.iter().enumerate() {
+                            judge(i, self.expected(i), &r2[k], 1, &mut checked)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Some(c) = counters {
+            c.add(vectors_run, batches);
+        }
+        result.map(|()| checked)
     }
 
     /// [`EquivReference::check`] that also returns the branch profile
@@ -286,6 +479,32 @@ impl EquivReference {
         transformed: &CompiledFn,
         traces: &TraceSet,
     ) -> Result<(usize, BranchProfile), Box<Mismatch>> {
+        self.check_profiled_with(transformed, traces, SimEngine::default(), None)
+    }
+
+    /// [`EquivReference::check_profiled`] with an explicit engine and
+    /// optional work counters.
+    ///
+    /// When the *captured original* is also memory-free (no per-vector
+    /// random images anywhere), the batched engine deduplicates the trace
+    /// set and weights each lane's profile statistics by its multiplicity;
+    /// verdicts, mismatch indices, checked counts, and the profile remain
+    /// bit-identical to the scalar engine.
+    ///
+    /// # Errors
+    /// Returns the first [`Mismatch`], exactly as
+    /// [`EquivReference::check`] would.
+    ///
+    /// # Panics
+    /// Panics if `transformed` declares memories, or if `traces` has a
+    /// different vector count than the captured set.
+    pub fn check_profiled_with(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+        engine: SimEngine,
+        counters: Option<&SimCounters>,
+    ) -> Result<(usize, BranchProfile), Box<Mismatch>> {
         assert_eq!(
             transformed.num_memories(),
             0,
@@ -293,86 +512,64 @@ impl EquivReference {
              would otherwise depend on the memory initialization, which \
              differs between equivalence checking and profiling"
         );
-        let mut stats = BranchStats::default();
-        let mut visit_totals = vec![0u64; transformed.num_blocks()];
-        let (mut ok, mut failed) = (0usize, 0usize);
-        let checked = self.check_observed(transformed, traces, |r| match r {
-            Ok(r) => {
-                stats.merge(&r.branches);
-                for (i, &c) in r.block_visits.iter().enumerate() {
-                    visit_totals[i] += c;
-                }
-                ok += 1;
-            }
-            Err(_) => failed += 1,
-        })?;
-        let profile = assemble_profile(transformed, &stats, &visit_totals, ok, failed);
-        Ok((checked, profile))
-    }
-
-    /// The comparison loop behind [`EquivReference::check`]; `observe`
-    /// sees every transformed-side execution result before it is judged.
-    fn check_observed(
-        &self,
-        transformed: &CompiledFn,
-        traces: &TraceSet,
-        mut observe: impl FnMut(&Result<ExecResult, ExecError>),
-    ) -> Result<usize, Box<Mismatch>> {
         assert_eq!(
             traces.vectors.len(),
             self.vectors.len(),
             "EquivReference::check needs the traces it was captured with"
         );
-        let mut checked = 0;
-        for (i, v) in traces.vectors.iter().enumerate() {
-            let rv = &self.vectors[i];
-            let r2 = transformed.execute_seeded(v, &rv.init, self.step_limit);
-            observe(&r2);
-            match (&rv.outcome, r2) {
-                (Ok(a), Ok(b)) => {
-                    if a.outputs != b.outputs {
-                        return Err(Box::new(Mismatch::Outputs {
-                            vector: i,
-                            expected: a.outputs.clone(),
-                            actual: b.outputs,
-                        }));
+        let mut accum = ProfileAccum::new(transformed.num_blocks());
+        let mut vectors_run = 0u64;
+        let mut batches = 0u64;
+        let mut checked = 0usize;
+        let result = (|| -> Result<(), Box<Mismatch>> {
+            match engine {
+                SimEngine::Scalar => {
+                    for (i, v) in traces.vectors.iter().enumerate() {
+                        let rv = &self.vectors[i];
+                        let r2 = transformed.execute_seeded(v, &rv.init, self.step_limit);
+                        vectors_run += 1;
+                        accum.record(&r2, 1);
+                        judge(i, self.expected(i), &r2, 1, &mut checked)?;
                     }
-                    if a.returned != b.returned {
-                        return Err(Box::new(Mismatch::Returned {
-                            vector: i,
-                            expected: a.returned,
-                            actual: b.returned,
-                        }));
-                    }
-                    for (mi, (ma, mb)) in a.memories.iter().zip(&b.memories).enumerate() {
-                        if let Some(addr) = ma.iter().zip(mb).position(|(x, y)| x != y) {
-                            return Err(Box::new(Mismatch::Memory {
-                                vector: i,
-                                mem: mi,
-                                addr,
-                            }));
+                }
+                SimEngine::Batched { max_lanes } => {
+                    // Dedup is only sound when no vector carries private
+                    // random memory images — i.e. the original was
+                    // memory-free too. Otherwise each vector keeps its own
+                    // lane (the transformed side ignores the images, but
+                    // the captured reference outcomes may differ).
+                    let lanes_spec: Vec<(usize, usize)> = if self.memory_free() {
+                        traces.dedup().to_vec()
+                    } else {
+                        (0..traces.vectors.len()).map(|i| (i, 1)).collect()
+                    };
+                    let init_of = |i: usize| self.vectors[i].init.as_slice();
+                    for chunk in lanes_spec.chunks(max_lanes.max(1)) {
+                        let idxs: Vec<usize> = chunk.iter().map(|&(i, _)| i).collect();
+                        let r2 = run_chunk(transformed, traces, &idxs, &init_of, self.step_limit);
+                        batches += 1;
+                        for (k, &(i, m)) in chunk.iter().enumerate() {
+                            vectors_run += m as u64;
+                            accum.record(&r2[k], m);
+                            judge(i, self.expected(i), &r2[k], m, &mut checked)?;
                         }
                     }
-                    checked += 1;
-                }
-                (Err(_), Err(_)) => { /* both failed: equivalently undefined */ }
-                (Err(e), Ok(_)) => {
-                    return Err(Box::new(Mismatch::Execution {
-                        vector: i,
-                        error: e.clone(),
-                        original_failed: true,
-                    }))
-                }
-                (Ok(_), Err(e)) => {
-                    return Err(Box::new(Mismatch::Execution {
-                        vector: i,
-                        error: e,
-                        original_failed: false,
-                    }))
                 }
             }
+            Ok(())
+        })();
+        if let Some(c) = counters {
+            c.add(vectors_run, batches);
         }
-        Ok(checked)
+        result.map(|()| (checked, accum.finish(transformed.branch_blocks())))
+    }
+
+    /// The captured original-side view of vector `i` for [`judge`].
+    fn expected(&self, i: usize) -> Expected<'_> {
+        match &self.vectors[i].outcome {
+            Ok(a) => Ok((&a.outputs, &a.memories, a.returned)),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -391,6 +588,13 @@ mod tests {
             n,
             77,
         )
+    }
+
+    fn scalar_cfg() -> ExecConfig {
+        ExecConfig {
+            engine: SimEngine::Scalar,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -468,15 +672,22 @@ mod tests {
         assert!(matches!(*m, Mismatch::Outputs { .. }));
     }
 
-    /// Both equivalence paths must return the same verdict.
+    /// All equivalence paths — interpreted scalar, batched, and the
+    /// captured-reference form on both engines — must return the same
+    /// verdict.
     fn verdicts_agree(f1: &fact_ir::Function, f2: &fact_ir::Function, t: &TraceSet, seed: u64) {
-        let slow = check_equivalence(f1, f2, t, seed);
+        let slow = check_equivalence_with(f1, f2, t, seed, &scalar_cfg(), None);
+        let batched = check_equivalence_with(f1, f2, t, seed, &ExecConfig::default(), None);
         let reference = EquivReference::capture(f1, t, seed);
-        let fast = reference.check(&CompiledFn::compile(f2), t);
-        match (slow, fast) {
-            (Ok(a), Ok(b)) => assert_eq!(a, b, "checked counts differ"),
-            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
-            (a, b) => panic!("verdicts diverge: {a:?} vs {b:?}"),
+        let cf2 = CompiledFn::compile(f2);
+        let fast = reference.check_with(&cf2, t, SimEngine::Scalar, None);
+        let fast_batched = reference.check_with(&cf2, t, SimEngine::Batched { max_lanes: 3 }, None);
+        for other in [&batched, &fast, &fast_batched] {
+            match (&slow, other) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "checked counts differ"),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("verdicts diverge: {a:?} vs {b:?}"),
+            }
         }
     }
 
@@ -501,6 +712,65 @@ mod tests {
         let t = generate(&[("a".to_string(), InputSpec::Constant(0))], 10, 6);
         verdicts_agree(&f1, &f2, &t, 5);
         verdicts_agree(&f1, &f1.clone(), &t, 5);
+    }
+
+    #[test]
+    fn batched_check_profiled_matches_scalar_on_duplicate_traces() {
+        let f = compile(
+            "proc f(a, n) { var i = 0; var s = 0; \
+             while (i < n) { if (a < i) { s = s + i; } else { s = s - 1; } i = i + 1; } \
+             out s = s; }",
+        )
+        .unwrap();
+        // Tiny ranges: the 50 vectors collapse to at most 12 lanes.
+        let t = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 2 }),
+                ("n".to_string(), InputSpec::Uniform { lo: 0, hi: 3 }),
+            ],
+            50,
+            21,
+        );
+        let reference = EquivReference::capture(&f, &t, 7);
+        let cf = CompiledFn::compile(&f);
+        let counters = SimCounters::default();
+        let (c1, p1) = reference
+            .check_profiled_with(&cf, &t, SimEngine::Scalar, None)
+            .unwrap();
+        let (c2, p2) = reference
+            .check_profiled_with(
+                &cf,
+                &t,
+                SimEngine::Batched { max_lanes: 5 },
+                Some(&counters),
+            )
+            .unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(p1, p2);
+        assert_eq!(counters.vectors(), 50, "weights must cover every vector");
+        assert!(counters.batches() >= 1);
+    }
+
+    #[test]
+    fn batched_mismatch_index_matches_scalar_under_dedup() {
+        // The transformed side misbehaves only for a = 2; duplicated
+        // vectors must still report the scalar path's first failing index.
+        let f1 = compile("proc f(a) { var y = a + 1; out y = y; }").unwrap();
+        let f2 = compile("proc f(a) { var y = a + 1; if (a == 2) { y = 0; } out y = y; }").unwrap();
+        let t = generate(
+            &[("a".to_string(), InputSpec::Uniform { lo: 0, hi: 3 })],
+            40,
+            3,
+        );
+        let reference = EquivReference::capture(&f1, &t, 11);
+        let cf2 = CompiledFn::compile(&f2);
+        let slow = reference
+            .check_profiled_with(&cf2, &t, SimEngine::Scalar, None)
+            .unwrap_err();
+        let fast = reference
+            .check_profiled_with(&cf2, &t, SimEngine::Batched { max_lanes: 2 }, None)
+            .unwrap_err();
+        assert_eq!(slow.to_string(), fast.to_string());
     }
 
     #[test]

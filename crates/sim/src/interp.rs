@@ -107,6 +107,12 @@ pub struct ExecConfig {
     /// Initial contents for each memory (by id); missing memories are
     /// zero-filled.
     pub initial_memories: HashMap<usize, Vec<i64>>,
+    /// Engine used by the multi-vector entry points
+    /// ([`crate::check_equivalence_with`], [`crate::profile_compiled_with`]).
+    /// Single-run execution ([`execute_with`]) and the pure-interpreter
+    /// profile ([`crate::profile_with`]) are the reference semantics and
+    /// always run scalar, regardless of this setting.
+    pub engine: crate::batch::SimEngine,
 }
 
 impl Default for ExecConfig {
@@ -114,6 +120,7 @@ impl Default for ExecConfig {
         ExecConfig {
             step_limit: 2_000_000,
             initial_memories: HashMap::new(),
+            engine: crate::batch::SimEngine::default(),
         }
     }
 }

@@ -12,14 +12,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compiled;
 pub mod equiv;
 mod interp;
 pub mod profile;
 pub mod trace;
 
+pub use batch::{Lane, SimCounters, SimEngine, DEFAULT_MAX_LANES};
 pub use compiled::CompiledFn;
-pub use equiv::{check_equivalence, EquivReference, Mismatch};
+pub use equiv::{check_equivalence, check_equivalence_with, EquivReference, Mismatch};
 pub use interp::{execute, execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
-pub use profile::{profile, profile_compiled, profile_with, BranchProfile};
-pub use trace::{generate, InputSpec, TraceSet};
+pub use profile::{profile, profile_compiled, profile_compiled_with, profile_with, BranchProfile};
+pub use trace::{generate, InputSpec, TraceColumns, TraceSet};

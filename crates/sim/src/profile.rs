@@ -6,8 +6,9 @@
 //! [`BranchProfile`] is consumed by the scheduler (edge probabilities on
 //! the STG) and by the estimator (Markov analysis).
 
+use crate::batch::{resolve_columns, sized_memories, Lane, SimCounters, SimEngine};
 use crate::compiled::CompiledFn;
-use crate::interp::{execute_with, BranchStats, ExecConfig};
+use crate::interp::{execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
 use crate::trace::TraceSet;
 use fact_ir::{BlockId, Function, Terminator};
 use std::collections::HashMap;
@@ -88,46 +89,20 @@ pub fn profile(f: &Function, traces: &TraceSet) -> BranchProfile {
 }
 
 /// [`profile`] with an explicit interpreter configuration.
+///
+/// This is the *reference* profiling path: it always runs the tree-walking
+/// interpreter one vector at a time (regardless of `config.engine`) and is
+/// what the batched paths are property-tested against.
 pub fn profile_with(f: &Function, traces: &TraceSet, config: &ExecConfig) -> BranchProfile {
-    let mut stats = BranchStats::default();
-    let mut ok = 0;
-    let mut failed = 0;
-    let mut visit_totals: Vec<u64> = vec![0; f.num_blocks()];
+    let mut accum = ProfileAccum::new(f.num_blocks());
     for v in &traces.vectors {
-        match execute_with(f, v, config) {
-            Ok(r) => {
-                stats.merge(&r.branches);
-                for (i, &c) in r.block_visits.iter().enumerate() {
-                    visit_totals[i] += c;
-                }
-                ok += 1;
-            }
-            Err(_) => failed += 1,
-        }
+        accum.record(&execute_with(f, v, config), 1);
     }
-    let mut probs = HashMap::new();
-    for b in f.block_ids() {
-        if matches!(f.block(b).term, Terminator::Branch { .. }) {
-            if let Some(p) = stats.prob_true(b.index()) {
-                probs.insert(b.index(), p);
-            }
-        }
-    }
-    let visits = if ok > 0 {
-        visit_totals
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i, t as f64 / ok as f64))
-            .collect()
-    } else {
-        HashMap::new()
-    };
-    BranchProfile {
-        probs,
-        visits,
-        runs_ok: ok,
-        runs_failed: failed,
-    }
+    accum.finish(
+        f.block_ids()
+            .filter(|&b| matches!(f.block(b).term, Terminator::Branch { .. }))
+            .map(|b| b.index()),
+    )
 }
 
 /// [`profile`] over an already-compiled function (default interpreter
@@ -136,57 +111,145 @@ pub fn profile_with(f: &Function, traces: &TraceSet, config: &ExecConfig) -> Bra
 /// path in `fact-core` uses this to share one [`CompiledFn`] between the
 /// equivalence check and the profile.
 pub fn profile_compiled(cf: &CompiledFn, traces: &TraceSet) -> BranchProfile {
-    let config = ExecConfig::default();
-    let mut stats = BranchStats::default();
-    let mut ok = 0;
-    let mut failed = 0;
-    let mut visit_totals: Vec<u64> = vec![0; cf.num_blocks()];
-    for v in &traces.vectors {
-        match cf.execute(v, &config) {
-            Ok(r) => {
-                stats.merge(&r.branches);
-                for (i, &c) in r.block_visits.iter().enumerate() {
-                    visit_totals[i] += c;
-                }
-                ok += 1;
-            }
-            Err(_) => failed += 1,
-        }
-    }
-    assemble_profile(cf, &stats, &visit_totals, ok, failed)
+    profile_compiled_with(cf, traces, &ExecConfig::default(), None)
 }
 
-/// Builds a [`BranchProfile`] from run statistics accumulated over a
-/// compiled function's executions — the shared tail of
-/// [`profile_compiled`] and `EquivReference::check_profiled`, which
-/// gather the same statistics from different execution loops.
-pub(crate) fn assemble_profile(
+/// [`profile_compiled`] with an explicit configuration and optional work
+/// counters.
+///
+/// `config.engine` selects the execution engine. The batched engine first
+/// deduplicates `traces` — every vector of a profiling pass runs against
+/// the same initial memory state (`config.initial_memories`, shared), so
+/// identical vectors are indistinguishable — and weights each lane's
+/// statistics by its multiplicity. The result is bit-identical to the
+/// scalar engine either way.
+///
+/// `counters`, when given, receives the number of logical vectors covered
+/// (pre-dedup) and the number of batches executed.
+pub fn profile_compiled_with(
     cf: &CompiledFn,
-    stats: &BranchStats,
-    visit_totals: &[u64],
-    ok: usize,
-    failed: usize,
+    traces: &TraceSet,
+    config: &ExecConfig,
+    counters: Option<&SimCounters>,
 ) -> BranchProfile {
-    let mut probs = HashMap::new();
-    for b in cf.branch_blocks() {
-        if let Some(p) = stats.prob_true(b) {
-            probs.insert(b, p);
+    let mut accum = ProfileAccum::new(cf.num_blocks());
+    let mut batches = 0u64;
+    match config.engine {
+        SimEngine::Scalar => {
+            for v in &traces.vectors {
+                accum.record(&cf.execute(v, config), 1);
+            }
+        }
+        SimEngine::Batched { max_lanes } => {
+            let init: Vec<Vec<i64>> = (0..cf.num_memories())
+                .map(|i| config.initial_memories.get(&i).cloned().unwrap_or_default())
+                .collect();
+            let sized = sized_memories(cf, &init);
+            let lanes = traces.dedup();
+            let cols = traces.columns();
+            let mut row0 = 0usize;
+            for chunk in lanes.chunks(max_lanes.max(1)) {
+                let results = match cols {
+                    // Columnar fast path: inputs come straight out of the
+                    // dedup rows, no per-(name, lane) hash-map probes.
+                    Some(cols) => {
+                        let resolved = resolve_columns(cf, cols, row0..row0 + chunk.len());
+                        let memories = vec![sized.clone(); chunk.len()];
+                        cf.run_batch_prepared(resolved, memories, config.step_limit)
+                    }
+                    None => {
+                        let batch: Vec<Lane<'_>> = chunk
+                            .iter()
+                            .map(|&(i, _)| Lane {
+                                inputs: &traces.vectors[i],
+                                init: &init,
+                            })
+                            .collect();
+                        cf.run_batch(&batch, config.step_limit)
+                    }
+                };
+                for (r, &(_, m)) in results.iter().zip(chunk) {
+                    accum.record(r, m);
+                }
+                row0 += chunk.len();
+                batches += 1;
+            }
         }
     }
-    let visits = if ok > 0 {
-        visit_totals
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i, t as f64 / ok as f64))
-            .collect()
-    } else {
-        HashMap::new()
-    };
-    BranchProfile {
-        probs,
-        visits,
-        runs_ok: ok,
-        runs_failed: failed,
+    if let Some(c) = counters {
+        c.add(traces.len() as u64, batches);
+    }
+    accum.finish(cf.branch_blocks())
+}
+
+/// Weighted accumulator of per-run statistics into a [`BranchProfile`] —
+/// the single implementation behind every profiling path (interpreted,
+/// compiled-scalar, compiled-batched, and the merged equivalence+profile
+/// pass in [`crate::equiv`]). A run recorded with weight `w` contributes
+/// exactly as `w` identical scalar runs would, so deduplicated batched
+/// profiles stay bit-identical to vector-at-a-time ones.
+pub(crate) struct ProfileAccum {
+    stats: BranchStats,
+    visit_totals: Vec<u64>,
+    ok: usize,
+    failed: usize,
+}
+
+impl ProfileAccum {
+    /// A fresh accumulator for a function with `num_blocks` blocks.
+    pub(crate) fn new(num_blocks: usize) -> ProfileAccum {
+        ProfileAccum {
+            stats: BranchStats::default(),
+            visit_totals: vec![0; num_blocks],
+            ok: 0,
+            failed: 0,
+        }
+    }
+
+    /// Records one execution outcome observed `weight` times. Failed runs
+    /// are tallied and otherwise ignored, as in [`profile`].
+    pub(crate) fn record(&mut self, r: &Result<ExecResult, ExecError>, weight: usize) {
+        match r {
+            Ok(r) => {
+                let w = weight as u64;
+                for (&b, &(t, f)) in &r.branches.counts {
+                    let e = self.stats.counts.entry(b).or_insert((0, 0));
+                    e.0 += t * w;
+                    e.1 += f * w;
+                }
+                for (i, &c) in r.block_visits.iter().enumerate() {
+                    self.visit_totals[i] += c * w;
+                }
+                self.ok += weight;
+            }
+            Err(_) => self.failed += weight,
+        }
+    }
+
+    /// Assembles the profile; `branch_blocks` enumerates the indices of
+    /// blocks ending in a conditional branch.
+    pub(crate) fn finish(self, branch_blocks: impl IntoIterator<Item = usize>) -> BranchProfile {
+        let mut probs = HashMap::new();
+        for b in branch_blocks {
+            if let Some(p) = self.stats.prob_true(b) {
+                probs.insert(b, p);
+            }
+        }
+        let visits = if self.ok > 0 {
+            self.visit_totals
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (i, t as f64 / self.ok as f64))
+                .collect()
+        } else {
+            HashMap::new()
+        };
+        BranchProfile {
+            probs,
+            visits,
+            runs_ok: self.ok,
+            runs_failed: self.failed,
+        }
     }
 }
 
@@ -267,6 +330,71 @@ mod tests {
         assert_eq!(slow.runs_failed, fast.runs_failed);
         assert_eq!(slow.probs, fast.probs);
         assert_eq!(slow.visits, fast.visits);
+    }
+
+    #[test]
+    fn batched_profile_matches_scalar_with_dedup_and_failures() {
+        // Uniform over {-1, 0, 1}: heavy duplication, and n = -1 vectors
+        // never terminate — failures must be weighted correctly too.
+        let f =
+            compile("proc f(n) { var i = 1; while (i > 0) { i = i + n; } out i = i; }").unwrap();
+        let traces = generate(
+            &[("n".to_string(), InputSpec::Uniform { lo: -1, hi: 1 })],
+            30,
+            9,
+        );
+        let cf = CompiledFn::compile(&f);
+        let scalar_cfg = ExecConfig {
+            step_limit: 10_000,
+            engine: SimEngine::Scalar,
+            ..Default::default()
+        };
+        let batched_cfg = ExecConfig {
+            step_limit: 10_000,
+            engine: SimEngine::Batched { max_lanes: 2 },
+            ..Default::default()
+        };
+        let counters = SimCounters::default();
+        let slow = profile_compiled_with(&cf, &traces, &scalar_cfg, Some(&counters));
+        assert_eq!(counters.vectors(), 30);
+        assert_eq!(counters.batches(), 0);
+        let fast = profile_compiled_with(&cf, &traces, &batched_cfg, Some(&counters));
+        assert_eq!(counters.vectors(), 60);
+        // Three distinct vectors at two lanes per batch: two batches.
+        assert_eq!(counters.batches(), 2);
+        assert_eq!(slow.runs_ok, fast.runs_ok);
+        assert_eq!(slow.runs_failed, fast.runs_failed);
+        assert_eq!(slow.probs, fast.probs);
+        assert_eq!(slow.visits, fast.visits);
+        assert_eq!(slow.runs_ok + slow.runs_failed, 30);
+    }
+
+    #[test]
+    fn batched_profile_honors_shared_initial_memories() {
+        let f = compile(
+            "proc f(i) { array x[4]; var v = x[i]; var y = 0; \
+             if (v > 10) { y = v; } else { y = 0 - v; } out y = y; }",
+        )
+        .unwrap();
+        let cf = CompiledFn::compile(&f);
+        let traces = generate(
+            &[("i".to_string(), InputSpec::Uniform { lo: 0, hi: 3 })],
+            20,
+            5,
+        );
+        let mems = HashMap::from([(0, vec![3, 40, -7, 12])]);
+        let scalar_cfg = ExecConfig {
+            initial_memories: mems.clone(),
+            engine: SimEngine::Scalar,
+            ..Default::default()
+        };
+        let batched_cfg = ExecConfig {
+            initial_memories: mems,
+            ..Default::default()
+        };
+        let slow = profile_compiled_with(&cf, &traces, &scalar_cfg, None);
+        let fast = profile_compiled_with(&cf, &traces, &batched_cfg, None);
+        assert_eq!(slow, fast);
     }
 
     #[test]

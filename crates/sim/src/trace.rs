@@ -9,18 +9,72 @@
 use fact_prng::rngs::StdRng;
 use fact_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// One input vector: a value for each named input of a behavior.
 pub type InputVector = HashMap<String, i64>;
 
 /// A reproducible stream of input vectors.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceSet {
-    /// The generated input vectors.
+    /// The generated input vectors. Treated as immutable once the set is
+    /// built: the first call to [`TraceSet::dedup`] or
+    /// [`TraceSet::columns`] memoizes a view derived from the vectors, so
+    /// mutating them afterwards would desynchronize the two.
     pub vectors: Vec<InputVector>,
+    /// Lazily-built dedup + columnar view (see [`TraceSet::dedup`]).
+    cache: OnceLock<DedupCache>,
+}
+
+/// The memoized product of one scan over the vectors: the dedup lanes and,
+/// when every vector has the same key set, a columnar value matrix.
+#[derive(Clone, Debug)]
+struct DedupCache {
+    lanes: Vec<(usize, usize)>,
+    columns: Option<TraceColumns>,
+}
+
+/// Columnar view of a trace set's *distinct* vectors: one row per dedup
+/// lane, one column per input name (sorted). Only exists when every vector
+/// has the same key set — the generated-trace case. The batched simulation
+/// paths resolve inputs from here with one name lookup per *batch* instead
+/// of one hash-map probe per (name, lane).
+#[derive(Clone, Debug)]
+pub struct TraceColumns {
+    /// Input names, sorted; column `c` holds values of `names[c]`.
+    names: Vec<String>,
+    /// Row-major `lanes × names` value matrix.
+    data: Vec<i64>,
+    /// Maps a vector index to its row (dedup lane index).
+    row_of: Vec<u32>,
+}
+
+impl TraceColumns {
+    /// The column index of `name`, if the traces carry that input.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.names.binary_search_by(|n| n.as_str().cmp(name)).ok()
+    }
+
+    /// Value of column `c` in row (dedup lane) `row`.
+    pub fn value(&self, row: usize, c: usize) -> i64 {
+        self.data[row * self.names.len() + c]
+    }
+
+    /// The row (dedup lane index) holding vector `i`'s values.
+    pub fn row_of(&self, i: usize) -> usize {
+        self.row_of[i] as usize
+    }
 }
 
 impl TraceSet {
+    /// Wraps a vector list in a trace set.
+    pub fn new(vectors: Vec<InputVector>) -> TraceSet {
+        TraceSet {
+            vectors,
+            cache: OnceLock::new(),
+        }
+    }
+
     /// Number of vectors in the set.
     pub fn len(&self) -> usize {
         self.vectors.len()
@@ -29,6 +83,129 @@ impl TraceSet {
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
         self.vectors.is_empty()
+    }
+
+    /// Collapses identical input vectors into `(first index, multiplicity)`
+    /// lanes, in first-occurrence order.
+    ///
+    /// Typical trace sets repeat vectors heavily (constant inputs, small
+    /// uniform ranges), and a deterministic function behaves identically on
+    /// identical inputs — so the batched simulation paths execute each
+    /// distinct vector once and weight its statistics by multiplicity.
+    /// Only valid when every vector runs against the *same* initial
+    /// memory state (zeroed or shared images); per-vector random memories,
+    /// as in equivalence checking of memory functions, make duplicates
+    /// observable and must not be deduplicated.
+    ///
+    /// The multiplicities always sum back to [`TraceSet::len`] (asserted),
+    /// so weighted profile accounting stays exact. The result is memoized:
+    /// a search profiles the same trace set thousands of times, and the
+    /// scan (hashing every vector) would otherwise dominate batched
+    /// simulation of cheap behaviors.
+    pub fn dedup(&self) -> &[(usize, usize)] {
+        &self.cache().lanes
+    }
+
+    /// The columnar view of the distinct vectors, if every vector has the
+    /// same key set (memoized alongside [`TraceSet::dedup`]).
+    pub fn columns(&self) -> Option<&TraceColumns> {
+        self.cache().columns.as_ref()
+    }
+
+    fn cache(&self) -> &DedupCache {
+        self.cache.get_or_init(|| self.build_cache())
+    }
+
+    fn build_cache(&self) -> DedupCache {
+        let lanes = match self.build_columns() {
+            Some((lanes, columns)) => {
+                return DedupCache {
+                    lanes,
+                    columns: Some(columns),
+                }
+            }
+            None => self.dedup_by_pairs(),
+        };
+        DedupCache {
+            lanes,
+            columns: None,
+        }
+    }
+
+    /// Fast path: when every vector has the same key set, key the dedup on
+    /// the dense value row (no string sorting or hashing per vector) and
+    /// keep the rows as the columnar matrix. Returns `None` when the key
+    /// sets differ (or the set is empty).
+    fn build_columns(&self) -> Option<(Vec<(usize, usize)>, TraceColumns)> {
+        let first = self.vectors.first()?;
+        let mut names: Vec<String> = first.keys().cloned().collect();
+        names.sort_unstable();
+        let col_of: HashMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(c, n)| (n.as_str(), c))
+            .collect();
+        let ncols = names.len();
+        let mut seen: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut lanes: Vec<(usize, usize)> = Vec::new();
+        let mut data: Vec<i64> = Vec::new();
+        let mut row_of: Vec<u32> = Vec::with_capacity(self.vectors.len());
+        let mut row = vec![0i64; ncols];
+        for (i, v) in self.vectors.iter().enumerate() {
+            if v.len() != ncols {
+                return None;
+            }
+            for (k, &x) in v {
+                match col_of.get(k.as_str()) {
+                    Some(&c) => row[c] = x,
+                    None => return None,
+                }
+            }
+            match seen.get(&row) {
+                Some(&lane) => {
+                    lanes[lane].1 += 1;
+                    row_of.push(lane as u32);
+                }
+                None => {
+                    seen.insert(row.clone(), lanes.len());
+                    row_of.push(lanes.len() as u32);
+                    lanes.push((i, 1));
+                    data.extend_from_slice(&row);
+                }
+            }
+        }
+        Some((
+            lanes,
+            TraceColumns {
+                names,
+                data,
+                row_of,
+            },
+        ))
+    }
+
+    /// Slow path for heterogeneous key sets: key each vector by its sorted
+    /// `(name, value)` pairs.
+    fn dedup_by_pairs(&self) -> Vec<(usize, usize)> {
+        let mut seen: HashMap<Vec<(&str, i64)>, usize> = HashMap::new();
+        let mut lanes: Vec<(usize, usize)> = Vec::new();
+        for (i, v) in self.vectors.iter().enumerate() {
+            let mut key: Vec<(&str, i64)> = v.iter().map(|(k, &x)| (k.as_str(), x)).collect();
+            key.sort_unstable();
+            match seen.get(&key) {
+                Some(&lane) => lanes[lane].1 += 1,
+                None => {
+                    seen.insert(key, lanes.len());
+                    lanes.push((i, 1));
+                }
+            }
+        }
+        assert_eq!(
+            lanes.iter().map(|&(_, m)| m).sum::<usize>(),
+            self.vectors.len(),
+            "dedup multiplicities must cover every vector"
+        );
+        lanes
     }
 }
 
@@ -93,7 +270,7 @@ pub fn generate(specs: &[(String, InputSpec)], n: usize, seed: u64) -> TraceSet 
         }
         vectors.push(v);
     }
-    TraceSet { vectors }
+    TraceSet::new(vectors)
 }
 
 /// Standard-normal sample via Box–Muller.
@@ -187,6 +364,51 @@ mod tests {
         let xs: Vec<f64> = t.vectors.iter().map(|v| v["x"] as f64).collect();
         let rho = lag1_autocorrelation(&xs);
         assert!(rho.abs() < 0.1, "autocorrelation {rho} should be near 0");
+    }
+
+    #[test]
+    fn dedup_collapses_constants_to_one_lane() {
+        let specs = [
+            ("k".to_string(), InputSpec::Constant(5)),
+            ("j".to_string(), InputSpec::Constant(-2)),
+        ];
+        let t = generate(&specs, 12, 1);
+        assert_eq!(t.dedup(), vec![(0, 12)]);
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order_and_total() {
+        let mk = |pairs: &[(&str, i64)]| -> InputVector {
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        };
+        let t = TraceSet::new(vec![
+            mk(&[("a", 1), ("b", 2)]),
+            mk(&[("a", 3), ("b", 4)]),
+            mk(&[("b", 2), ("a", 1)]), // same as vector 0, insertion order differs
+            mk(&[("a", 1), ("b", 2)]),
+            mk(&[("a", 3), ("b", 9)]),
+        ]);
+        let lanes = t.dedup();
+        assert_eq!(lanes, vec![(0, 3), (1, 1), (4, 1)]);
+        assert_eq!(lanes.iter().map(|&(_, m)| m).sum::<usize>(), t.len());
+    }
+
+    #[test]
+    fn dedup_of_distinct_vectors_is_identity() {
+        let specs = [(
+            "a".to_string(),
+            InputSpec::Uniform {
+                lo: 0,
+                hi: 1_000_000_000,
+            },
+        )];
+        let t = generate(&specs, 40, 3);
+        let lanes = t.dedup();
+        assert_eq!(lanes.len(), 40);
+        assert!(lanes
+            .iter()
+            .enumerate()
+            .all(|(i, &(v, m))| v == i && m == 1));
     }
 
     #[test]

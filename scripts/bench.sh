@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Search-throughput benchmark: writes crates/bench/BENCH_search.json
-# (beside BENCH_search.baseline.json, the committed reference numbers).
+# Perf-trajectory benchmarks. Two harnesses:
 #
-#   scripts/bench.sh            # full run (400 evals/benchmark budget)
-#   scripts/bench.sh --smoke    # tiny run, JSON to stdout, writes nothing
-#   scripts/bench.sh --budget 1000 --out /tmp/b.json
+#   search — search throughput (evals/sec over the §5 suite); writes
+#            crates/bench/BENCH_search.json beside the committed
+#            BENCH_search.baseline.json reference numbers.
+#   sim    — simulation throughput (trace vectors/sec, scalar vs
+#            batched engine); writes crates/bench/BENCH_sim.json.
 #
-# The JSON records evals/sec, wall time, and cache hit rate per suite
-# benchmark, one pass per engine mode — the repo's perf trajectory.
+# Usage:
+#   scripts/bench.sh                   # both harnesses, full runs
+#   scripts/bench.sh search            # one harness
+#   scripts/bench.sh sim --smoke       # tiny run, JSON to stdout only
+#   scripts/bench.sh search --budget 1000 --out /tmp/b.json
+#   scripts/bench.sh sim --vectors 4096
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec cargo bench -q -p fact-bench --bench search_perf -- "$@"
+
+which=all
+case "${1:-}" in
+search | sim) which=$1; shift ;;
+all) shift ;;
+esac
+
+if [ "$which" = search ] || [ "$which" = all ]; then
+    cargo bench -q -p fact-bench --bench search_perf -- "$@"
+fi
+if [ "$which" = sim ] || [ "$which" = all ]; then
+    cargo bench -q -p fact-bench --bench sim_perf -- "$@"
+fi

@@ -20,7 +20,14 @@ cargo test --workspace -q
 echo "== incremental-vs-full equivalence property tests"
 cargo test -q -p fact-core --release --test incremental_equiv
 
-echo "== bench smoke run (JSON well-formedness)"
-scripts/bench.sh --smoke | python3 -c 'import json,sys; json.load(sys.stdin)'
+echo "== batched-vs-scalar simulation property tests"
+cargo test -q -p fact-sim --release --test batched_equiv
+cargo test -q -p fact-core --release --test batched_sim
+
+echo "== bench smoke runs (JSON well-formedness)"
+scripts/bench.sh search --smoke \
+    | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "search", d'
+scripts/bench.sh sim --smoke \
+    | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "sim", d'
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batched_equiv-df00c7184ee72148.d: crates/sim/tests/batched_equiv.rs
+
+/root/repo/target/debug/deps/batched_equiv-df00c7184ee72148: crates/sim/tests/batched_equiv.rs
+
+crates/sim/tests/batched_equiv.rs:

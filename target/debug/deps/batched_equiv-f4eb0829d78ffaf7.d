@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batched_equiv-f4eb0829d78ffaf7.d: crates/sim/tests/batched_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatched_equiv-f4eb0829d78ffaf7.rmeta: crates/sim/tests/batched_equiv.rs Cargo.toml
+
+crates/sim/tests/batched_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batched_sim-c388f636cb7bcfdf.d: crates/core/tests/batched_sim.rs
+
+/root/repo/target/debug/deps/batched_sim-c388f636cb7bcfdf: crates/core/tests/batched_sim.rs
+
+crates/core/tests/batched_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batched_sim-ff2ad66c6a364796.d: crates/core/tests/batched_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatched_sim-ff2ad66c6a364796.rmeta: crates/core/tests/batched_sim.rs Cargo.toml
+
+crates/core/tests/batched_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

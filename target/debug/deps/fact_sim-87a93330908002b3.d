@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/fact_sim-87a93330908002b3.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/fact_sim-87a93330908002b3.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/fact_sim-87a93330908002b3: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/fact_sim-87a93330908002b3: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/fact_sim-a20a570f304af013.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/fact_sim-a20a570f304af013.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_sim-a20a570f304af013.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_sim-a20a570f304af013.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/fact_sim-a591f24d7d9b86c1.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/fact_sim-a591f24d7d9b86c1.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_sim-a591f24d7d9b86c1.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_sim-a591f24d7d9b86c1.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs Cargo.toml
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

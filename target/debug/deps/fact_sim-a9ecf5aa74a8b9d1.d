@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/fact_sim-a9ecf5aa74a8b9d1.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/fact_sim-a9ecf5aa74a8b9d1.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libfact_sim-a9ecf5aa74a8b9d1.rlib: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libfact_sim-a9ecf5aa74a8b9d1.rlib: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/debug/deps/libfact_sim-a9ecf5aa74a8b9d1.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/debug/deps/libfact_sim-a9ecf5aa74a8b9d1.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

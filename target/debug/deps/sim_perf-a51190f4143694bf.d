@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_perf-a51190f4143694bf.d: crates/bench/benches/sim_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_perf-a51190f4143694bf.rmeta: crates/bench/benches/sim_perf.rs Cargo.toml
+
+crates/bench/benches/sim_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

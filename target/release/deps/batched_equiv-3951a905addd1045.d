@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batched_equiv-3951a905addd1045.d: crates/sim/tests/batched_equiv.rs
+
+/root/repo/target/release/deps/batched_equiv-3951a905addd1045: crates/sim/tests/batched_equiv.rs
+
+crates/sim/tests/batched_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batched_sim-ca1f8dafe4adec7b.d: crates/core/tests/batched_sim.rs
+
+/root/repo/target/release/deps/batched_sim-ca1f8dafe4adec7b: crates/core/tests/batched_sim.rs
+
+crates/core/tests/batched_sim.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/fact_sim-82b83fc42a4c6a6a.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/fact_sim-82b83fc42a4c6a6a.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libfact_sim-82b83fc42a4c6a6a.rlib: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libfact_sim-82b83fc42a4c6a6a.rlib: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/libfact_sim-82b83fc42a4c6a6a.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/libfact_sim-82b83fc42a4c6a6a.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

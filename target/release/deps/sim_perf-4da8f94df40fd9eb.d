@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_perf-4da8f94df40fd9eb.d: crates/bench/benches/sim_perf.rs
+
+/root/repo/target/release/deps/sim_perf-4da8f94df40fd9eb: crates/bench/benches/sim_perf.rs
+
+crates/bench/benches/sim_perf.rs:

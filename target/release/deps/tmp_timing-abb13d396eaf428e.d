@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_timing-abb13d396eaf428e.d: crates/bench/tests/tmp_timing.rs
+
+/root/repo/target/release/deps/tmp_timing-abb13d396eaf428e: crates/bench/tests/tmp_timing.rs
+
+crates/bench/tests/tmp_timing.rs:
