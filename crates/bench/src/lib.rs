@@ -24,6 +24,7 @@ pub mod example1;
 pub mod fig1;
 pub mod fig2;
 pub mod fig4;
+pub mod pareto_perf;
 pub mod search_perf;
 pub mod sim_perf;
 pub mod sweep;

@@ -42,6 +42,7 @@
 pub mod baselines;
 pub mod cache;
 pub mod objective;
+pub mod pareto;
 pub mod partition;
 pub mod pipeline;
 pub mod report;
@@ -52,11 +53,19 @@ pub use baselines::{flamel, m1, BaselineResult};
 pub use cache::{block_hashes, structural_hash, CacheStats, ContextHasher, EvalCache};
 pub use fact_xform::TransformLibrary;
 pub use objective::Objective;
+pub use pareto::{
+    crowding_distances, dominates, hypervolume, nondominated, pareto_ranks, sweep_vdd,
+    ParetoArchive, ParetoPoint, VddSample,
+};
 pub use partition::{partition, region_of_block, PartitionConfig, StgBlock};
 pub use pipeline::{
-    evaluation_context_key, optimize, optimize_with, FactConfig, FactError, FactResult,
-    OptimizeHooks,
+    evaluation_context_key, optimize, optimize_pareto, optimize_pareto_with, optimize_with,
+    FactConfig, FactError, FactResult, OptimizeHooks, ParetoConfig, ParetoDesignPoint,
+    ParetoFactResult,
 };
 pub use report::{geomean_ratio, render_table2, DesignReport, Table2Row};
-pub use search::{apply_transforms, apply_transforms_parallel, SearchConfig, SearchResult};
+pub use search::{
+    apply_transforms, apply_transforms_parallel, apply_transforms_pareto, ParetoCandidate,
+    ParetoSearchResult, SearchConfig, SearchResult,
+};
 pub use suite::{suite, Benchmark};

@@ -11,14 +11,24 @@ pub enum Objective {
     /// Minimize power at iso-performance: faster schedules are converted
     /// into Vdd reductions against the untransformed baseline (§2.2).
     Power,
+    /// Explore the whole energy × latency tradeoff frontier instead of a
+    /// single optimum: the search maintains a nondominated archive (see
+    /// `fact_core::pareto`) and each archived design expands into a
+    /// voltage-parameterized curve segment via §2.2 Vdd scaling.
+    Pareto,
 }
 
 impl Objective {
     /// The scalar score of an estimate under this objective; higher is
     /// better.
+    ///
+    /// [`Objective::Pareto`] has no single scalar — ranking there is by
+    /// Pareto front and crowding distance — so as a scalar fallback it
+    /// scores like [`Objective::Throughput`] (the frontier's
+    /// minimum-latency end).
     pub fn score(self, est: &Estimate) -> f64 {
         match self {
-            Objective::Throughput => -est.average_schedule_length,
+            Objective::Throughput | Objective::Pareto => -est.average_schedule_length,
             Objective::Power => -est.power,
         }
     }

@@ -1,0 +1,513 @@
+//! Pareto-front machinery for multi-objective (energy × latency) search.
+//!
+//! FACT's `Apply_transforms` optimizes one scalar objective at a time;
+//! the energy/throughput *tradeoff space* is explored by generalizing the
+//! rank-exponential selection from scalar rank to Pareto rank (Karim,
+//! Falk & Teich explore exactly this frontier for dataflow networks).
+//! This module holds the objective-space geometry:
+//!
+//! - [`ParetoPoint`] / [`dominates`]: the two-objective point and its
+//!   partial order (both objectives are *minimized*);
+//! - [`ParetoArchive`]: a bounded nondominated archive with
+//!   crowding-distance pruning that never drops the extreme (min-energy /
+//!   min-latency) points;
+//! - [`pareto_ranks`] / [`ranked_order`]: nondominated sorting and the
+//!   deterministic selection order (front rank, then crowding distance)
+//!   the search draws from with `P(rank r) ∝ e^(−k·r)`;
+//! - [`sweep_vdd`]: expansion of one structural design point into a
+//!   voltage-parameterized curve segment via the §2.2 scaling solver —
+//!   lowering `Vdd` trades latency (gate delay grows) for energy
+//!   (`E ∝ Vdd²`), so every archive entry contributes a segment to the
+//!   final frontier;
+//! - [`nondominated`] / [`hypervolume`]: the final-curve filter and the
+//!   scalar frontier-quality proxy the bench harness tracks.
+//!
+//! Everything here is deterministic and allocation-order-free: archive
+//! decisions depend only on the inserted point *values* (ties are broken
+//! by objective values, never by insertion index), which is what lets the
+//! search guarantee bit-identical frontiers for any thread count.
+
+use fact_estim::{delay_factor, scale_voltage, VDD_REF};
+
+/// One point in the minimized objective space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// Energy per execution in `Vdd²` units (at the reference voltage).
+    pub energy: f64,
+    /// Average schedule length in cycles (at the reference voltage).
+    pub latency: f64,
+}
+
+impl ParetoPoint {
+    /// Both objectives are finite (NaN/∞ points are never archived).
+    pub fn is_finite(&self) -> bool {
+        self.energy.is_finite() && self.latency.is_finite()
+    }
+}
+
+/// `a` dominates `b`: no worse in both objectives, strictly better in at
+/// least one (minimization).
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    a.energy <= b.energy && a.latency <= b.latency && (a.energy < b.energy || a.latency < b.latency)
+}
+
+/// A bounded nondominated archive over [`ParetoPoint`]s, each carrying a
+/// payload (the search stores the candidate CDFG and its transformation
+/// path).
+///
+/// # Invariants
+///
+/// - no archived point dominates (or equals) another;
+/// - `len() ≤ capacity` — beyond it, the most crowded interior point is
+///   pruned by crowding distance;
+/// - the extreme points (minimum energy, minimum latency) are never
+///   pruned: they have infinite crowding distance.
+///
+/// Pruning ties are broken by objective values (`latency`, then
+/// `energy`), never by insertion order, so the surviving *set* for a
+/// given insertion sequence is a pure function of the inserted values.
+#[derive(Clone, Debug)]
+pub struct ParetoArchive<T> {
+    capacity: usize,
+    entries: Vec<(ParetoPoint, T)>,
+    accepted: u64,
+}
+
+impl<T> ParetoArchive<T> {
+    /// An empty archive holding at most `capacity` points (min 2, so the
+    /// two extremes always fit).
+    pub fn new(capacity: usize) -> Self {
+        ParetoArchive {
+            capacity: capacity.max(2),
+            entries: Vec::new(),
+            accepted: 0,
+        }
+    }
+
+    /// The archived `(point, payload)` pairs, in insertion order.
+    pub fn entries(&self) -> &[(ParetoPoint, T)] {
+        &self.entries
+    }
+
+    /// Number of archived points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Monotone counter of accepted insertions — the search's
+    /// "did this round improve the frontier?" stopping signal.
+    pub fn generation(&self) -> u64 {
+        self.accepted
+    }
+
+    /// The archived entry with minimum latency (ties by lower energy).
+    pub fn min_latency(&self) -> Option<&(ParetoPoint, T)> {
+        self.entries
+            .iter()
+            .min_by(|a, b| (a.0.latency, a.0.energy).total_cmp2(&(b.0.latency, b.0.energy)))
+    }
+
+    /// The archived entry with minimum energy (ties by lower latency).
+    pub fn min_energy(&self) -> Option<&(ParetoPoint, T)> {
+        self.entries
+            .iter()
+            .min_by(|a, b| (a.0.energy, a.0.latency).total_cmp2(&(b.0.energy, b.0.latency)))
+    }
+
+    /// Offers a point to the archive. Returns `true` iff it was accepted:
+    /// finite, not dominated by (or equal to) any archived point. Accepting
+    /// removes every archived point the newcomer dominates, then prunes the
+    /// most crowded interior point while over capacity.
+    pub fn try_insert(&mut self, point: ParetoPoint, payload: T) -> bool {
+        if !point.is_finite() {
+            return false;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|(p, _)| dominates(p, &point) || *p == point)
+        {
+            return false;
+        }
+        self.entries.retain(|(p, _)| !dominates(&point, p));
+        self.entries.push((point, payload));
+        self.accepted += 1;
+        while self.entries.len() > self.capacity {
+            self.prune_one();
+        }
+        true
+    }
+
+    /// Removes the entry with the smallest crowding distance (the most
+    /// crowded interior point). Extremes have infinite distance and are
+    /// never chosen while any interior point exists; `capacity ≥ 2`
+    /// guarantees interior points exist whenever pruning runs.
+    fn prune_one(&mut self) {
+        let dist = crowding_distances(&self.entries.iter().map(|(p, _)| *p).collect::<Vec<_>>());
+        let victim = (0..self.entries.len())
+            .min_by(|&i, &j| {
+                let a = &self.entries[i].0;
+                let b = &self.entries[j].0;
+                (dist[i], a.latency, a.energy).total_cmp3(&(dist[j], b.latency, b.energy))
+            })
+            .expect("prune_one called on a non-empty archive");
+        self.entries.remove(victim);
+    }
+}
+
+/// Lexicographic `total_cmp` over a pair / triple of floats — the
+/// deterministic, NaN-total tie-breaking the archive and selection
+/// ordering rely on.
+trait TotalCmp2 {
+    fn total_cmp2(&self, other: &Self) -> std::cmp::Ordering;
+}
+impl TotalCmp2 for (f64, f64) {
+    fn total_cmp2(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.total_cmp(&other.1))
+    }
+}
+trait TotalCmp3 {
+    fn total_cmp3(&self, other: &Self) -> std::cmp::Ordering;
+}
+impl TotalCmp3 for (f64, f64, f64) {
+    fn total_cmp3(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then(self.1.total_cmp(&other.1))
+            .then(self.2.total_cmp(&other.2))
+    }
+}
+
+/// Crowding distance of each point among `points` (all assumed mutually
+/// nondominated, i.e. one front): the normalized objective-space gap to
+/// the neighbors along the frontier, `+∞` for the boundary (extreme)
+/// points. Larger = lonelier = more valuable for frontier coverage.
+pub fn crowding_distances(points: &[ParetoPoint]) -> Vec<f64> {
+    let n = points.len();
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // One sort serves both objectives: along a nondominated front,
+    // ascending latency is descending energy.
+    order.sort_by(|&i, &j| {
+        (points[i].latency, points[i].energy).total_cmp2(&(points[j].latency, points[j].energy))
+    });
+    let lat_range =
+        (points[order[n - 1]].latency - points[order[0]].latency).max(f64::MIN_POSITIVE);
+    let en_range = (points[order[0]].energy - points[order[n - 1]].energy)
+        .abs()
+        .max(f64::MIN_POSITIVE);
+    let mut dist = vec![0.0; n];
+    dist[order[0]] = f64::INFINITY;
+    dist[order[n - 1]] = f64::INFINITY;
+    for w in 1..n - 1 {
+        let (prev, next) = (points[order[w - 1]], points[order[w + 1]]);
+        dist[order[w]] = (next.latency - prev.latency) / lat_range
+            + (prev.energy - next.energy).abs() / en_range;
+    }
+    dist
+}
+
+/// Nondominated sorting: Pareto rank of every point (0 = nondominated,
+/// 1 = nondominated once front 0 is removed, …). Duplicated points land
+/// in successive fronts (the copy is "dominated" for ranking purposes),
+/// which keeps selection pressure off redundant candidates.
+pub fn pareto_ranks(points: &[ParetoPoint]) -> Vec<usize> {
+    let n = points.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    let mut current = 0usize;
+    while assigned < n {
+        let mut this_front: Vec<usize> = Vec::new();
+        'candidates: for i in 0..n {
+            if rank[i] != usize::MAX {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || rank[j] != usize::MAX {
+                    continue;
+                }
+                if dominates(&points[j], &points[i]) || (points[j] == points[i] && j < i) {
+                    continue 'candidates;
+                }
+            }
+            this_front.push(i);
+        }
+        if this_front.is_empty() {
+            // Only possible with NaN objectives; dump the rest in one
+            // final front rather than looping forever.
+            for r in rank.iter_mut().filter(|r| **r == usize::MAX) {
+                *r = current;
+            }
+            break;
+        }
+        for &i in &this_front {
+            rank[i] = current;
+            assigned += 1;
+        }
+        current += 1;
+    }
+    rank
+}
+
+/// The deterministic selection order over `points`: indices sorted by
+/// (Pareto rank ascending, crowding distance within the front
+/// descending, then latency/energy as value tie-breaks). Position in
+/// this order is the "rank" the search's exponential selection draws
+/// over — front-0 extremes come first, so the frontier's end points get
+/// the survival pressure the scalar search gives its incumbent.
+pub fn ranked_order(points: &[ParetoPoint]) -> Vec<usize> {
+    let ranks = pareto_ranks(points);
+    let nfronts = ranks.iter().copied().max().map_or(0, |m| m + 1);
+    // Crowding is computed per front (distances only compare within one
+    // nondominated set).
+    let mut dist = vec![0.0; points.len()];
+    for f in 0..nfronts {
+        let members: Vec<usize> = (0..points.len()).filter(|&i| ranks[i] == f).collect();
+        let d = crowding_distances(&members.iter().map(|&i| points[i]).collect::<Vec<_>>());
+        for (k, &i) in members.iter().enumerate() {
+            dist[i] = d[k];
+        }
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| {
+        ranks[i].cmp(&ranks[j]).then(
+            (-dist[i], points[i].latency, points[i].energy).total_cmp3(&(
+                -dist[j],
+                points[j].latency,
+                points[j].energy,
+            )),
+        )
+    });
+    order
+}
+
+/// Filters `points` down to the indices of its nondominated subset
+/// (first occurrence wins among duplicates), in ascending-latency order.
+pub fn nondominated(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut keep: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| dominates(q, &points[i]) || (*q == points[i] && j < i))
+        })
+        .collect();
+    keep.sort_by(|&i, &j| {
+        (points[i].latency, points[i].energy).total_cmp2(&(points[j].latency, points[j].energy))
+    });
+    keep
+}
+
+/// Hypervolume proxy of a frontier: the objective-space area dominated
+/// by `points` within the rectangle bounded by `reference` (a point all
+/// frontier members should dominate, e.g. the untransformed baseline
+/// padded by a margin). Points outside the rectangle contribute only
+/// their clipped part. Larger is better; 0 for an empty frontier.
+pub fn hypervolume(points: &[ParetoPoint], reference: &ParetoPoint) -> f64 {
+    let front = nondominated(points);
+    let mut hv = 0.0;
+    // Ascending latency ⇒ descending energy along the front; sweep
+    // rectangles against the previous point's energy level.
+    let mut prev_energy = reference.energy;
+    for &i in &front {
+        let p = &points[i];
+        if p.latency >= reference.latency || p.energy >= prev_energy {
+            continue;
+        }
+        let width = reference.latency - p.latency;
+        let height = prev_energy - p.energy.max(0.0);
+        hv += width * height;
+        prev_energy = p.energy.max(0.0);
+    }
+    hv
+}
+
+/// One sample of a voltage-parameterized design-point curve.
+#[derive(Clone, Copy, Debug)]
+pub struct VddSample {
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Energy per execution at `vdd` (`energy_vdd2 · vdd²`).
+    pub energy: f64,
+    /// Effective latency at `vdd`, expressed in *reference-clock
+    /// equivalent cycles*: the schedule still takes the same cycle count,
+    /// but each cycle stretches by `delay_factor(vdd)/delay_factor(5V)`.
+    pub latency: f64,
+}
+
+/// Expands one structural design point — `energy_vdd2` energy
+/// coefficient, `latency` cycles at the reference voltage — into `steps`
+/// samples of its Vdd curve, from the lowest admissible voltage (the
+/// §2.2 solver's iso-performance point against `base_cycles`) up to
+/// [`VDD_REF`].
+///
+/// A design no faster than the baseline gets the single reference-voltage
+/// sample: voltage is never scaled up, and scaling down would push it
+/// past the performance envelope the sweep is anchored to.
+pub fn sweep_vdd(energy_vdd2: f64, latency: f64, base_cycles: f64, steps: usize) -> Vec<VddSample> {
+    let sample = |vdd: f64| VddSample {
+        vdd,
+        energy: energy_vdd2 * vdd * vdd,
+        latency: latency * delay_factor(vdd) / delay_factor(VDD_REF),
+    };
+    let lo = scale_voltage(base_cycles, latency);
+    if lo >= VDD_REF || steps <= 1 {
+        return vec![sample(VDD_REF)];
+    }
+    (0..steps)
+        .map(|i| sample(lo + (VDD_REF - lo) * i as f64 / (steps - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(energy: f64, latency: f64) -> ParetoPoint {
+        ParetoPoint { energy, latency }
+    }
+
+    #[test]
+    fn dominance_is_a_strict_partial_order() {
+        assert!(dominates(&p(1.0, 1.0), &p(2.0, 2.0)));
+        assert!(dominates(&p(1.0, 2.0), &p(2.0, 2.0)));
+        assert!(!dominates(&p(1.0, 1.0), &p(1.0, 1.0))); // irreflexive
+        assert!(!dominates(&p(1.0, 3.0), &p(2.0, 2.0))); // incomparable
+        assert!(!dominates(&p(2.0, 2.0), &p(1.0, 3.0)));
+    }
+
+    #[test]
+    fn archive_keeps_only_nondominated() {
+        let mut a = ParetoArchive::new(8);
+        assert!(a.try_insert(p(5.0, 5.0), "mid"));
+        assert!(a.try_insert(p(1.0, 9.0), "low-e"));
+        assert!(a.try_insert(p(9.0, 1.0), "low-l"));
+        assert!(!a.try_insert(p(6.0, 6.0), "dominated"));
+        assert!(!a.try_insert(p(5.0, 5.0), "duplicate"));
+        assert_eq!(a.len(), 3);
+        // A dominating point evicts what it dominates.
+        assert!(a.try_insert(p(4.0, 4.0), "better-mid"));
+        assert_eq!(a.len(), 3);
+        assert!(a.entries().iter().all(|(q, _)| *q != p(5.0, 5.0)));
+    }
+
+    #[test]
+    fn archive_rejects_non_finite_points() {
+        let mut a: ParetoArchive<()> = ParetoArchive::new(4);
+        assert!(!a.try_insert(p(f64::NAN, 1.0), ()));
+        assert!(!a.try_insert(p(1.0, f64::INFINITY), ()));
+        assert!(a.is_empty());
+        assert_eq!(a.generation(), 0);
+    }
+
+    #[test]
+    fn pruning_respects_capacity_and_keeps_extremes() {
+        let mut a = ParetoArchive::new(4);
+        // A dense frontier: energy = 10 - i, latency = i.
+        for i in 0..10 {
+            a.try_insert(p(10.0 - i as f64, i as f64), i);
+        }
+        assert_eq!(a.len(), 4);
+        let pts: Vec<ParetoPoint> = a.entries().iter().map(|(q, _)| *q).collect();
+        assert!(pts.contains(&p(10.0, 0.0)), "min-latency extreme pruned");
+        assert!(pts.contains(&p(1.0, 9.0)), "min-energy extreme pruned");
+    }
+
+    #[test]
+    fn crowding_marks_extremes_infinite_and_gaps_large() {
+        let pts = [p(10.0, 0.0), p(9.0, 1.0), p(5.0, 2.0), p(1.0, 10.0)];
+        let d = crowding_distances(&pts);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        // The point bordering the big gap is lonelier than the packed one.
+        assert!(d[2] > d[1], "{d:?}");
+    }
+
+    #[test]
+    fn ranks_layer_fronts() {
+        let pts = [
+            p(1.0, 9.0), // front 0
+            p(9.0, 1.0), // front 0
+            p(5.0, 5.0), // front 0
+            p(6.0, 6.0), // dominated by both (5,5) copies -> front 2
+            p(7.0, 7.0), // behind (6,6) -> front 3
+            p(5.0, 5.0), // duplicate: demoted one front below the original
+        ];
+        assert_eq!(pareto_ranks(&pts), vec![0, 0, 0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn ranked_order_puts_front0_extremes_first() {
+        let pts = [
+            p(6.0, 6.0), // front 1
+            p(5.0, 5.0), // front 0 interior
+            p(1.0, 9.0), // front 0 extreme
+            p(9.0, 1.0), // front 0 extreme
+        ];
+        let order = ranked_order(&pts);
+        assert_eq!(order[3], 0, "dominated point must rank last");
+        assert!(order[..2].contains(&2) && order[..2].contains(&3));
+    }
+
+    #[test]
+    fn nondominated_filter_sorts_by_latency() {
+        let pts = [p(5.0, 5.0), p(9.0, 1.0), p(6.0, 6.0), p(1.0, 9.0)];
+        let nd = nondominated(&pts);
+        assert_eq!(nd, vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_frontiers() {
+        let reference = p(10.0, 10.0);
+        let small = hypervolume(&[p(8.0, 8.0)], &reference);
+        let bigger = hypervolume(&[p(8.0, 8.0), p(2.0, 9.0)], &reference);
+        let best = hypervolume(&[p(1.0, 1.0)], &reference);
+        assert!(small > 0.0);
+        assert!(bigger > small);
+        assert!(best > bigger);
+        assert_eq!(hypervolume(&[], &reference), 0.0);
+        // Points outside the reference box contribute nothing.
+        assert_eq!(hypervolume(&[p(11.0, 11.0)], &reference), 0.0);
+    }
+
+    #[test]
+    fn vdd_sweep_spans_solver_voltage_to_reference() {
+        // Twice as fast as baseline: lowest voltage recovers baseline time.
+        let samples = sweep_vdd(100.0, 50.0, 100.0, 5);
+        assert_eq!(samples.len(), 5);
+        let first = samples[0];
+        let last = samples[4];
+        assert!((last.vdd - VDD_REF).abs() < 1e-12);
+        assert!((last.latency - 50.0).abs() < 1e-9);
+        assert!(first.vdd < last.vdd);
+        // At the solver voltage the design takes the baseline's time.
+        assert!((first.latency - 100.0).abs() < 1e-6, "{first:?}");
+        // Lower voltage = quadratically lower energy.
+        assert!(first.energy < last.energy);
+        // Along the curve: latency increases as energy decreases.
+        for w in samples.windows(2) {
+            assert!(w[0].latency >= w[1].latency);
+            assert!(w[0].energy <= w[1].energy);
+        }
+    }
+
+    #[test]
+    fn vdd_sweep_of_slower_design_is_single_reference_sample() {
+        let samples = sweep_vdd(100.0, 120.0, 100.0, 5);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].vdd, VDD_REF);
+        assert_eq!(samples[0].latency, 120.0);
+    }
+}

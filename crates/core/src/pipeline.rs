@@ -10,8 +10,11 @@
 
 use crate::cache::{structural_hash, ContextHasher, EvalCache};
 use crate::objective::Objective;
+use crate::pareto::{nondominated, sweep_vdd, ParetoArchive, ParetoPoint};
 use crate::partition::{partition, region_of_block, PartitionConfig};
-use crate::search::{apply_transforms_parallel, SearchConfig, SearchResult};
+use crate::search::{
+    apply_transforms_parallel, apply_transforms_pareto, ParetoCandidate, SearchConfig, SearchResult,
+};
 use fact_estim::{
     evaluate_power_mode_with_memo, evaluate_with_memo, markov_of, Estimate, MarkovMemo,
 };
@@ -61,6 +64,9 @@ pub struct FactConfig {
     /// property tests pin this); `false` keeps the one-vector-at-a-time
     /// scalar path as fallback and oracle.
     pub sim_batch: bool,
+    /// Frontier knobs for [`Objective::Pareto`] runs (ignored by the
+    /// single-objective drivers).
+    pub pareto: ParetoConfig,
 }
 
 impl Default for FactConfig {
@@ -74,6 +80,27 @@ impl Default for FactConfig {
             max_blocks: 3,
             incremental: true,
             sim_batch: true,
+            pareto: ParetoConfig::default(),
+        }
+    }
+}
+
+/// Knobs of the Pareto frontier exploration ([`optimize_pareto`]).
+#[derive(Clone, Debug)]
+pub struct ParetoConfig {
+    /// Nondominated-archive capacity: beyond it the most crowded interior
+    /// point is pruned (extremes are never dropped).
+    pub archive_capacity: usize,
+    /// Vdd samples per archived design when expanding each structural
+    /// point into its voltage-parameterized curve segment.
+    pub vdd_steps: usize,
+}
+
+impl Default for ParetoConfig {
+    fn default() -> Self {
+        ParetoConfig {
+            archive_capacity: 32,
+            vdd_steps: 8,
         }
     }
 }
@@ -252,7 +279,10 @@ fn eval_candidate(
     ctx.note_schedule(&sr.report);
     let memo = ctx.markov.as_ref();
     let est = match config.objective {
-        Objective::Throughput => {
+        // Pareto mode estimates at the reference voltage too: the archive
+        // lives in (energy_vdd2, latency) space and voltage becomes a
+        // knob only when the frontier is expanded ([`sweep_vdd`]).
+        Objective::Throughput | Objective::Pareto => {
             evaluate_with_memo(&sr, library, config.sched.clock_ns, memo).ok()?
         }
         Objective::Power => {
@@ -277,6 +307,69 @@ fn eval_candidate(
     Some((sr, est))
 }
 
+/// The full per-candidate evaluation both search drivers share:
+/// compile the candidate once (incremental mode), verify behavioral
+/// equivalence against the original, then schedule + estimate via
+/// [`eval_candidate`]. `None` marks an invalid candidate (not
+/// equivalent, unschedulable under the allocation, or — in power mode —
+/// slower than the baseline).
+#[allow(clippy::too_many_arguments)]
+fn checked_estimate(
+    f: &Function,
+    g: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    config: &FactConfig,
+    base_cycles: f64,
+    ctx: &IncrementalCtx,
+) -> Option<Estimate> {
+    // Incremental mode compiles the candidate once; the compiled form
+    // serves the equivalence check and the profiling pass (verdicts and
+    // profiles are identical to the interpreter's — fact-sim's tests pin
+    // this).
+    let cf = config.incremental.then(|| CompiledFn::compile(g));
+    let mut merged_prof = None;
+    if config.check_equivalence {
+        let verdict_ok = match (&ctx.equiv, &cf) {
+            // Memory-free behaviors: the equivalence pass executes the
+            // exact machine profiling would, so one simulation pass
+            // serves both.
+            (Some(reference), Some(cf)) if g.memories().count() == 0 => {
+                match reference.check_profiled_with(cf, traces, ctx.engine, Some(&ctx.sim)) {
+                    Ok((_, prof)) => {
+                        merged_prof = Some(prof);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            (Some(reference), Some(cf)) => reference
+                .check_with(cf, traces, ctx.engine, Some(&ctx.sim))
+                .is_ok(),
+            _ => check_equivalence_with(f, g, traces, 0xC0FFEE, &ctx.exec_config(), Some(&ctx.sim))
+                .is_ok(),
+        };
+        if !verdict_ok {
+            return None;
+        }
+    }
+    let (_, est) = eval_candidate(
+        g,
+        library,
+        rules,
+        alloc,
+        traces,
+        config,
+        base_cycles,
+        ctx,
+        cf.as_ref(),
+        merged_prof,
+    )?;
+    Some(est)
+}
+
 /// A 64-bit key covering everything a candidate's score depends on
 /// *besides* the candidate itself: allocation, objective, scheduler
 /// options, input traces, and the equivalence-checking reference.
@@ -298,6 +391,7 @@ pub fn evaluation_context_key(
     h.write_u64(match config.objective {
         Objective::Throughput => 1,
         Objective::Power => 2,
+        Objective::Pareto => 3,
     });
     h.write_f64(config.sched.clock_ns)
         .write_u64(config.sched.if_convert as u64)
@@ -425,44 +519,8 @@ pub fn optimize_with(
         }
         let eval = |g: &Function| -> Option<f64> {
             let score_of = || -> Option<f64> {
-                // Incremental mode compiles the candidate once; the
-                // compiled form serves the equivalence check and the
-                // profiling pass (verdicts and profiles are identical to
-                // the interpreter's — fact-sim's tests pin this).
-                let cf = config.incremental.then(|| CompiledFn::compile(g));
-                let mut merged_prof = None;
-                if config.check_equivalence {
-                    let verdict_ok = match (&ctx.equiv, &cf) {
-                        // Memory-free behaviors: the equivalence pass
-                        // executes the exact machine profiling would, so
-                        // one simulation pass serves both.
-                        (Some(reference), Some(cf)) if g.memories().count() == 0 => match reference
-                            .check_profiled_with(cf, traces, ctx.engine, Some(&ctx.sim))
-                        {
-                            Ok((_, prof)) => {
-                                merged_prof = Some(prof);
-                                true
-                            }
-                            Err(_) => false,
-                        },
-                        (Some(reference), Some(cf)) => reference
-                            .check_with(cf, traces, ctx.engine, Some(&ctx.sim))
-                            .is_ok(),
-                        _ => check_equivalence_with(
-                            f,
-                            g,
-                            traces,
-                            0xC0FFEE,
-                            &ctx.exec_config(),
-                            Some(&ctx.sim),
-                        )
-                        .is_ok(),
-                    };
-                    if !verdict_ok {
-                        return None;
-                    }
-                }
-                let (_, est) = eval_candidate(
+                let est = checked_estimate(
+                    f,
                     g,
                     library,
                     rules,
@@ -471,8 +529,6 @@ pub fn optimize_with(
                     config,
                     base_cycles,
                     &ctx,
-                    cf.as_ref(),
-                    merged_prof,
                 )?;
                 Some(config.objective.score(&est))
             };
@@ -530,6 +586,275 @@ pub fn optimize_with(
         estimate,
         baseline,
         applied,
+        evaluated,
+        blocks_optimized,
+        cache_hits: cache_hits.into_inner(),
+        full_reschedules: ctx.full_reschedules.into_inner(),
+        block_spliced: ctx.block_spliced.into_inner(),
+        sim_vectors: ctx.sim.vectors(),
+        sim_batches: ctx.sim.batches(),
+        stopped,
+    })
+}
+
+/// One sample of the final energy–throughput tradeoff curve: a
+/// transformed design point at a concrete supply voltage.
+#[derive(Clone, Debug)]
+pub struct ParetoDesignPoint {
+    /// Energy per execution at [`ParetoDesignPoint::vdd`]
+    /// (`energy_vdd2 · vdd²`).
+    pub energy: f64,
+    /// Effective latency in reference-clock equivalent cycles: the cycle
+    /// count stretched by the slower gate delay at the scaled voltage.
+    pub latency_cycles: f64,
+    /// Supply voltage of this sample, V.
+    pub vdd: f64,
+    /// Average power: `energy / (latency_cycles · clock_ns)`.
+    pub power: f64,
+    /// The design's energy coefficient (energy at 1 V², voltage-free).
+    pub energy_vdd2: f64,
+    /// The design's schedule length at the reference voltage, cycles.
+    pub sched_cycles: f64,
+    /// Transformation steps that produced the structural design point.
+    pub applied: Vec<String>,
+}
+
+/// The result of a Pareto-front FACT run ([`optimize_pareto`]).
+#[derive(Clone, Debug)]
+pub struct ParetoFactResult {
+    /// The final nondominated tradeoff curve, ascending in latency: every
+    /// archived structural design expanded over its admissible Vdd range,
+    /// then filtered to the nondominated set.
+    pub frontier: Vec<ParetoDesignPoint>,
+    /// Number of structural design points in the archive (each
+    /// contributes one curve segment to `frontier`).
+    pub archive_len: usize,
+    /// The untransformed design's estimate (the comparison base).
+    pub baseline: Estimate,
+    /// Total candidates evaluated by the search (cache hits included).
+    pub evaluated: usize,
+    /// Number of STG blocks searched.
+    pub blocks_optimized: usize,
+    /// Candidate evaluations answered by the shared [`EvalCache`].
+    pub cache_hits: usize,
+    /// Schedules computed entirely from scratch.
+    pub full_reschedules: usize,
+    /// Schedules that spliced at least one memoized block fragment.
+    pub block_spliced: usize,
+    /// Trace vectors simulated during candidate evaluation.
+    pub sim_vectors: u64,
+    /// Batched simulation passes executed.
+    pub sim_batches: u64,
+    /// `true` when the run was cut short by cancellation or timeout.
+    pub stopped: bool,
+}
+
+/// Runs FACT in Pareto mode on `f`: explores the energy × latency
+/// tradeoff frontier instead of a single optimum. See
+/// [`optimize_pareto_with`].
+///
+/// # Errors
+/// Fails only if the *original* behavior cannot be scheduled or analyzed;
+/// failing candidates are merely skipped.
+pub fn optimize_pareto(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    tlib: &TransformLibrary,
+    config: &FactConfig,
+) -> Result<ParetoFactResult, FactError> {
+    optimize_pareto_with(
+        f,
+        library,
+        rules,
+        alloc,
+        traces,
+        tlib,
+        config,
+        OptimizeHooks::default(),
+    )
+}
+
+/// The Pareto-front FACT driver: the Figure 5 flow with the scalar
+/// `Apply_transforms` replaced by [`apply_transforms_pareto`], all STG
+/// blocks sharing one nondominated archive so improvements compound
+/// across regions, and each archived design expanded into a
+/// voltage-parameterized curve segment via §2.2 Vdd scaling.
+///
+/// `config.objective` is forced to [`Objective::Pareto`] internally;
+/// `config.pareto` holds the archive capacity and Vdd sweep resolution.
+/// Candidates flow through the same incremental evaluation machinery as
+/// [`optimize_with`] (schedule splicing, Markov memoization, compiled
+/// simulation, cached scores), and the returned frontier is bit-identical
+/// for a fixed `config.search.seed` regardless of
+/// `config.search.threads`.
+///
+/// # Errors
+/// Fails only if the *original* behavior cannot be scheduled or analyzed;
+/// failing candidates are merely skipped.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_pareto_with(
+    f: &Function,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    tlib: &TransformLibrary,
+    config: &FactConfig,
+    hooks: OptimizeHooks<'_>,
+) -> Result<ParetoFactResult, FactError> {
+    let config = FactConfig {
+        objective: Objective::Pareto,
+        ..config.clone()
+    };
+    let config = &config;
+    let ctx = IncrementalCtx::new(f, traces, config);
+
+    // Step 1: schedule + estimate the input behavior.
+    let prof = profile(f, traces);
+    let sr0 = schedule_with_memo(
+        f,
+        library,
+        rules,
+        alloc,
+        &prof,
+        &config.sched,
+        ctx.sched.as_ref(),
+    )
+    .map_err(FactError::Schedule)?;
+    ctx.note_schedule(&sr0.report);
+    let markov0 = match ctx.markov.as_ref() {
+        Some(m) => m.analyze_memoized(&sr0.stg),
+        None => markov_of(&sr0),
+    }
+    .map_err(FactError::Analysis)?;
+    let base_cycles = markov0.average_schedule_length;
+    let baseline = evaluate_with_memo(&sr0, library, config.sched.clock_ns, ctx.markov.as_ref())
+        .map_err(FactError::Analysis)?;
+
+    // Step 2: partition the STG into blocks, hottest first.
+    let blocks = partition(&sr0.stg, &markov0, &config.partition);
+    let regions: Vec<Region> = if blocks.is_empty() {
+        vec![Region::whole()]
+    } else {
+        blocks
+            .iter()
+            .take(config.max_blocks)
+            .map(|b| region_of_block(f, &sr0, b))
+            .collect()
+    };
+
+    // Steps 3-7, Pareto flavor: every region's search feeds one shared
+    // nondominated archive, so a frontier point found in one block seeds
+    // exploration of the next (the compounding the scalar driver gets
+    // from its evolving incumbent).
+    let mut archive: ParetoArchive<ParetoCandidate> =
+        ParetoArchive::new(config.pareto.archive_capacity);
+    let context_key = evaluation_context_key(f, alloc, traces, config);
+    let cache_hits = AtomicUsize::new(0);
+    let mut evaluated = 0usize;
+    let mut blocks_optimized = 0usize;
+    let mut stopped = false;
+
+    for region in &regions {
+        if hooks.stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            stopped = true;
+            break;
+        }
+        let eval = |g: &Function| -> Option<(f64, f64)> {
+            let pair_of = || -> Option<(f64, f64)> {
+                let est = checked_estimate(
+                    f,
+                    g,
+                    library,
+                    rules,
+                    alloc,
+                    traces,
+                    config,
+                    base_cycles,
+                    &ctx,
+                )?;
+                Some((est.energy_vdd2, est.average_schedule_length))
+            };
+            match hooks.cache {
+                Some(cache) => {
+                    // Two salted slots per candidate (the cache stores one
+                    // f64 per key): energy under salt 1, latency under 2.
+                    let base = ContextHasher::new(context_key)
+                        .write_u64(structural_hash(g))
+                        .finish();
+                    let ke = ContextHasher::new(base).write_u64(1).finish();
+                    let kl = ContextHasher::new(base).write_u64(2).finish();
+                    if let (Some(e), Some(l)) = (cache.lookup(ke), cache.lookup(kl)) {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return e.zip(l);
+                    }
+                    let pair = pair_of();
+                    cache.insert(ke, pair.map(|(e, _)| e));
+                    cache.insert(kl, pair.map(|(_, l)| l));
+                    pair
+                }
+                None => pair_of(),
+            }
+        };
+        let r = apply_transforms_pareto(
+            f,
+            region,
+            tlib,
+            &config.search,
+            &mut archive,
+            &eval,
+            hooks.stop,
+        );
+        evaluated += r.evaluated;
+        stopped |= r.stopped;
+        blocks_optimized += 1;
+        if r.stopped {
+            break;
+        }
+    }
+
+    // Expand every archived structural point into its Vdd curve segment
+    // and keep the nondominated union, ascending in latency.
+    let clock_ns = config.sched.clock_ns;
+    let mut samples: Vec<ParetoDesignPoint> = Vec::new();
+    for (point, cand) in archive.entries() {
+        let applied = cand.applied();
+        for s in sweep_vdd(
+            point.energy,
+            point.latency,
+            base_cycles,
+            config.pareto.vdd_steps,
+        ) {
+            samples.push(ParetoDesignPoint {
+                energy: s.energy,
+                latency_cycles: s.latency,
+                vdd: s.vdd,
+                power: s.energy / (s.latency * clock_ns),
+                energy_vdd2: point.energy,
+                sched_cycles: point.latency,
+                applied: applied.clone(),
+            });
+        }
+    }
+    let sample_points: Vec<ParetoPoint> = samples
+        .iter()
+        .map(|s| ParetoPoint {
+            energy: s.energy,
+            latency: s.latency_cycles,
+        })
+        .collect();
+    let frontier: Vec<ParetoDesignPoint> = nondominated(&sample_points)
+        .into_iter()
+        .map(|i| samples[i].clone())
+        .collect();
+
+    Ok(ParetoFactResult {
+        frontier,
+        archive_len: archive.len(),
+        baseline,
         evaluated,
         blocks_optimized,
         cache_hits: cache_hits.into_inner(),

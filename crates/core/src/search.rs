@@ -31,6 +31,7 @@
 //! estimation are deterministic).
 
 use crate::cache::structural_hash;
+use crate::pareto::{ranked_order, ParetoArchive, ParetoPoint};
 use fact_ir::Function;
 use fact_prng::rngs::StdRng;
 use fact_prng::{Rng, SeedableRng};
@@ -129,19 +130,21 @@ struct Scored {
     path: Option<Arc<PathNode>>,
 }
 
-/// How a batch of candidates gets scored.
-enum Dispatch<'a> {
+/// How a batch of candidates gets scored. Generic over the score type:
+/// the scalar search dispatches `f64` objectives, the Pareto search
+/// dispatches `(energy, latency)` pairs through the same machinery.
+enum Dispatch<'a, S: Send> {
     /// In submission order on the calling thread.
-    Seq(&'a mut dyn FnMut(&Function) -> Option<f64>),
+    Seq(&'a mut dyn FnMut(&Function) -> Option<S>),
     /// Fanned out over scoped worker threads; results keep batch order.
     Par {
-        eval: &'a (dyn Fn(&Function) -> Option<f64> + Sync),
+        eval: &'a (dyn Fn(&Function) -> Option<S> + Sync),
         threads: usize,
     },
 }
 
-impl Dispatch<'_> {
-    fn eval_batch(&mut self, batch: &[&Function], stop: Option<&AtomicBool>) -> Vec<Option<f64>> {
+impl<S: Send> Dispatch<'_, S> {
+    fn eval_batch(&mut self, batch: &[&Function], stop: Option<&AtomicBool>) -> Vec<Option<S>> {
         let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
         match self {
             Dispatch::Seq(eval) => batch
@@ -149,7 +152,7 @@ impl Dispatch<'_> {
                 .map(|g| if cancelled() { None } else { eval(g) })
                 .collect(),
             Dispatch::Par { eval, threads } => {
-                let eval: &(dyn Fn(&Function) -> Option<f64> + Sync) = *eval;
+                let eval: &(dyn Fn(&Function) -> Option<S> + Sync) = *eval;
                 let workers = (*threads).min(batch.len());
                 if workers <= 1 {
                     return batch
@@ -158,13 +161,14 @@ impl Dispatch<'_> {
                         .collect();
                 }
                 let next = AtomicUsize::new(0);
-                let mut scores: Vec<Option<f64>> = vec![None; batch.len()];
+                let mut scores: Vec<Option<S>> = Vec::with_capacity(batch.len());
+                scores.resize_with(batch.len(), || None);
                 std::thread::scope(|s| {
                     let handles: Vec<_> = (0..workers)
                         .map(|_| {
                             let next = &next;
                             s.spawn(move || {
-                                let mut local: Vec<(usize, Option<f64>)> = Vec::new();
+                                let mut local: Vec<(usize, Option<S>)> = Vec::new();
                                 loop {
                                     if cancelled() {
                                         break;
@@ -276,7 +280,7 @@ fn run_search(
     region: &Region,
     library: &TransformLibrary,
     config: &SearchConfig,
-    mut dispatch: Dispatch<'_>,
+    mut dispatch: Dispatch<'_, f64>,
     stop: Option<&AtomicBool>,
 ) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -412,10 +416,11 @@ fn run_search(
     }
 }
 
-/// Draws `size` unique elements of `ranked` (already sorted best-first)
-/// with `P(rank r) ∝ e^(−k·r)`.
-fn select_subset(ranked: &[Scored], size: usize, k: f64, rng: &mut StdRng) -> Vec<Scored> {
-    let n = ranked.len();
+/// Draws `size` unique ranks out of `0..n` with `P(rank r) ∝ e^(−k·r)`
+/// — the Figure 6 selection kernel, shared by the scalar search (ranks =
+/// positions in the score sort) and the Pareto search (ranks = positions
+/// in the [`ranked_order`] nondominated sort).
+fn select_ranks(n: usize, size: usize, k: f64, rng: &mut StdRng) -> Vec<usize> {
     let want = size.min(n);
     let mut chosen: Vec<usize> = Vec::new();
     let mut available: Vec<usize> = (0..n).collect();
@@ -433,7 +438,246 @@ fn select_subset(ranked: &[Scored], size: usize, k: f64, rng: &mut StdRng) -> Ve
         }
         chosen.push(available.remove(pick));
     }
-    chosen.into_iter().map(|r| ranked[r].clone()).collect()
+    chosen
+}
+
+/// Draws `size` unique elements of `ranked` (already sorted best-first)
+/// with `P(rank r) ∝ e^(−k·r)`.
+fn select_subset(ranked: &[Scored], size: usize, k: f64, rng: &mut StdRng) -> Vec<Scored> {
+    select_ranks(ranked.len(), size, k, rng)
+        .into_iter()
+        .map(|r| ranked[r].clone())
+        .collect()
+}
+
+/// An element of the Pareto search frontier: a candidate CDFG plus the
+/// transformation path that produced it. Cloning is cheap (both parts
+/// are shared).
+#[derive(Clone)]
+pub struct ParetoCandidate {
+    f: Arc<Function>,
+    path: Option<Arc<PathNode>>,
+}
+
+impl ParetoCandidate {
+    /// The candidate CDFG.
+    pub fn function(&self) -> &Function {
+        &self.f
+    }
+
+    /// The transformation steps that produced this candidate, in
+    /// application order (empty for the untransformed input).
+    pub fn applied(&self) -> Vec<String> {
+        materialize_path(&self.path)
+    }
+}
+
+/// Outcome counters of one [`apply_transforms_pareto`] run (the frontier
+/// itself lives in the caller's archive).
+#[derive(Clone, Copy, Debug)]
+pub struct ParetoSearchResult {
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+    /// Number of improvement rounds executed.
+    pub rounds: usize,
+    /// `true` when the search was cut short by the cancellation signal.
+    pub stopped: bool,
+}
+
+/// `Apply_transforms`, generalized from a scalar objective to the
+/// (energy, latency) plane: instead of tracking one incumbent, the search
+/// maintains `archive` — a bounded nondominated set — and generalizes the
+/// rank-exponential selection from score rank to Pareto rank (front
+/// index, then crowding distance), so a single seeded run fills the
+/// whole frontier.
+///
+/// `evaluate` returns a candidate's `(energy_vdd2, latency_cycles)` at
+/// the reference voltage, or `None` for invalid candidates. Evaluation
+/// fans out across `config.threads` workers with the same determinism
+/// discipline as [`apply_transforms_parallel`]: batch order is fixed
+/// before evaluation, archive insertions happen in batch order after the
+/// whole batch returns, and the RNG is consumed only during selection —
+/// so for a fixed seed the final archive is bit-identical for any thread
+/// count.
+///
+/// The archive may be pre-seeded (e.g. with the frontier of a previous
+/// region's search); each round re-seeds the working `In_set` from the
+/// archive with the two frontier extremes forced in — the elitism that
+/// makes the frontier's end points match dedicated single-objective
+/// runs. Rounds stop when a full round leaves the archive unchanged.
+pub fn apply_transforms_pareto(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    archive: &mut ParetoArchive<ParetoCandidate>,
+    evaluate: &(dyn Fn(&Function) -> Option<(f64, f64)> + Sync),
+    stop: Option<&AtomicBool>,
+) -> ParetoSearchResult {
+    let mut dispatch = Dispatch::Par {
+        eval: evaluate,
+        threads: config.threads.max(1),
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut evaluated = 0usize;
+    let mut seen: HashSet<u64> = HashSet::new();
+    let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+
+    // Archived survivors of earlier regions are already evaluated.
+    for (_, c) in archive.entries() {
+        seen.insert(structural_hash(&c.f));
+    }
+    // The input anchors the high-latency end of the frontier.
+    if seen.insert(structural_hash(g0)) {
+        let base = dispatch.eval_batch(&[g0], stop).remove(0);
+        evaluated += 1;
+        if let Some((energy, latency)) = base {
+            archive.try_insert(
+                ParetoPoint { energy, latency },
+                ParetoCandidate {
+                    f: Arc::new(g0.clone()),
+                    path: None,
+                },
+            );
+        }
+    }
+    if archive.is_empty() {
+        return ParetoSearchResult {
+            evaluated,
+            rounds: 0,
+            stopped: cancelled(),
+        };
+    }
+
+    let mut k = config.k_initial;
+    let mut rounds = 0usize;
+    let mut stopped = false;
+
+    'rounds: for _round in 0..config.max_rounds {
+        rounds += 1;
+        let frontier_at_round_start = archive.generation();
+        // Re-seed the frontier from the archive: extremes forced in,
+        // remainder drawn rank-exponentially along the frontier order.
+        let mut in_set = seed_in_set(archive, config.in_set_size, k, &mut rng);
+
+        for _move in 0..config.max_moves {
+            if cancelled() {
+                stopped = true;
+                break 'rounds;
+            }
+            // Stage 1: expand, dedup by structural hash, cap to budget.
+            let budget = config.max_evaluations.saturating_sub(evaluated);
+            let mut candidates: Vec<Candidate> = Vec::new();
+            'expand: for (parent, g) in in_set.iter().enumerate() {
+                for cand in library.all_candidates(g.f.as_ref(), region) {
+                    if candidates.len() >= budget {
+                        break 'expand;
+                    }
+                    if !seen.insert(structural_hash(&cand.function)) {
+                        continue;
+                    }
+                    candidates.push(Candidate {
+                        f: cand.function,
+                        parent,
+                        description: cand.description,
+                    });
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+
+            // Stage 2: score the batch across worker threads.
+            let batch: Vec<&Function> = candidates.iter().map(|c| &c.f).collect();
+            let scores = dispatch.eval_batch(&batch, stop);
+            evaluated += candidates.len();
+            if cancelled() {
+                stopped = true;
+                break 'rounds;
+            }
+
+            // Archive updates strictly in batch order: the merge
+            // discipline that keeps the frontier thread-invariant.
+            let mut behavior_set: Vec<(ParetoPoint, ParetoCandidate)> = Vec::new();
+            for (cand, score) in candidates.into_iter().zip(scores) {
+                let Some((energy, latency)) = score else {
+                    continue;
+                };
+                let point = ParetoPoint { energy, latency };
+                if !point.is_finite() {
+                    continue;
+                }
+                let scored = ParetoCandidate {
+                    f: Arc::new(cand.f),
+                    path: Some(Arc::new(PathNode {
+                        step: cand.description,
+                        parent: in_set[cand.parent].path.clone(),
+                    })),
+                };
+                archive.try_insert(point, scored.clone());
+                behavior_set.push((point, scored));
+            }
+            if behavior_set.is_empty() {
+                if evaluated >= config.max_evaluations {
+                    break;
+                }
+                continue;
+            }
+            // Stage 3: nondominated sort (front, then crowding) replaces
+            // the scalar score sort; selection kernel is unchanged.
+            let points: Vec<ParetoPoint> = behavior_set.iter().map(|(p, _)| *p).collect();
+            let order = ranked_order(&points);
+            let picks = select_ranks(order.len(), config.in_set_size, k, &mut rng);
+            in_set = picks
+                .into_iter()
+                .map(|r| behavior_set[order[r]].1.clone())
+                .collect();
+            k += config.k_step;
+
+            if evaluated >= config.max_evaluations {
+                break;
+            }
+        }
+
+        if archive.generation() == frontier_at_round_start || evaluated >= config.max_evaluations {
+            break; // stopping criterion: the frontier did not move
+        }
+    }
+
+    ParetoSearchResult {
+        evaluated,
+        rounds,
+        stopped,
+    }
+}
+
+/// Builds the working `In_set` from the archive: the two frontier
+/// extremes are always included (elitism — they anchor the curve's end
+/// points), and the rest is drawn rank-exponentially over the
+/// [`ranked_order`] of the archived points.
+fn seed_in_set(
+    archive: &ParetoArchive<ParetoCandidate>,
+    size: usize,
+    k: f64,
+    rng: &mut StdRng,
+) -> Vec<ParetoCandidate> {
+    let entries = archive.entries();
+    let points: Vec<ParetoPoint> = entries.iter().map(|(p, _)| *p).collect();
+    let order = ranked_order(&points);
+    let n = order.len();
+    let want = size.min(n).max(1.min(n));
+    // ranked_order places the two infinite-crowding extremes first.
+    let forced = want.min(2);
+    let mut in_set: Vec<ParetoCandidate> = order[..forced]
+        .iter()
+        .map(|&i| entries[i].1.clone())
+        .collect();
+    if want > forced {
+        for r in select_ranks(n - forced, want - forced, k, rng) {
+            in_set.push(entries[order[forced + r]].1.clone());
+        }
+    }
+    in_set
 }
 
 #[cfg(test)]

@@ -29,11 +29,19 @@ pub fn delay_factor(vdd: f64) -> f64 {
 ///
 /// (the paper's equation in Example 1, with 119.11/151.30 on the right).
 /// Returns [`VDD_REF`] when the new schedule is not faster — voltage is
-/// never scaled *up*.
+/// never scaled *up* — and also for degenerate cycle counts (zero,
+/// negative, NaN, or infinite on either side), so garbage schedule
+/// lengths can never turn into a sub-threshold voltage or a NaN that
+/// poisons downstream rank comparisons.
 ///
 /// Solved by bisection on the monotone-decreasing `delay_factor`.
 pub fn scale_voltage(base_cycles: f64, new_cycles: f64) -> f64 {
-    if new_cycles <= 0.0 || new_cycles.is_nan() || new_cycles >= base_cycles {
+    if !base_cycles.is_finite()
+        || base_cycles <= 0.0
+        || !new_cycles.is_finite()
+        || new_cycles <= 0.0
+        || new_cycles >= base_cycles
+    {
         return VDD_REF;
     }
     let target = delay_factor(VDD_REF) * base_cycles / new_cycles;
@@ -58,6 +66,11 @@ pub fn scale_voltage(base_cycles: f64, new_cycles: f64) -> f64 {
 /// Power after Vdd scaling, in the paper's formulation:
 /// `E · Vdd_new² / (base_cycles · clock_ns)` — the energy of the
 /// transformed design delivered over the baseline's time budget.
+///
+/// Degenerate inputs (non-finite energy, or a non-positive or non-finite
+/// time budget) yield `(f64::INFINITY, vdd)` rather than NaN: infinity
+/// still orders as "worst possible power" under `partial_cmp`/`total_cmp`
+/// in the search's rank sort, where a NaN would silently corrupt ranks.
 pub fn scaled_power(
     energy_vdd2: f64,
     base_cycles: f64,
@@ -66,6 +79,9 @@ pub fn scaled_power(
 ) -> (f64, f64) {
     let vdd = scale_voltage(base_cycles, new_cycles);
     let time = base_cycles.max(new_cycles) * clock_ns;
+    if !energy_vdd2.is_finite() || !time.is_finite() || time <= 0.0 {
+        return (f64::INFINITY, vdd);
+    }
     (energy_vdd2 * vdd * vdd / time, vdd)
 }
 
@@ -91,6 +107,44 @@ mod tests {
         assert_eq!(scale_voltage(100.0, 100.0), VDD_REF);
         assert_eq!(scale_voltage(100.0, 120.0), VDD_REF);
         assert_eq!(scale_voltage(100.0, 0.0), VDD_REF);
+    }
+
+    #[test]
+    fn degenerate_cycles_clamp_to_reference_voltage() {
+        // Zero/negative/non-finite cycle counts on either side must never
+        // reach the bisection: they fall back to the reference voltage.
+        for (base, new) in [
+            (0.0, 50.0),
+            (-100.0, 50.0),
+            (f64::NAN, 50.0),
+            (f64::INFINITY, 50.0),
+            (100.0, f64::NAN),
+            (100.0, -5.0),
+            (100.0, f64::INFINITY),
+            (f64::NAN, f64::NAN),
+        ] {
+            let v = scale_voltage(base, new);
+            assert_eq!(v, VDD_REF, "scale_voltage({base}, {new})");
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn scaled_power_never_returns_nan() {
+        // Degenerate inputs clamp to +inf power (orders as worst), never NaN.
+        for (e, base, new, clk) in [
+            (665.58, 0.0, 0.0, 1.0),       // zero time budget
+            (665.58, 100.0, 50.0, 0.0),    // zero clock
+            (665.58, 100.0, 50.0, -1.0),   // negative clock
+            (f64::NAN, 100.0, 50.0, 1.0),  // NaN energy
+            (665.58, f64::NAN, 50.0, 1.0), // NaN baseline
+            (665.58, 100.0, f64::NAN, 1.0),
+        ] {
+            let (p, v) = scaled_power(e, base, new, clk);
+            assert!(!p.is_nan(), "scaled_power({e}, {base}, {new}, {clk}) = {p}");
+            assert!((VT..=VDD_REF).contains(&v), "vdd {v} out of range");
+        }
+        assert_eq!(scaled_power(665.58, 0.0, 0.0, 1.0).0, f64::INFINITY);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Every request is one JSON object on one line; every reply is one JSON
 //! object on one line. The `type` member selects the request kind:
-//! `"ping"`, `"stats"`, `"shutdown"`, or `"optimize"`. See
+//! `"ping"`, `"stats"`, `"shutdown"`, `"optimize"`, or `"pareto"`. See
 //! `docs/SERVER.md` for the full schema with examples.
 //!
 //! This module only translates between [`Value`] trees and typed
@@ -23,6 +23,9 @@ pub enum Request {
     Shutdown,
     /// An optimization job.
     Optimize(Box<OptimizeRequest>),
+    /// A Pareto-frontier job: same inputs as an optimization job, but the
+    /// reply is the full energy × latency × Vdd tradeoff curve.
+    Pareto(Box<OptimizeRequest>),
 }
 
 /// One optimization job: behavioral source + allocation + objective +
@@ -83,14 +86,15 @@ pub fn decode_request(v: &Value) -> Result<Request, ProtocolError> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
-        "optimize" => Ok(Request::Optimize(Box::new(decode_optimize(v)?))),
+        "optimize" => Ok(Request::Optimize(Box::new(decode_optimize(v, false)?))),
+        "pareto" => Ok(Request::Pareto(Box::new(decode_optimize(v, true)?))),
         other => Err(bad(format!(
-            "unknown request type `{other}` (expected ping, stats, shutdown, or optimize)"
+            "unknown request type `{other}` (expected ping, stats, shutdown, optimize, or pareto)"
         ))),
     }
 }
 
-fn decode_optimize(v: &Value) -> Result<OptimizeRequest, ProtocolError> {
+fn decode_optimize(v: &Value, pareto: bool) -> Result<OptimizeRequest, ProtocolError> {
     let id = match v.get("id") {
         None => String::new(),
         Some(Value::Str(s)) => s.clone(),
@@ -121,13 +125,34 @@ fn decode_optimize(v: &Value) -> Result<OptimizeRequest, ProtocolError> {
     )?;
 
     let mut config = FactConfig::default();
-    match v.get("objective").and_then(Value::as_str) {
-        None | Some("throughput") => config.objective = Objective::Throughput,
-        Some("power") => config.objective = Objective::Power,
-        Some(other) => {
-            return Err(bad(format!(
-                "unknown objective `{other}` (expected `throughput` or `power`)"
-            )))
+    if pareto {
+        // A `pareto` request is multi-objective by definition; a
+        // contradictory scalar `objective` is a client error.
+        match v.get("objective").and_then(Value::as_str) {
+            None | Some("pareto") => config.objective = Objective::Pareto,
+            Some(other) => {
+                return Err(bad(format!(
+                    "objective `{other}` conflicts with request type `pareto` \
+                     (omit it or use `pareto`)"
+                )))
+            }
+        }
+        if let Some(cap) = v.get("archive_capacity") {
+            config.pareto.archive_capacity = usize_member(cap, "archive_capacity")?.max(2);
+        }
+        if let Some(steps) = v.get("vdd_steps") {
+            config.pareto.vdd_steps = usize_member(steps, "vdd_steps")?.max(1);
+        }
+    } else {
+        match v.get("objective").and_then(Value::as_str) {
+            None | Some("throughput") => config.objective = Objective::Throughput,
+            Some("power") => config.objective = Objective::Power,
+            Some(other) => {
+                return Err(bad(format!(
+                    "unknown objective `{other}` (expected `throughput` or `power`; \
+                     for the full tradeoff curve use request type `pareto`)"
+                )))
+            }
         }
     }
     if let Some(clk) = v.get("clock_ns") {
@@ -347,6 +372,30 @@ mod tests {
     }
 
     #[test]
+    fn decodes_pareto_request() {
+        let src = r#"{"type":"pareto","id":"p1","source":"proc f(n) { out y = n; }",
+            "alloc":{"a1":2},"archive_capacity":16,"vdd_steps":12,
+            "traces":{"n":4,"inputs":{"n":{"const":3}}},
+            "search":{"seed":9,"threads":4}}"#;
+        let Request::Pareto(req) = decode_request(&parse(src).unwrap()).unwrap() else {
+            panic!("expected pareto");
+        };
+        assert_eq!(req.id, "p1");
+        assert!(matches!(req.config.objective, Objective::Pareto));
+        assert_eq!(req.config.pareto.archive_capacity, 16);
+        assert_eq!(req.config.pareto.vdd_steps, 12);
+        assert_eq!(req.config.search.seed, 9);
+
+        // An explicit `"objective":"pareto"` is accepted as redundant.
+        let src = r#"{"type":"pareto","source":"s","alloc":{},"objective":"pareto",
+            "traces":{"n":1,"inputs":{}}}"#;
+        assert!(matches!(
+            decode_request(&parse(src).unwrap()).unwrap(),
+            Request::Pareto(_)
+        ));
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for (src, needle) in [
             (r#"{"op":"ping"}"#, "type"),
@@ -371,6 +420,18 @@ mod tests {
                 r#"{"type":"optimize","source":"s","alloc":{},
                    "traces":{"n":1,"inputs":{}},"objective":"speed"}"#,
                 "unknown objective",
+            ),
+            (
+                // A scalar objective on an optimize job must point the
+                // client at the pareto request type instead.
+                r#"{"type":"optimize","source":"s","alloc":{},
+                   "traces":{"n":1,"inputs":{}},"objective":"pareto"}"#,
+                "request type `pareto`",
+            ),
+            (
+                r#"{"type":"pareto","source":"s","alloc":{},
+                   "traces":{"n":1,"inputs":{}},"objective":"power"}"#,
+                "conflicts",
             ),
             (
                 r#"{"type":"optimize","source":"s","alloc":{},

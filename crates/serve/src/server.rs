@@ -21,7 +21,7 @@
 //! in-flight job's cancellation flag, and wakes the accept loop; workers
 //! drain, reply, and exit, and [`Server::run`] returns.
 
-use crate::job::{run_job, JobError};
+use crate::job::{run_job, run_pareto_job, JobError};
 use crate::json::{parse, Value};
 use crate::protocol::{decode_request, error_reply, OptimizeRequest, Request};
 use crate::queue::{JobQueue, PushError};
@@ -87,9 +87,22 @@ impl Default for ServerConfig {
 /// One queued optimization job.
 struct Job {
     req: OptimizeRequest,
+    /// `true` routes through the Pareto-frontier pipeline instead of the
+    /// single-objective search.
+    pareto: bool,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
     reply: mpsc::Sender<Result<Value, JobError>>,
+}
+
+/// The per-job counter deltas both job kinds fold into [`ServerStats`].
+struct JobCounters {
+    evaluated: u64,
+    full_reschedules: u64,
+    block_spliced: u64,
+    sim_vectors: u64,
+    sim_batches: u64,
+    stopped: bool,
 }
 
 /// State shared by every thread of one server.
@@ -251,29 +264,66 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         shared.register_active(&job.cancel);
-        match run_job(&job.req, &shared.cache, &job.cancel) {
-            Ok((reply, result)) => {
+        // Route by job kind; both pipelines report the same counter set,
+        // plus the per-kind job/point counters folded inline.
+        let outcome = if job.pareto {
+            run_pareto_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
+                shared.stats.pareto_jobs.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .pareto_points
+                    .fetch_add(r.frontier.len() as u64, Ordering::Relaxed);
+                (
+                    reply,
+                    JobCounters {
+                        evaluated: r.evaluated as u64,
+                        full_reschedules: r.full_reschedules as u64,
+                        block_spliced: r.block_spliced as u64,
+                        sim_vectors: r.sim_vectors,
+                        sim_batches: r.sim_batches,
+                        stopped: r.stopped,
+                    },
+                )
+            })
+        } else {
+            run_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
+                shared.stats.optimize_jobs.fetch_add(1, Ordering::Relaxed);
+                (
+                    reply,
+                    JobCounters {
+                        evaluated: r.evaluated as u64,
+                        full_reschedules: r.full_reschedules as u64,
+                        block_spliced: r.block_spliced as u64,
+                        sim_vectors: r.sim_vectors,
+                        sim_batches: r.sim_batches,
+                        stopped: r.stopped,
+                    },
+                )
+            })
+        };
+        match outcome {
+            Ok((reply, c)) => {
                 shared
                     .stats
                     .evaluations
-                    .fetch_add(result.evaluated as u64, Ordering::Relaxed);
+                    .fetch_add(c.evaluated, Ordering::Relaxed);
                 shared
                     .stats
                     .full_reschedules
-                    .fetch_add(result.full_reschedules as u64, Ordering::Relaxed);
+                    .fetch_add(c.full_reschedules, Ordering::Relaxed);
                 shared
                     .stats
                     .block_spliced
-                    .fetch_add(result.block_spliced as u64, Ordering::Relaxed);
+                    .fetch_add(c.block_spliced, Ordering::Relaxed);
                 shared
                     .stats
                     .sim_vectors
-                    .fetch_add(result.sim_vectors, Ordering::Relaxed);
+                    .fetch_add(c.sim_vectors, Ordering::Relaxed);
                 shared
                     .stats
                     .sim_batches
-                    .fetch_add(result.sim_batches, Ordering::Relaxed);
-                let counter = if result.stopped {
+                    .fetch_add(c.sim_batches, Ordering::Relaxed);
+                let counter = if c.stopped {
                     &shared.stats.timed_out
                 } else {
                     &shared.stats.completed
@@ -357,11 +407,12 @@ fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
         Request::Ping => (Value::object([("type", Value::Str("pong".into()))]), false),
         Request::Stats => (shared.stats.snapshot(&shared.cache), false),
         Request::Shutdown => (Value::object([("type", Value::Str("ok".into()))]), true),
-        Request::Optimize(req) => (handle_optimize(shared, *req), false),
+        Request::Optimize(req) => (handle_optimize(shared, *req, false), false),
+        Request::Pareto(req) => (handle_optimize(shared, *req, true), false),
     }
 }
 
-fn handle_optimize(shared: &Shared, req: OptimizeRequest) -> Value {
+fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value {
     let id = req.id.clone();
     let timeout = Duration::from_millis(
         req.timeout_ms
@@ -372,6 +423,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest) -> Value {
     let (tx, rx) = mpsc::channel();
     let job = Job {
         req,
+        pareto,
         cancel: Arc::clone(&cancel),
         submitted: Instant::now(),
         reply: tx,

@@ -27,6 +27,14 @@ pub struct ServerStats {
     pub timed_out: AtomicU64,
     /// Jobs refused because the queue was full.
     pub rejected: AtomicU64,
+    /// Completed (or timed-out) single-objective `optimize` jobs.
+    pub optimize_jobs: AtomicU64,
+    /// Completed (or timed-out) `pareto` frontier jobs.
+    pub pareto_jobs: AtomicU64,
+    /// Nondominated design points returned across all `pareto` jobs
+    /// (frontier sizes summed; `pareto_points / pareto_jobs` is the mean
+    /// curve size production logs watch).
+    pub pareto_points: AtomicU64,
     /// Candidate evaluations performed across all jobs (cache hits
     /// included; see `FactResult::evaluated`).
     pub evaluations: AtomicU64,
@@ -61,6 +69,9 @@ impl ServerStats {
             failed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            optimize_jobs: AtomicU64::new(0),
+            pareto_jobs: AtomicU64::new(0),
+            pareto_points: AtomicU64::new(0),
             evaluations: AtomicU64::new(0),
             full_reschedules: AtomicU64::new(0),
             block_spliced: AtomicU64::new(0),
@@ -126,6 +137,9 @@ impl ServerStats {
             ("jobs_failed", counter(&self.failed)),
             ("jobs_timed_out", counter(&self.timed_out)),
             ("jobs_rejected", counter(&self.rejected)),
+            ("optimize_jobs", counter(&self.optimize_jobs)),
+            ("pareto_jobs", counter(&self.pareto_jobs)),
+            ("pareto_points", counter(&self.pareto_points)),
             ("evaluations", counter(&self.evaluations)),
             ("full_reschedules", counter(&self.full_reschedules)),
             ("block_spliced", counter(&self.block_spliced)),
@@ -150,6 +164,7 @@ impl ServerStats {
         let cs = cache.stats();
         format!(
             "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
+             kinds=opt:{}/pareto:{} pareto_pts={} \
              evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
              cache={:.0}% ({} entries) p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
@@ -161,6 +176,9 @@ impl ServerStats {
             self.failed.load(Ordering::Relaxed),
             self.timed_out.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
+            self.optimize_jobs.load(Ordering::Relaxed),
+            self.pareto_jobs.load(Ordering::Relaxed),
+            self.pareto_points.load(Ordering::Relaxed),
             self.evaluations.load(Ordering::Relaxed),
             self.full_reschedules.load(Ordering::Relaxed),
             self.block_spliced.load(Ordering::Relaxed),

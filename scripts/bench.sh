@@ -6,11 +6,15 @@
 #            BENCH_search.baseline.json reference numbers.
 #   sim    — simulation throughput (trace vectors/sec, scalar vs
 #            batched engine); writes crates/bench/BENCH_sim.json.
+#   pareto — Pareto-frontier quality/throughput (frontier size,
+#            hypervolume proxy, evals/sec); writes
+#            crates/bench/BENCH_pareto.json (also with --smoke).
 #
 # Usage:
-#   scripts/bench.sh                   # both harnesses, full runs
+#   scripts/bench.sh                   # all harnesses, full runs
 #   scripts/bench.sh search            # one harness
 #   scripts/bench.sh sim --smoke       # tiny run, JSON to stdout only
+#   scripts/bench.sh pareto --smoke    # Test2 only, still writes the file
 #   scripts/bench.sh search --budget 1000 --out /tmp/b.json
 #   scripts/bench.sh sim --vectors 4096
 set -euo pipefail
@@ -18,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 which=all
 case "${1:-}" in
-search | sim) which=$1; shift ;;
+search | sim | pareto) which=$1; shift ;;
 all) shift ;;
 esac
 
@@ -27,4 +31,7 @@ if [ "$which" = search ] || [ "$which" = all ]; then
 fi
 if [ "$which" = sim ] || [ "$which" = all ]; then
     cargo bench -q -p fact-bench --bench sim_perf -- "$@"
+fi
+if [ "$which" = pareto ] || [ "$which" = all ]; then
+    cargo bench -q -p fact-bench --bench pareto_perf -- "$@"
 fi

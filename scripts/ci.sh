@@ -29,5 +29,16 @@ scripts/bench.sh search --smoke \
     | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "search", d'
 scripts/bench.sh sim --smoke \
     | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "sim", d'
+scripts/bench.sh pareto --smoke > /dev/null
+python3 - <<'EOF'
+import json
+with open("crates/bench/BENCH_pareto.json") as f:
+    d = json.load(f)
+assert d["bench"] == "pareto", d
+suites = {s["name"]: s for p in d["passes"] for s in p["suites"]}
+t2 = suites["Test2"]
+assert t2["frontier"] >= 8, f"Test2 frontier too small: {t2}"
+print(f"BENCH_pareto.json ok: Test2 frontier={t2['frontier']} hv={t2['hypervolume']}")
+EOF
 
 echo "ci.sh: all gates passed"

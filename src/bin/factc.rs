@@ -9,7 +9,7 @@
 //!         --input n=40 --input a=0..9 --optimize --objective throughput
 //! ```
 
-use fact_core::{optimize, DesignReport, FactConfig, Objective, TransformLibrary};
+use fact_core::{optimize, optimize_pareto, DesignReport, FactConfig, Objective, TransformLibrary};
 use fact_estim::{evaluate, markov_of, section5_library};
 use fact_sched::{schedule, Allocation, SchedOptions};
 use fact_sim::{generate, profile, InputSpec};
@@ -31,9 +31,12 @@ OPTIONS:
     --clock <NS>             clock period in ns (default 25)
     --traces <N>             number of trace vectors (default 8)
     --seed <N>               RNG seed (default 42)
-    --objective <t|p>        optimize for throughput or power (with
+    --objective <OBJ>        throughput (t), power (p), or pareto (with
                              --optimize); default throughput
     --optimize               run the FACT transformation search
+    --pareto                 run the search in Pareto mode and print the
+                             full energy-latency-Vdd tradeoff curve
+                             (same as --optimize --objective pareto)
     --jobs <N>               worker threads for candidate evaluation in the
                              search (default 1; the result is identical for
                              any thread count)
@@ -124,10 +127,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.objective = match grab("--objective")?.as_str() {
                     "t" | "throughput" => Objective::Throughput,
                     "p" | "power" => Objective::Power,
-                    other => return Err(format!("unknown objective `{other}`")),
+                    "pareto" => Objective::Pareto,
+                    other => {
+                        return Err(format!(
+                            "unknown objective `{other}` (expected `throughput`/`t`, \
+                             `power`/`p`, or `pareto`)"
+                        ))
+                    }
                 }
             }
             "--optimize" => args.run_optimize = true,
+            "--pareto" => {
+                args.run_optimize = true;
+                args.objective = Objective::Pareto;
+            }
             "--jobs" => {
                 args.jobs = grab("--jobs")?.parse().map_err(|e| format!("{e}"))?;
                 if args.jobs == 0 {
@@ -220,7 +233,53 @@ fn run(args: &Args) -> Result<(), String> {
         println!("\n{}", sr.stg.pretty(&sr.function));
     }
 
-    if args.run_optimize {
+    if args.run_optimize && args.objective == Objective::Pareto {
+        let mut config = FactConfig {
+            objective: Objective::Pareto,
+            sched: opts,
+            ..Default::default()
+        };
+        config.search.threads = args.jobs;
+        let result = optimize_pareto(
+            &behavior,
+            &library,
+            &rules,
+            &allocation,
+            &traces,
+            &TransformLibrary::full(),
+            &config,
+        )
+        .map_err(|e| format!("optimization failed: {e}"))?;
+        println!("\nFACT (Pareto mode):");
+        println!(
+            "  baseline: {:.2} cycles, power {:.3} at {:.2} V",
+            result.baseline.average_schedule_length, result.baseline.power, result.baseline.vdd
+        );
+        println!(
+            "  frontier: {} points over {} archived designs ({} candidates evaluated)",
+            result.frontier.len(),
+            result.archive_len,
+            result.evaluated
+        );
+        println!(
+            "  {:>6} {:>10} {:>12} {:>8}  transforms",
+            "Vdd", "cycles", "energy", "power"
+        );
+        for p in &result.frontier {
+            println!(
+                "  {:>6.2} {:>10.2} {:>12.2} {:>8.3}  {}",
+                p.vdd,
+                p.latency_cycles,
+                p.energy,
+                p.power,
+                if p.applied.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    p.applied.join("; ")
+                }
+            );
+        }
+    } else if args.run_optimize {
         let mut config = FactConfig {
             objective: args.objective,
             sched: opts,
@@ -356,6 +415,27 @@ mod tests {
         assert_eq!(a.objective, Objective::Power);
         assert!(a.run_optimize);
         assert_eq!(a.emit, vec!["stg".to_string()]);
+    }
+
+    #[test]
+    fn parses_pareto_modes() {
+        // The dedicated flag implies the search and the objective.
+        let a = parse(&["f.bdl", "--pareto"]).unwrap();
+        assert!(a.run_optimize);
+        assert_eq!(a.objective, Objective::Pareto);
+        // The long spelling is equivalent.
+        let a = parse(&["f.bdl", "--optimize", "--objective", "pareto"]).unwrap();
+        assert!(a.run_optimize);
+        assert_eq!(a.objective, Objective::Pareto);
+    }
+
+    #[test]
+    fn unknown_objective_lists_the_valid_values() {
+        let e = parse(&["f.bdl", "--objective", "speed"]).unwrap_err();
+        assert!(e.contains("unknown objective `speed`"), "{e}");
+        for valid in ["throughput", "power", "pareto"] {
+            assert!(e.contains(valid), "error should mention `{valid}`: {e}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/fact_bench-9a26553532b025d5.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs Cargo.toml
+/root/repo/target/debug/deps/fact_bench-9a26553532b025d5.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_bench-9a26553532b025d5.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_bench-9a26553532b025d5.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
@@ -8,6 +8,7 @@ crates/bench/src/example1.rs:
 crates/bench/src/fig1.rs:
 crates/bench/src/fig2.rs:
 crates/bench/src/fig4.rs:
+crates/bench/src/pareto_perf.rs:
 crates/bench/src/search_perf.rs:
 crates/bench/src/sim_perf.rs:
 crates/bench/src/sweep.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/fact_core-005df06e1459589a.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/fact_core-005df06e1459589a.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/libfact_core-005df06e1459589a.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/libfact_core-005df06e1459589a.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
 crates/core/src/cache.rs:
 crates/core/src/objective.rs:
+crates/core/src/pareto.rs:
 crates/core/src/partition.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/report.rs:

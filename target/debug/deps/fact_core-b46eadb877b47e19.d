@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/fact_core-b46eadb877b47e19.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/debug/deps/fact_core-b46eadb877b47e19.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
-/root/repo/target/debug/deps/libfact_core-b46eadb877b47e19.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/debug/deps/libfact_core-b46eadb877b47e19.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
-/root/repo/target/debug/deps/libfact_core-b46eadb877b47e19.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/debug/deps/libfact_core-b46eadb877b47e19.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
 crates/core/src/cache.rs:
 crates/core/src/objective.rs:
+crates/core/src/pareto.rs:
 crates/core/src/partition.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/report.rs:

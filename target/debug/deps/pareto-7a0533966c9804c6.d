@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto-7a0533966c9804c6.d: crates/core/tests/pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto-7a0533966c9804c6.rmeta: crates/core/tests/pareto.rs Cargo.toml
+
+crates/core/tests/pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

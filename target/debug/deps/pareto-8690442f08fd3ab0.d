@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto-8690442f08fd3ab0.d: crates/core/tests/pareto.rs
+
+/root/repo/target/debug/deps/pareto-8690442f08fd3ab0: crates/core/tests/pareto.rs
+
+crates/core/tests/pareto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_perf-ecf895891f54b239.d: crates/bench/benches/pareto_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_perf-ecf895891f54b239.rmeta: crates/bench/benches/pareto_perf.rs Cargo.toml
+
+crates/bench/benches/pareto_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_probe-f1d85856d44199c4.d: crates/core/examples/pareto_probe.rs
+
+/root/repo/target/debug/examples/pareto_probe-f1d85856d44199c4: crates/core/examples/pareto_probe.rs
+
+crates/core/examples/pareto_probe.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/fact_bench-26fbb03bb094d86a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+/root/repo/target/release/deps/fact_bench-26fbb03bb094d86a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
 
-/root/repo/target/release/deps/libfact_bench-26fbb03bb094d86a.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+/root/repo/target/release/deps/libfact_bench-26fbb03bb094d86a.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
 
-/root/repo/target/release/deps/libfact_bench-26fbb03bb094d86a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+/root/repo/target/release/deps/libfact_bench-26fbb03bb094d86a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
@@ -10,6 +10,7 @@ crates/bench/src/example1.rs:
 crates/bench/src/fig1.rs:
 crates/bench/src/fig2.rs:
 crates/bench/src/fig4.rs:
+crates/bench/src/pareto_perf.rs:
 crates/bench/src/search_perf.rs:
 crates/bench/src/sim_perf.rs:
 crates/bench/src/sweep.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/fact_core-0efe04cd5710a5cd.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/release/deps/fact_core-0efe04cd5710a5cd.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
-/root/repo/target/release/deps/libfact_core-0efe04cd5710a5cd.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/release/deps/libfact_core-0efe04cd5710a5cd.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
-/root/repo/target/release/deps/libfact_core-0efe04cd5710a5cd.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/release/deps/libfact_core-0efe04cd5710a5cd.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
 crates/core/src/cache.rs:
 crates/core/src/objective.rs:
+crates/core/src/pareto.rs:
 crates/core/src/partition.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto_perf-057ecbab3f30dc8a.d: crates/bench/benches/pareto_perf.rs
+
+/root/repo/target/release/deps/pareto_perf-057ecbab3f30dc8a: crates/bench/benches/pareto_perf.rs
+
+crates/bench/benches/pareto_perf.rs:

@@ -43,6 +43,18 @@ fn job_line(
     alloc: &[(&str, i64)],
     extra: &[(&'static str, Value)],
 ) -> String {
+    request_line("optimize", id, source, alloc, extra)
+}
+
+/// Like [`job_line`] but with an explicit request type (`optimize` or
+/// `pareto` — both share the job envelope).
+fn request_line(
+    kind: &str,
+    id: &str,
+    source: &str,
+    alloc: &[(&str, i64)],
+    extra: &[(&'static str, Value)],
+) -> String {
     let alloc = Value::Object(
         alloc
             .iter()
@@ -62,7 +74,7 @@ fn job_line(
         ),
     ]);
     let mut req = vec![
-        ("type", Value::Str("optimize".into())),
+        ("type", Value::Str(kind.into())),
         ("id", Value::Str(id.into())),
         ("source", Value::Str(source.into())),
         ("alloc", alloc),
@@ -183,6 +195,68 @@ fn per_job_timeout_returns_best_so_far() {
         }
         other => panic!("unexpected reply type {other:?}: {}", reply.to_json()),
     }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn pareto_job_returns_the_full_curve_and_shows_in_stats() {
+    let (addr, handle, join) = start_server(2);
+
+    let line = request_line(
+        "pareto",
+        "curve",
+        FACTORABLE,
+        ALLOC,
+        &[
+            ("archive_capacity", Value::Int(16)),
+            ("vdd_steps", Value::Int(6)),
+        ],
+    );
+    let reply = roundtrip(addr, &line);
+    assert_eq!(
+        reply.get("type").and_then(Value::as_str),
+        Some("pareto_result"),
+        "reply: {}",
+        reply.to_json()
+    );
+    assert_eq!(reply.get("id").and_then(Value::as_str), Some("curve"));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    let frontier = match reply.get("frontier").unwrap() {
+        Value::Array(a) => a,
+        other => panic!("frontier must be an array, got {other:?}"),
+    };
+    assert!(!frontier.is_empty());
+    assert!(reply.get("archive_len").unwrap().as_i64().unwrap() >= 1);
+    // The curve is a nondominated set sorted by latency: energy must
+    // strictly fall as latency rises.
+    for pair in frontier.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let lat = |p: &Value| p.get("latency_cycles").unwrap().as_f64().unwrap();
+        let en = |p: &Value| p.get("energy").unwrap().as_f64().unwrap();
+        assert!(lat(a) <= lat(b));
+        assert!(en(a) >= en(b));
+    }
+    for p in frontier {
+        let vdd = p.get("vdd").unwrap().as_f64().unwrap();
+        assert!(vdd > 1.0 && vdd <= 5.0 + 1e-12, "vdd {vdd} out of range");
+        assert!(p.get("power").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // An optimize job alongside, then both kinds show in the counters.
+    let opt = roundtrip(addr, &job_line("plain", FACTORABLE, ALLOC, &[]));
+    assert_eq!(opt.get("status").and_then(Value::as_str), Some("ok"));
+
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("pareto_jobs").unwrap().as_i64(), Some(1));
+    assert_eq!(stats.get("optimize_jobs").unwrap().as_i64(), Some(1));
+    assert_eq!(
+        stats.get("pareto_points").unwrap().as_i64(),
+        Some(frontier.len() as i64),
+        "stats: {}",
+        stats.to_json()
+    );
+
     handle.shutdown();
     join.join().unwrap();
 }
