@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fact-3ec2ffc5b610ec8f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfact-3ec2ffc5b610ec8f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fact_bench-ee7a745be9fa4b9a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libfact_bench-ee7a745be9fa4b9a.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/example1.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/pareto_perf.rs:
+crates/bench/src/search_perf.rs:
+crates/bench/src/sim_perf.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fact_core-4e538912bc44be98.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/libfact_core-4e538912bc44be98.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cache.rs:
+crates/core/src/objective.rs:
+crates/core/src/pareto.rs:
+crates/core/src/partition.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/search.rs:
+crates/core/src/suite.rs:

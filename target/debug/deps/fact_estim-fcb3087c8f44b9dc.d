@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fact_estim-fcb3087c8f44b9dc.d: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
+
+/root/repo/target/debug/deps/libfact_estim-fcb3087c8f44b9dc.rmeta: crates/estim/src/lib.rs crates/estim/src/area.rs crates/estim/src/evaluate.rs crates/estim/src/library.rs crates/estim/src/markov.rs crates/estim/src/memo.rs crates/estim/src/montecarlo.rs crates/estim/src/power.rs crates/estim/src/vdd.rs
+
+crates/estim/src/lib.rs:
+crates/estim/src/area.rs:
+crates/estim/src/evaluate.rs:
+crates/estim/src/library.rs:
+crates/estim/src/markov.rs:
+crates/estim/src/memo.rs:
+crates/estim/src/montecarlo.rs:
+crates/estim/src/power.rs:
+crates/estim/src/vdd.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fact_ir-1c7ec4ec182c9920.d: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/pretty.rs crates/ir/src/rewrite.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libfact_ir-1c7ec4ec182c9920.rmeta: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/dom.rs crates/ir/src/dot.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/pretty.rs crates/ir/src/rewrite.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/func.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/op.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/rewrite.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fact_prng-49b7fc7a95782137.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libfact_prng-49b7fc7a95782137.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fact_sched-984630a631ab5e97.d: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+
+/root/repo/target/debug/deps/libfact_sched-984630a631ab5e97.rmeta: crates/sched/src/lib.rs crates/sched/src/ifconv.rs crates/sched/src/listsched.rs crates/sched/src/memo.rs crates/sched/src/parloops.rs crates/sched/src/pipeline.rs crates/sched/src/resources.rs crates/sched/src/schedule.rs crates/sched/src/stg.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/ifconv.rs:
+crates/sched/src/listsched.rs:
+crates/sched/src/memo.rs:
+crates/sched/src/parloops.rs:
+crates/sched/src/pipeline.rs:
+crates/sched/src/resources.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/stg.rs:

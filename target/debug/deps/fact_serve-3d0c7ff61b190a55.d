@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fact_serve-3d0c7ff61b190a55.d: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+/root/repo/target/debug/deps/libfact_serve-3d0c7ff61b190a55.rmeta: crates/serve/src/lib.rs crates/serve/src/job.rs crates/serve/src/json.rs crates/serve/src/protocol.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/stats.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/job.rs:
+crates/serve/src/json.rs:
+crates/serve/src/protocol.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fact_sim-1e20ac5d76e38f05.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libfact_sim-1e20ac5d76e38f05.rmeta: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
+crates/sim/src/compiled.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/interp.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/trace.rs:

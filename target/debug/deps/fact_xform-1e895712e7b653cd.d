@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fact_xform-1e895712e7b653cd.d: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+/root/repo/target/debug/deps/libfact_xform-1e895712e7b653cd.rmeta: crates/xform/src/lib.rs crates/xform/src/algebraic.rs crates/xform/src/codemotion.rs crates/xform/src/constprop.rs crates/xform/src/crossbb.rs crates/xform/src/cse.rs crates/xform/src/distribute.rs crates/xform/src/transform.rs crates/xform/src/unroll.rs crates/xform/src/util.rs
+
+crates/xform/src/lib.rs:
+crates/xform/src/algebraic.rs:
+crates/xform/src/codemotion.rs:
+crates/xform/src/constprop.rs:
+crates/xform/src/crossbb.rs:
+crates/xform/src/cse.rs:
+crates/xform/src/distribute.rs:
+crates/xform/src/transform.rs:
+crates/xform/src/unroll.rs:
+crates/xform/src/util.rs:

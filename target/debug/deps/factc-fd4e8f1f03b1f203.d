@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factc-fd4e8f1f03b1f203.d: src/bin/factc.rs
+
+/root/repo/target/debug/deps/libfactc-fd4e8f1f03b1f203.rmeta: src/bin/factc.rs
+
+src/bin/factc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/factd-4a72c431b6689b52.d: src/bin/factd.rs
+
+/root/repo/target/debug/deps/libfactd-4a72c431b6689b52.rmeta: src/bin/factd.rs
+
+src/bin/factd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto-1569930b686d1755.d: crates/core/tests/pareto.rs
+
+/root/repo/target/release/deps/pareto-1569930b686d1755: crates/core/tests/pareto.rs
+
+crates/core/tests/pareto.rs:
