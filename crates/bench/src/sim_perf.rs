@@ -22,10 +22,37 @@
 
 use fact_core::suite::{input_specs, suite};
 use fact_estim::section5_library;
+use fact_ir::Function;
+use fact_lang::compile;
 use fact_sim::{
-    generate, profile_compiled_with, CompiledFn, ExecConfig, SimCounters, SimEngine, TraceSet,
+    generate, measure_divergence, profile_compiled_with, CompiledFn, ExecConfig, InputSpec,
+    SimCounters, SimEngine, TraceSet,
 };
 use std::time::Instant;
+
+/// Synthetic high-divergence behavior: every loop iteration branches on
+/// a mod-97 test of a per-lane LCG state (the low bit would alternate
+/// identically in every lane — low-bit LCG weakness), so no two lanes
+/// agree on a branch pattern and the lockstep engine's fast path starves. The §5 suite has
+/// nothing this hostile (GCD is the closest), which is exactly why the
+/// engine selector needs a measured rate rather than a structural guess.
+const RANDWALK_SRC: &str = r#"
+proc randwalk(s, n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+        s = (s * 1103515245 + 12345) % 2147483648;
+        if (s % 97 < 49) { acc = acc + (s % 97); } else { acc = acc - (s % 89); }
+        i = i + 1;
+    }
+    out r = acc;
+}
+"#;
+
+/// Divergence rate above which the selector picks the scalar engine —
+/// kept in lockstep with `SCALAR_DIVERGENCE_THRESHOLD` in
+/// `fact-core::pipeline`, which this bench exists to calibrate.
+const SCALAR_DIVERGENCE_THRESHOLD: f64 = 0.1;
 
 /// Throughput of one engine on one benchmark.
 #[derive(Clone, Debug)]
@@ -51,14 +78,25 @@ pub struct SimSuitePerf {
     pub name: &'static str,
     /// Trace vectors per profiling pass.
     pub trace_vectors: usize,
-    /// Distinct vectors after [`TraceSet::dedup`] (the batched engine's
-    /// actual per-pass workload).
+    /// Distinct vectors after [`TraceSet::dedup_lanes`] (the batched
+    /// engine's actual per-pass workload).
     pub distinct_lanes: usize,
+    /// Measured divergence rate (slow lane-steps / total lane-steps) from
+    /// a single probe batch — the quantity the engine selector keys on.
+    pub divergence_rate: f64,
+    /// Engine the selector picks for this behavior under these traces
+    /// (`"scalar"` or `"batched"`).
+    pub chosen: &'static str,
     /// Scalar-engine measurement.
     pub scalar: EnginePerf,
     /// Batched-engine measurement.
     pub batched: EnginePerf,
-    /// `batched.vectors_per_sec / scalar.vectors_per_sec`.
+    /// Raw `batched.vectors_per_sec / scalar.vectors_per_sec`, engine
+    /// selector ignored.
+    pub batched_speedup: f64,
+    /// Chosen-engine throughput over scalar throughput: the raw ratio
+    /// when the selector picks batched, exactly 1.0 when it picks scalar
+    /// (the selector is what makes the batched path never lose).
     pub speedup: f64,
 }
 
@@ -121,21 +159,41 @@ fn measure_engine(
 /// contract this bench rides on, so a disagreement is a bug worth
 /// aborting the measurement for.
 pub fn run_with(vectors: usize, min_passes: usize, min_wall_s: f64) -> SimPerf {
+    type Case = (&'static str, Function, Vec<(String, InputSpec)>);
     let (lib, _) = section5_library();
+    let mut cases: Vec<Case> = suite(&lib)
+        .into_iter()
+        .map(|b| {
+            let specs = input_specs(b.name).expect("suite benchmark has input specs");
+            (b.name, b.function, specs)
+        })
+        .collect();
+    cases.push((
+        "RANDWALK",
+        compile(RANDWALK_SRC).expect("RANDWALK_SRC compiles"),
+        vec![
+            ("s".to_string(), InputSpec::Uniform { lo: 1, hi: 1 << 30 }),
+            ("n".to_string(), InputSpec::Constant(64)),
+        ],
+    ));
     let mut suites = Vec::new();
-    for b in suite(&lib) {
-        let specs = input_specs(b.name).expect("suite benchmark has input specs");
+    for (name, function, specs) in cases {
         let traces = generate(&specs, vectors, 0x51AB5);
-        let cf = CompiledFn::compile(&b.function);
-        let distinct_lanes = traces.dedup().len();
+        let cf = CompiledFn::compile(&function);
+        let distinct_lanes = traces.dedup_lanes().len();
         // Bit-identity guard before timing anything.
         let scalar_prof = profile_compiled_with(&cf, &traces, &scalar_config(), None);
         let batched_prof = profile_compiled_with(&cf, &traces, &ExecConfig::default(), None);
         assert_eq!(
             scalar_prof, batched_prof,
-            "{}: engines disagree on the profile",
-            b.name
+            "{name}: engines disagree on the profile"
         );
+        let divergence_rate = measure_divergence(&cf, &traces, &ExecConfig::default(), None);
+        let chosen = if divergence_rate > SCALAR_DIVERGENCE_THRESHOLD {
+            "scalar"
+        } else {
+            "batched"
+        };
         let scalar = measure_engine(
             "scalar",
             &cf,
@@ -152,17 +210,25 @@ pub fn run_with(vectors: usize, min_passes: usize, min_wall_s: f64) -> SimPerf {
             min_passes,
             min_wall_s,
         );
-        let speedup = if scalar.vectors_per_sec > 0.0 {
+        let batched_speedup = if scalar.vectors_per_sec > 0.0 {
             batched.vectors_per_sec / scalar.vectors_per_sec
         } else {
             0.0
         };
+        let speedup = if chosen == "scalar" {
+            1.0
+        } else {
+            batched_speedup
+        };
         suites.push(SimSuitePerf {
-            name: b.name,
+            name,
             trace_vectors: traces.len(),
             distinct_lanes,
+            divergence_rate,
+            chosen,
             scalar,
             batched,
+            batched_speedup,
             speedup,
         });
     }
@@ -193,12 +259,17 @@ pub fn to_json(p: &SimPerf) -> String {
     for (i, s) in p.suites.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"trace_vectors\": {}, \"distinct_lanes\": {},\n     \
-             \"scalar\": {},\n     \"batched\": {},\n     \"speedup\": {:.2}}}{}\n",
+             \"divergence_rate\": {:.4}, \"chosen\": \"{}\",\n     \
+             \"scalar\": {},\n     \"batched\": {},\n     \
+             \"batched_speedup\": {:.2}, \"speedup\": {:.2}}}{}\n",
             s.name,
             s.trace_vectors,
             s.distinct_lanes,
+            s.divergence_rate,
+            s.chosen,
             engine_json(&s.scalar),
             engine_json(&s.batched),
+            s.batched_speedup,
             s.speedup,
             if i + 1 < p.suites.len() { "," } else { "" }
         ));
@@ -214,7 +285,7 @@ mod tests {
     #[test]
     fn smoke_run_produces_sane_numbers() {
         let p = run_with(32, 1, 0.0);
-        assert_eq!(p.suites.len(), 6);
+        assert_eq!(p.suites.len(), 7);
         for s in &p.suites {
             assert_eq!(s.trace_vectors, 32);
             assert!(s.distinct_lanes >= 1 && s.distinct_lanes <= 32);
@@ -222,12 +293,38 @@ mod tests {
             assert!(s.batched.batches > 0, "{}: batched engine did not", s.name);
             assert!(s.scalar.vectors >= 32);
             assert!(s.batched.vectors >= 32);
+            assert!(
+                (0.0..=1.0).contains(&s.divergence_rate),
+                "{}: divergence out of range",
+                s.name
+            );
+            if s.chosen == "scalar" {
+                assert_eq!(s.speedup, 1.0, "{}: scalar choice must report 1.0", s.name);
+            } else {
+                assert_eq!(s.chosen, "batched");
+                assert_eq!(s.speedup, s.batched_speedup, "{}", s.name);
+            }
         }
         // Constant-trace benchmarks collapse to one lane.
         let test2 = p.suites.iter().find(|s| s.name == "Test2").unwrap();
         assert_eq!(test2.distinct_lanes, 1);
+        // The synthetic random-branch behavior is the divergence extreme
+        // of the set: distinct per-lane branch patterns every iteration.
+        let rw = p.suites.iter().find(|s| s.name == "RANDWALK").unwrap();
+        assert_eq!(rw.distinct_lanes, 32);
+        assert!(
+            rw.divergence_rate
+                > p.suites
+                    .iter()
+                    .filter(|s| s.name != "RANDWALK" && s.name != "GCD")
+                    .map(|s| s.divergence_rate)
+                    .fold(0.0, f64::max),
+            "RANDWALK should out-diverge every structured benchmark"
+        );
         let json = to_json(&p);
         assert!(json.contains("\"bench\": \"sim\""));
+        assert!(json.contains("\"divergence_rate\""));
+        assert!(json.contains("\"chosen\""));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -24,12 +24,14 @@ use fact_sched::{
     ScheduleResult, SelectionRules,
 };
 use fact_sim::{
-    check_equivalence_with, profile, profile_compiled_with, BranchProfile, CompiledFn,
-    EquivReference, ExecConfig, SimCounters, SimEngine, TraceSet,
+    check_equivalence_with, measure_divergence, profile, profile_compiled_with, BranchProfile,
+    CompiledFn, EquivReference, ExecConfig, SimCounters, SimEngine, TraceSet,
 };
 use fact_xform::{Region, TransformLibrary};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of a FACT run.
 #[derive(Clone, Debug)]
@@ -139,6 +141,14 @@ pub struct FactResult {
     pub sim_vectors: u64,
     /// Batched simulation passes executed (0 with `sim_batch` off).
     pub sim_batches: u64,
+    /// Candidate evaluations the engine selector routed to the scalar
+    /// interpreter (all of them with `sim_batch` off).
+    pub sim_engine_scalar: u64,
+    /// Candidate evaluations the engine selector routed to the batched
+    /// engine.
+    pub sim_engine_batched: u64,
+    /// Lane-compaction passes performed inside batched simulation.
+    pub lane_compactions: u64,
     /// `true` when the run was cut short by cancellation or timeout;
     /// the result is the best of what was explored.
     pub stopped: bool,
@@ -185,7 +195,7 @@ impl std::error::Error for FactError {}
 /// The memo/reference members are populated only in incremental mode;
 /// the reuse counters are kept either way so [`FactResult`] (and the
 /// daemon's STATS line) can report the breakdown honestly in both modes.
-struct IncrementalCtx {
+struct IncrementalCtx<'a> {
     /// Captured original-side equivalence data (incremental mode with
     /// equivalence checking on).
     equiv: Option<EquivReference>,
@@ -197,14 +207,72 @@ struct IncrementalCtx {
     full_reschedules: AtomicUsize,
     /// Schedules that reused at least one memoized block fragment.
     block_spliced: AtomicUsize,
-    /// Execution engine for candidate simulation (equivalence + profile).
-    engine: SimEngine,
+    /// How candidate simulation picks its execution engine.
+    policy: EnginePolicy,
+    /// Shared score cache, doubling as the cross-job store for measured
+    /// divergence rates (under a salted key domain of its own).
+    cache: Option<&'a EvalCache>,
+    /// Context half of the divergence-rate cache key: ties a measured
+    /// rate to this run's trace set, so structurally identical functions
+    /// probed under different traces never share a rate.
+    div_salt: u64,
+    /// Run-local divergence rates, used when no [`EvalCache`] is wired in.
+    div_rates: Mutex<HashMap<u64, f64>>,
     /// Vectors/batches simulated so far (shared across worker threads).
     sim: SimCounters,
 }
 
-impl IncrementalCtx {
-    fn new(f: &Function, traces: &TraceSet, config: &FactConfig) -> IncrementalCtx {
+/// How [`IncrementalCtx`] resolves the simulation engine per candidate.
+#[derive(Clone, Copy, Debug)]
+enum EnginePolicy {
+    /// One engine for every candidate, no measurement. `sim_batch: false`
+    /// pins `Scalar` (and keeps those runs probe-free); non-incremental
+    /// runs pin the default batched engine since they have no compiled
+    /// form to probe.
+    Fixed(SimEngine),
+    /// Measure each function's divergence rate on its first batch and
+    /// pick `Scalar` above [`SCALAR_DIVERGENCE_THRESHOLD`], the batched
+    /// engine below. Rates are cached per structural hash.
+    Auto,
+}
+
+/// Divergence rate (slow lane-steps / total lane-steps, see
+/// [`SimCounters::divergence`]) above which lockstep batching is
+/// predicted to lose to the scalar interpreter. Calibrated against
+/// `fact-bench::sim_perf`: convergent suites sit at 0.00, while a
+/// data-dependent random walk measures ~0.17 and already runs below
+/// parity batched, so the cutover sits well under that point.
+const SCALAR_DIVERGENCE_THRESHOLD: f64 = 0.1;
+
+impl<'a> IncrementalCtx<'a> {
+    fn new(
+        f: &Function,
+        traces: &TraceSet,
+        config: &FactConfig,
+        cache: Option<&'a EvalCache>,
+    ) -> IncrementalCtx<'a> {
+        let policy = if !config.sim_batch {
+            EnginePolicy::Fixed(SimEngine::Scalar)
+        } else if config.incremental {
+            EnginePolicy::Auto
+        } else {
+            EnginePolicy::Fixed(SimEngine::default())
+        };
+        // Only the traces feed the salt: the divergence of a candidate
+        // depends on its control flow and the stimulus, not on the
+        // allocation/objective half of `evaluation_context_key`.
+        let div_salt = {
+            let mut h = ContextHasher::new(0xFAC7_D117);
+            h.write_u64(traces.vectors.len() as u64);
+            for v in &traces.vectors {
+                let mut kvs: Vec<(&str, i64)> = v.iter().map(|(k, x)| (k.as_str(), *x)).collect();
+                kvs.sort_unstable();
+                for (k, x) in kvs {
+                    h.write_bytes(k.as_bytes()).write_i64(x);
+                }
+            }
+            h.finish()
+        };
         IncrementalCtx {
             equiv: (config.incremental && config.check_equivalence)
                 .then(|| EquivReference::capture(f, traces, 0xC0FFEE)),
@@ -212,22 +280,67 @@ impl IncrementalCtx {
             markov: config.incremental.then(MarkovMemo::default),
             full_reschedules: AtomicUsize::new(0),
             block_spliced: AtomicUsize::new(0),
-            engine: if config.sim_batch {
-                SimEngine::default()
-            } else {
-                SimEngine::Scalar
-            },
+            policy,
+            cache,
+            div_salt,
+            div_rates: Mutex::new(HashMap::new()),
             sim: SimCounters::default(),
         }
     }
 
-    /// Default interpreter configuration carrying this run's engine, for
-    /// the simulation entry points that take an [`ExecConfig`].
-    fn exec_config(&self) -> ExecConfig {
-        ExecConfig {
-            engine: self.engine,
-            ..ExecConfig::default()
+    /// The engine a `Fixed` policy pins, or the engine `Auto` falls back
+    /// to wherever no compiled form is available to probe.
+    fn base_engine(&self) -> SimEngine {
+        match self.policy {
+            EnginePolicy::Fixed(e) => e,
+            EnginePolicy::Auto => SimEngine::default(),
         }
+    }
+
+    /// Picks the simulation engine for one candidate. Under `Auto` this
+    /// consults the divergence-rate cache keyed by the candidate's
+    /// structural hash (salted with the trace-set context) and, on a
+    /// miss, measures the rate on a single probe batch — whose vectors
+    /// are counted into `self.sim` like any other simulation work.
+    ///
+    /// Both engines are bit-identical, so a racy double-measure (or a
+    /// cross-run cache hit) can only change wall-clock, never results.
+    fn engine_for(&self, g: &Function, cf: &CompiledFn, traces: &TraceSet) -> SimEngine {
+        let base = match self.policy {
+            EnginePolicy::Fixed(e) => {
+                self.sim.note_engine(e);
+                return e;
+            }
+            EnginePolicy::Auto => SimEngine::default(),
+        };
+        let key = ContextHasher::new(self.div_salt)
+            .write_u64(structural_hash(g))
+            .finish();
+        let cached = match self.cache {
+            Some(c) => c.lookup(key).flatten(),
+            None => self.div_rates.lock().unwrap().get(&key).copied(),
+        };
+        let rate = cached.unwrap_or_else(|| {
+            let probe_cfg = ExecConfig {
+                engine: base,
+                ..ExecConfig::default()
+            };
+            let rate = measure_divergence(cf, traces, &probe_cfg, Some(&self.sim));
+            match self.cache {
+                Some(c) => c.insert(key, Some(rate)),
+                None => {
+                    self.div_rates.lock().unwrap().insert(key, rate);
+                }
+            }
+            rate
+        });
+        let engine = if rate > SCALAR_DIVERGENCE_THRESHOLD {
+            SimEngine::Scalar
+        } else {
+            base
+        };
+        self.sim.note_engine(engine);
+        engine
     }
 
     /// Classifies one completed schedule as spliced or from-scratch.
@@ -255,12 +368,19 @@ fn eval_candidate(
     config: &FactConfig,
     base_cycles: f64,
     ctx: &IncrementalCtx,
+    engine: SimEngine,
     cf: Option<&CompiledFn>,
     prof: Option<BranchProfile>,
 ) -> Option<(ScheduleResult, Estimate)> {
     let prof: BranchProfile = match (prof, cf) {
         (Some(p), _) => p,
-        (None, Some(cf)) => profile_compiled_with(cf, traces, &ctx.exec_config(), Some(&ctx.sim)),
+        (None, Some(cf)) => {
+            let cfg = ExecConfig {
+                engine,
+                ..ExecConfig::default()
+            };
+            profile_compiled_with(cf, traces, &cfg, Some(&ctx.sim))
+        }
         (None, None) => profile(g, traces),
     };
     if prof.runs_ok == 0 {
@@ -330,6 +450,18 @@ fn checked_estimate(
     // profiles are identical to the interpreter's — fact-sim's tests pin
     // this).
     let cf = config.incremental.then(|| CompiledFn::compile(g));
+    // The engine selector runs per candidate: under the `Auto` policy it
+    // measures (or recalls) this function's divergence rate and picks
+    // whichever engine the model predicts is faster. Engines are
+    // bit-identical, so the choice never changes verdicts or profiles.
+    let engine = match &cf {
+        Some(cf) => ctx.engine_for(g, cf, traces),
+        None => {
+            let e = ctx.base_engine();
+            ctx.sim.note_engine(e);
+            e
+        }
+    };
     let mut merged_prof = None;
     if config.check_equivalence {
         let verdict_ok = match (&ctx.equiv, &cf) {
@@ -337,7 +469,7 @@ fn checked_estimate(
             // exact machine profiling would, so one simulation pass
             // serves both.
             (Some(reference), Some(cf)) if g.memories().count() == 0 => {
-                match reference.check_profiled_with(cf, traces, ctx.engine, Some(&ctx.sim)) {
+                match reference.check_profiled_with(cf, traces, engine, Some(&ctx.sim)) {
                     Ok((_, prof)) => {
                         merged_prof = Some(prof);
                         true
@@ -346,10 +478,15 @@ fn checked_estimate(
                 }
             }
             (Some(reference), Some(cf)) => reference
-                .check_with(cf, traces, ctx.engine, Some(&ctx.sim))
+                .check_with(cf, traces, engine, Some(&ctx.sim))
                 .is_ok(),
-            _ => check_equivalence_with(f, g, traces, 0xC0FFEE, &ctx.exec_config(), Some(&ctx.sim))
-                .is_ok(),
+            _ => {
+                let cfg = ExecConfig {
+                    engine,
+                    ..ExecConfig::default()
+                };
+                check_equivalence_with(f, g, traces, 0xC0FFEE, &cfg, Some(&ctx.sim)).is_ok()
+            }
         };
         if !verdict_ok {
             return None;
@@ -364,6 +501,7 @@ fn checked_estimate(
         config,
         base_cycles,
         ctx,
+        engine,
         cf.as_ref(),
         merged_prof,
     )?;
@@ -462,7 +600,7 @@ pub fn optimize_with(
     config: &FactConfig,
     hooks: OptimizeHooks<'_>,
 ) -> Result<FactResult, FactError> {
-    let ctx = IncrementalCtx::new(f, traces, config);
+    let ctx = IncrementalCtx::new(f, traces, config, hooks.cache);
 
     // Step 1: schedule the input behavior (through the memo, so the
     // baseline's block fragments are already warm for candidates that
@@ -575,6 +713,7 @@ pub fn optimize_with(
         config,
         base_cycles,
         &ctx,
+        ctx.base_engine(),
         None,
         None,
     )
@@ -593,6 +732,9 @@ pub fn optimize_with(
         block_spliced: ctx.block_spliced.into_inner(),
         sim_vectors: ctx.sim.vectors(),
         sim_batches: ctx.sim.batches(),
+        sim_engine_scalar: ctx.sim.engine_scalar(),
+        sim_engine_batched: ctx.sim.engine_batched(),
+        lane_compactions: ctx.sim.compactions(),
         stopped,
     })
 }
@@ -645,6 +787,12 @@ pub struct ParetoFactResult {
     pub sim_vectors: u64,
     /// Batched simulation passes executed.
     pub sim_batches: u64,
+    /// Candidate evaluations routed to the scalar interpreter.
+    pub sim_engine_scalar: u64,
+    /// Candidate evaluations routed to the batched engine.
+    pub sim_engine_batched: u64,
+    /// Lane-compaction passes performed inside batched simulation.
+    pub lane_compactions: u64,
     /// `true` when the run was cut short by cancellation or timeout.
     pub stopped: bool,
 }
@@ -710,7 +858,7 @@ pub fn optimize_pareto_with(
         ..config.clone()
     };
     let config = &config;
-    let ctx = IncrementalCtx::new(f, traces, config);
+    let ctx = IncrementalCtx::new(f, traces, config, hooks.cache);
 
     // Step 1: schedule + estimate the input behavior.
     let prof = profile(f, traces);
@@ -862,6 +1010,9 @@ pub fn optimize_pareto_with(
         block_spliced: ctx.block_spliced.into_inner(),
         sim_vectors: ctx.sim.vectors(),
         sim_batches: ctx.sim.batches(),
+        sim_engine_scalar: ctx.sim.engine_scalar(),
+        sim_engine_batched: ctx.sim.engine_batched(),
+        lane_compactions: ctx.sim.compactions(),
         stopped,
     })
 }

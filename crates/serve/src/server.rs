@@ -102,6 +102,9 @@ struct JobCounters {
     block_spliced: u64,
     sim_vectors: u64,
     sim_batches: u64,
+    sim_engine_scalar: u64,
+    sim_engine_batched: u64,
+    lane_compactions: u64,
     stopped: bool,
 }
 
@@ -281,6 +284,9 @@ fn worker_loop(shared: &Shared) {
                         block_spliced: r.block_spliced as u64,
                         sim_vectors: r.sim_vectors,
                         sim_batches: r.sim_batches,
+                        sim_engine_scalar: r.sim_engine_scalar,
+                        sim_engine_batched: r.sim_engine_batched,
+                        lane_compactions: r.lane_compactions,
                         stopped: r.stopped,
                     },
                 )
@@ -296,6 +302,9 @@ fn worker_loop(shared: &Shared) {
                         block_spliced: r.block_spliced as u64,
                         sim_vectors: r.sim_vectors,
                         sim_batches: r.sim_batches,
+                        sim_engine_scalar: r.sim_engine_scalar,
+                        sim_engine_batched: r.sim_engine_batched,
+                        lane_compactions: r.lane_compactions,
                         stopped: r.stopped,
                     },
                 )
@@ -323,6 +332,18 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .sim_batches
                     .fetch_add(c.sim_batches, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sim_engine_scalar
+                    .fetch_add(c.sim_engine_scalar, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sim_engine_batched
+                    .fetch_add(c.sim_engine_batched, Ordering::Relaxed);
+                shared
+                    .stats
+                    .lane_compactions
+                    .fetch_add(c.lane_compactions, Ordering::Relaxed);
                 let counter = if c.stopped {
                     &shared.stats.timed_out
                 } else {

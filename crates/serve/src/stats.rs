@@ -51,6 +51,15 @@ pub struct ServerStats {
     /// Batched simulation passes across all jobs
     /// (`FactResult::sim_batches`).
     pub sim_batches: AtomicU64,
+    /// Candidate evaluations the divergence-aware selector routed to the
+    /// scalar interpreter (`FactResult::sim_engine_scalar`).
+    pub sim_engine_scalar: AtomicU64,
+    /// Candidate evaluations the selector routed to the batched engine
+    /// (`FactResult::sim_engine_batched`).
+    pub sim_engine_batched: AtomicU64,
+    /// Regroup-point lane compactions performed by the batched engine
+    /// across all jobs (`FactResult::lane_compactions`).
+    pub lane_compactions: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -77,6 +86,9 @@ impl ServerStats {
             block_spliced: AtomicU64::new(0),
             sim_vectors: AtomicU64::new(0),
             sim_batches: AtomicU64::new(0),
+            sim_engine_scalar: AtomicU64::new(0),
+            sim_engine_batched: AtomicU64::new(0),
+            lane_compactions: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
@@ -145,6 +157,9 @@ impl ServerStats {
             ("block_spliced", counter(&self.block_spliced)),
             ("sim_vectors", counter(&self.sim_vectors)),
             ("sim_batches", counter(&self.sim_batches)),
+            ("sim_engine_scalar", counter(&self.sim_engine_scalar)),
+            ("sim_engine_batched", counter(&self.sim_engine_batched)),
+            ("lane_compactions", counter(&self.lane_compactions)),
             (
                 "sim_vectors_per_sec",
                 Value::Float(self.sim_vectors_per_sec()),
@@ -166,6 +181,7 @@ impl ServerStats {
             "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
              kinds=opt:{}/pareto:{} pareto_pts={} \
              evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
+             engine=scalar:{}/batched:{} compactions={} \
              cache={:.0}% ({} entries) p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
             self.completed.load(Ordering::Relaxed)
@@ -185,6 +201,9 @@ impl ServerStats {
             self.sim_vectors.load(Ordering::Relaxed),
             self.sim_batches.load(Ordering::Relaxed),
             self.sim_vectors_per_sec(),
+            self.sim_engine_scalar.load(Ordering::Relaxed),
+            self.sim_engine_batched.load(Ordering::Relaxed),
+            self.lane_compactions.load(Ordering::Relaxed),
             cs.hit_rate() * 100.0,
             cs.entries,
             p50,
@@ -242,6 +261,9 @@ mod tests {
         s.block_spliced.fetch_add(5, Ordering::Relaxed);
         s.sim_vectors.fetch_add(640, Ordering::Relaxed);
         s.sim_batches.fetch_add(16, Ordering::Relaxed);
+        s.sim_engine_scalar.fetch_add(4, Ordering::Relaxed);
+        s.sim_engine_batched.fetch_add(12, Ordering::Relaxed);
+        s.lane_compactions.fetch_add(9, Ordering::Relaxed);
         let cache = EvalCache::default();
         let v = s.snapshot(&cache);
         assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
@@ -251,11 +273,15 @@ mod tests {
         assert_eq!(v.get("block_spliced").unwrap().as_i64(), Some(5));
         assert_eq!(v.get("sim_vectors").unwrap().as_i64(), Some(640));
         assert_eq!(v.get("sim_batches").unwrap().as_i64(), Some(16));
+        assert_eq!(v.get("sim_engine_scalar").unwrap().as_i64(), Some(4));
+        assert_eq!(v.get("sim_engine_batched").unwrap().as_i64(), Some(12));
+        assert_eq!(v.get("lane_compactions").unwrap().as_i64(), Some(9));
         assert!(v.get("sim_vectors_per_sec").unwrap().as_f64().unwrap() >= 0.0);
         assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
         let line = s.log_line(&cache);
         assert!(line.contains("ok=2"));
         assert!(line.contains("resched full=7 spliced=5"));
         assert!(line.contains("sim=640v/16b"));
+        assert!(line.contains("engine=scalar:4/batched:12 compactions=9"));
     }
 }

@@ -15,11 +15,11 @@
 //! merged branch profile of [`EquivReference::check_profiled`] — are
 //! bit-identical between the two.
 
-use crate::batch::{resolve_columns, sized_memories, Lane, SimCounters, SimEngine};
+use crate::batch::{resolve_columns, sized_memories, BatchTuning, Lane, SimCounters, SimEngine};
 use crate::compiled::CompiledFn;
 use crate::interp::{execute_with, ExecConfig, ExecError, ExecResult};
 use crate::profile::{BranchProfile, ProfileAccum};
-use crate::trace::TraceSet;
+use crate::trace::{DedupLanes, TraceSet};
 use fact_ir::Function;
 use fact_prng::rngs::StdRng;
 use fact_prng::{Rng, SeedableRng};
@@ -168,15 +168,22 @@ fn run_chunk<'i>(
     idxs: &[usize],
     init_of: &dyn Fn(usize) -> &'i [Vec<i64>],
     step_limit: u64,
+    tuning: BatchTuning,
+    counters: Option<&SimCounters>,
 ) -> Vec<Result<ExecResult, ExecError>> {
     match traces.columns() {
         Some(cols) => {
-            let resolved = resolve_columns(cf, cols, idxs.iter().map(|&i| cols.row_of(i)));
+            let resolved = resolve_columns(
+                cf,
+                cols,
+                idxs.iter().map(|&i| cols.row_of(i)),
+                &mut Default::default(),
+            );
             let memories = idxs
                 .iter()
                 .map(|&i| sized_memories(cf, init_of(i)))
                 .collect();
-            cf.run_batch_prepared(resolved, memories, step_limit)
+            cf.run_batch_prepared(resolved, memories, step_limit, tuning, counters)
         }
         None => {
             let lanes: Vec<Lane<'_>> = idxs
@@ -186,7 +193,8 @@ fn run_chunk<'i>(
                     init: init_of(i),
                 })
                 .collect();
-            cf.run_batch(&lanes, step_limit)
+            let (resolved, memories) = crate::batch::resolve_lanes(cf, &lanes);
+            cf.run_batch_prepared(resolved, memories, step_limit, tuning, counters)
         }
     }
 }
@@ -291,14 +299,35 @@ pub fn check_equivalence_with(
                     judge(i, expected_of(&r1), &r2, 1, &mut checked)?;
                 }
             }
-            SimEngine::Batched { max_lanes } => {
+            SimEngine::Batched {
+                max_lanes,
+                cluster,
+                compact,
+            } => {
+                let tuning = BatchTuning { cluster, compact };
                 let cf1 = CompiledFn::compile(original);
                 let cf2 = CompiledFn::compile(transformed);
                 let indices: Vec<usize> = (0..traces.vectors.len()).collect();
                 let init_of = |i: usize| inits[i].as_slice();
                 for chunk in indices.chunks(max_lanes.max(1)) {
-                    let r1 = run_chunk(&cf1, traces, chunk, &init_of, config.step_limit);
-                    let r2 = run_chunk(&cf2, traces, chunk, &init_of, config.step_limit);
+                    let r1 = run_chunk(
+                        &cf1,
+                        traces,
+                        chunk,
+                        &init_of,
+                        config.step_limit,
+                        tuning,
+                        counters,
+                    );
+                    let r2 = run_chunk(
+                        &cf2,
+                        traces,
+                        chunk,
+                        &init_of,
+                        config.step_limit,
+                        tuning,
+                        counters,
+                    );
                     vectors_run += 2 * chunk.len() as u64;
                     batches += 2;
                     for (k, &i) in chunk.iter().enumerate() {
@@ -435,11 +464,24 @@ impl EquivReference {
                         judge(i, self.expected(i), &r2, 1, &mut checked)?;
                     }
                 }
-                SimEngine::Batched { max_lanes } => {
+                SimEngine::Batched {
+                    max_lanes,
+                    cluster,
+                    compact,
+                } => {
+                    let tuning = BatchTuning { cluster, compact };
                     let indices: Vec<usize> = (0..traces.vectors.len()).collect();
                     let init_of = |i: usize| self.vectors[i].init.as_slice();
                     for chunk in indices.chunks(max_lanes.max(1)) {
-                        let r2 = run_chunk(transformed, traces, chunk, &init_of, self.step_limit);
+                        let r2 = run_chunk(
+                            transformed,
+                            traces,
+                            chunk,
+                            &init_of,
+                            self.step_limit,
+                            tuning,
+                            counters,
+                        );
                         vectors_run += chunk.len() as u64;
                         batches += 1;
                         for (k, &i) in chunk.iter().enumerate() {
@@ -532,27 +574,46 @@ impl EquivReference {
                         judge(i, self.expected(i), &r2, 1, &mut checked)?;
                     }
                 }
-                SimEngine::Batched { max_lanes } => {
+                SimEngine::Batched {
+                    max_lanes,
+                    cluster,
+                    compact,
+                } => {
+                    let tuning = BatchTuning { cluster, compact };
                     // Dedup is only sound when no vector carries private
                     // random memory images — i.e. the original was
                     // memory-free too. Otherwise each vector keeps its own
                     // lane (the transformed side ignores the images, but
                     // the captured reference outcomes may differ).
-                    let lanes_spec: Vec<(usize, usize)> = if self.memory_free() {
-                        traces.dedup().to_vec()
+                    let dl = if self.memory_free() {
+                        traces.dedup_lanes()
                     } else {
-                        (0..traces.vectors.len()).map(|i| (i, 1)).collect()
+                        DedupLanes::Identity(traces.vectors.len())
                     };
                     let init_of = |i: usize| self.vectors[i].init.as_slice();
-                    for chunk in lanes_spec.chunks(max_lanes.max(1)) {
-                        let idxs: Vec<usize> = chunk.iter().map(|&(i, _)| i).collect();
-                        let r2 = run_chunk(transformed, traces, &idxs, &init_of, self.step_limit);
+                    let distinct = dl.len();
+                    let cap = max_lanes.max(1);
+                    let mut start = 0usize;
+                    while start < distinct {
+                        let end = (start + cap).min(distinct);
+                        let idxs: Vec<usize> = (start..end).map(|k| dl.index(k)).collect();
+                        let r2 = run_chunk(
+                            transformed,
+                            traces,
+                            &idxs,
+                            &init_of,
+                            self.step_limit,
+                            tuning,
+                            counters,
+                        );
                         batches += 1;
-                        for (k, &(i, m)) in chunk.iter().enumerate() {
+                        for (k, &i) in idxs.iter().enumerate() {
+                            let m = dl.get(start + k).1;
                             vectors_run += m as u64;
                             accum.record(&r2[k], m);
                             judge(i, self.expected(i), &r2[k], m, &mut checked)?;
                         }
+                        start = end;
                     }
                 }
             }
@@ -681,7 +742,7 @@ mod tests {
         let reference = EquivReference::capture(f1, t, seed);
         let cf2 = CompiledFn::compile(f2);
         let fast = reference.check_with(&cf2, t, SimEngine::Scalar, None);
-        let fast_batched = reference.check_with(&cf2, t, SimEngine::Batched { max_lanes: 3 }, None);
+        let fast_batched = reference.check_with(&cf2, t, SimEngine::batched_with(3), None);
         for other in [&batched, &fast, &fast_batched] {
             match (&slow, other) {
                 (Ok(a), Ok(b)) => assert_eq!(a, b, "checked counts differ"),
@@ -738,12 +799,7 @@ mod tests {
             .check_profiled_with(&cf, &t, SimEngine::Scalar, None)
             .unwrap();
         let (c2, p2) = reference
-            .check_profiled_with(
-                &cf,
-                &t,
-                SimEngine::Batched { max_lanes: 5 },
-                Some(&counters),
-            )
+            .check_profiled_with(&cf, &t, SimEngine::batched_with(5), Some(&counters))
             .unwrap();
         assert_eq!(c1, c2);
         assert_eq!(p1, p2);
@@ -768,7 +824,7 @@ mod tests {
             .check_profiled_with(&cf2, &t, SimEngine::Scalar, None)
             .unwrap_err();
         let fast = reference
-            .check_profiled_with(&cf2, &t, SimEngine::Batched { max_lanes: 2 }, None)
+            .check_profiled_with(&cf2, &t, SimEngine::batched_with(2), None)
             .unwrap_err();
         assert_eq!(slow.to_string(), fast.to_string());
     }

@@ -23,5 +23,8 @@ pub use batch::{Lane, SimCounters, SimEngine, DEFAULT_MAX_LANES};
 pub use compiled::CompiledFn;
 pub use equiv::{check_equivalence, check_equivalence_with, EquivReference, Mismatch};
 pub use interp::{execute, execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
-pub use profile::{profile, profile_compiled, profile_compiled_with, profile_with, BranchProfile};
-pub use trace::{generate, InputSpec, TraceColumns, TraceSet};
+pub use profile::{
+    measure_divergence, profile, profile_compiled, profile_compiled_with, profile_with,
+    BranchProfile,
+};
+pub use trace::{generate, DedupLanes, InputSpec, TraceColumns, TraceSet};

@@ -6,10 +6,13 @@
 //! [`BranchProfile`] is consumed by the scheduler (edge probabilities on
 //! the STG) and by the estimator (Markov analysis).
 
-use crate::batch::{resolve_columns, sized_memories, Lane, SimCounters, SimEngine};
+use crate::batch::{
+    resolve_columns_range, resolve_lanes, resolve_presence_only, sized_memories, BatchScratch,
+    BatchTuning, InputPrefill, Lane, SimCounters, SimEngine,
+};
 use crate::compiled::CompiledFn;
 use crate::interp::{execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
-use crate::trace::TraceSet;
+use crate::trace::{DedupLanes, TraceSet};
 use fact_ir::{BlockId, Function, Terminator};
 use std::collections::HashMap;
 
@@ -140,38 +143,79 @@ pub fn profile_compiled_with(
                 accum.record(&cf.execute(v, config), 1);
             }
         }
-        SimEngine::Batched { max_lanes } => {
+        SimEngine::Batched {
+            max_lanes,
+            cluster,
+            compact,
+        } => {
+            let tuning = BatchTuning { cluster, compact };
             let init: Vec<Vec<i64>> = (0..cf.num_memories())
                 .map(|i| config.initial_memories.get(&i).cloned().unwrap_or_default())
                 .collect();
             let sized = sized_memories(cf, &init);
-            let lanes = traces.dedup();
+            let dl = traces.dedup_lanes();
             let cols = traces.columns();
-            let mut row0 = 0usize;
-            for chunk in lanes.chunks(max_lanes.max(1)) {
-                let results = match cols {
+            let distinct = dl.len();
+            let cap = max_lanes.max(1);
+            // Straight-line fusion: when no batch of this function can
+            // fail or diverge and every input has a trace column, input
+            // rows are filled directly from the columns inside the run
+            // (`InputPrefill`), skipping the resolved-plane round trip.
+            let fuse = cf.fusable_straightline(config.step_limit)
+                && cols.is_some_and(|c| cf.input_names.iter().all(|n| c.col(n).is_some()));
+            let mut scratch = BatchScratch::default();
+            let mut start = 0usize;
+            while start < distinct {
+                let end = (start + cap).min(distinct);
+                // Per-lane dedup multiplicities; `None` = all 1 (the
+                // all-distinct identity case allocates nothing).
+                let weights: Option<Vec<usize>> = match dl {
+                    DedupLanes::Identity(_) => None,
+                    DedupLanes::Lanes(l) => Some(l[start..end].iter().map(|&(_, m)| m).collect()),
+                };
+                let (resolved, memories) = match cols {
+                    Some(_) if fuse => (
+                        resolve_presence_only(cf, end - start, &mut scratch),
+                        scratch.take_memories(&sized, end - start),
+                    ),
                     // Columnar fast path: inputs come straight out of the
                     // dedup rows, no per-(name, lane) hash-map probes.
-                    Some(cols) => {
-                        let resolved = resolve_columns(cf, cols, row0..row0 + chunk.len());
-                        let memories = vec![sized.clone(); chunk.len()];
-                        cf.run_batch_prepared(resolved, memories, config.step_limit)
-                    }
+                    Some(cols) => (
+                        resolve_columns_range(cf, cols, start..end, &mut scratch),
+                        scratch.take_memories(&sized, end - start),
+                    ),
                     None => {
-                        let batch: Vec<Lane<'_>> = chunk
-                            .iter()
-                            .map(|&(i, _)| Lane {
-                                inputs: &traces.vectors[i],
+                        let batch: Vec<Lane<'_>> = (start..end)
+                            .map(|k| Lane {
+                                inputs: &traces.vectors[dl.index(k)],
                                 init: &init,
                             })
                             .collect();
-                        cf.run_batch(&batch, config.step_limit)
+                        resolve_lanes(cf, &batch)
                     }
                 };
-                for (r, &(_, m)) in results.iter().zip(chunk) {
-                    accum.record(r, m);
-                }
-                row0 += chunk.len();
+                let prefill = match cols {
+                    Some(cols) if fuse => Some(InputPrefill {
+                        cols,
+                        rows: start..end,
+                    }),
+                    _ => None,
+                };
+                // Profile-only lean path: branch/visit counters fold
+                // straight into the accumulator; no per-lane ExecResult
+                // is ever materialized.
+                cf.run_batch_profiled(
+                    resolved,
+                    memories,
+                    config.step_limit,
+                    tuning,
+                    counters,
+                    weights.as_deref(),
+                    &mut accum,
+                    &mut scratch,
+                    prefill,
+                );
+                start = end;
                 batches += 1;
             }
         }
@@ -180,6 +224,75 @@ pub fn profile_compiled_with(
         c.add(traces.len() as u64, batches);
     }
     accum.finish(cf.branch_blocks())
+}
+
+/// Samples `cf`'s control-flow divergence rate by running *one* batch — the
+/// first `max_lanes` distinct trace lanes — and reporting the fraction of
+/// per-lane instruction executions that fell off the contiguous-group fast
+/// path (see [`SimCounters::divergence`]). This is the measured input to
+/// the per-function engine selector in `fact-core`: functions whose lanes
+/// diverge heavily simulate faster on the scalar engine.
+///
+/// The probe does real work (it is simply the first batch of a profiling
+/// pass, discarded); its vectors and batch are tallied into `counters`.
+/// Returns 0.0 for [`SimEngine::Scalar`] configs and empty trace sets.
+pub fn measure_divergence(
+    cf: &CompiledFn,
+    traces: &TraceSet,
+    config: &ExecConfig,
+    counters: Option<&SimCounters>,
+) -> f64 {
+    let SimEngine::Batched {
+        max_lanes,
+        cluster,
+        compact,
+    } = config.engine
+    else {
+        return 0.0;
+    };
+    let dl = traces.dedup_lanes();
+    let n = dl.len().min(max_lanes.max(1));
+    if n == 0 {
+        return 0.0;
+    }
+    let tuning = BatchTuning { cluster, compact };
+    let init: Vec<Vec<i64>> = (0..cf.num_memories())
+        .map(|i| config.initial_memories.get(&i).cloned().unwrap_or_default())
+        .collect();
+    let local = SimCounters::default();
+    let mut accum = ProfileAccum::new(cf.num_blocks());
+    let mut scratch = BatchScratch::default();
+    let (resolved, memories) = match traces.columns() {
+        Some(cols) => (
+            resolve_columns_range(cf, cols, 0..n, &mut scratch),
+            vec![sized_memories(cf, &init); n],
+        ),
+        None => {
+            let batch: Vec<Lane<'_>> = (0..n)
+                .map(|k| Lane {
+                    inputs: &traces.vectors[dl.index(k)],
+                    init: &init,
+                })
+                .collect();
+            resolve_lanes(cf, &batch)
+        }
+    };
+    cf.run_batch_profiled(
+        resolved,
+        memories,
+        config.step_limit,
+        tuning,
+        Some(&local),
+        None,
+        &mut accum,
+        &mut scratch,
+        None,
+    );
+    if let Some(c) = counters {
+        c.merge(&local);
+        c.add(n as u64, 1);
+    }
+    local.divergence()
 }
 
 /// Weighted accumulator of per-run statistics into a [`BranchProfile`] —
@@ -224,6 +337,53 @@ impl ProfileAccum {
             }
             Err(_) => self.failed += weight,
         }
+    }
+
+    /// Records one *successful* run directly from a batch lane's dense
+    /// counter rows (`branch_counts` and `block_visits`, both indexed by
+    /// block). Arithmetic is identical to [`ProfileAccum::record`] on the
+    /// [`ExecResult`] the lane would have materialized: the `t + f > 0`
+    /// filter mirrors how the result's branch map is populated.
+    pub(crate) fn record_run(&mut self, branches: &[(u64, u64)], visits: &[u64], weight: usize) {
+        let w = weight as u64;
+        for (b, &(t, f)) in branches.iter().enumerate() {
+            if t + f > 0 {
+                let e = self.stats.counts.entry(b).or_insert((0, 0));
+                e.0 += t * w;
+                e.1 += f * w;
+            }
+        }
+        for (i, &c) in visits.iter().enumerate() {
+            self.visit_totals[i] += c * w;
+        }
+        self.ok += weight;
+    }
+
+    /// Records one failed run observed `weight` times.
+    pub(crate) fn record_failed(&mut self, weight: usize) {
+        self.failed += weight;
+    }
+
+    /// Records pre-summed per-block totals for a *group* of successful
+    /// runs (see `ProfileSink::retire_group`). Since every counter is a
+    /// plain sum, folding lane-wise totals per block is arithmetic-
+    /// identical to calling [`ProfileAccum::record_run`] once per lane:
+    /// the branch entry for `b` is touched exactly when some lane
+    /// branched in `b`, and zero-count lanes contribute nothing either
+    /// way.
+    pub(crate) fn record_block_totals(&mut self, b: usize, t: u64, f: u64, visits: u64) {
+        if t + f > 0 {
+            let e = self.stats.counts.entry(b).or_insert((0, 0));
+            e.0 += t;
+            e.1 += f;
+        }
+        self.visit_totals[b] += visits;
+    }
+
+    /// Counts `n` weighted successful runs (the `ok` side of
+    /// [`ProfileAccum::record_run`], in bulk).
+    pub(crate) fn record_ok_runs(&mut self, n: usize) {
+        self.ok += n;
     }
 
     /// Assembles the profile; `branch_blocks` enumerates the indices of
@@ -351,7 +511,7 @@ mod tests {
         };
         let batched_cfg = ExecConfig {
             step_limit: 10_000,
-            engine: SimEngine::Batched { max_lanes: 2 },
+            engine: SimEngine::batched_with(2),
             ..Default::default()
         };
         let counters = SimCounters::default();
@@ -395,6 +555,33 @@ mod tests {
         let slow = profile_compiled_with(&cf, &traces, &scalar_cfg, None);
         let fast = profile_compiled_with(&cf, &traces, &batched_cfg, None);
         assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn measured_divergence_separates_convergent_from_divergent() {
+        let src = "proc f(n) { var i = 0; var s = 0; \
+                   while (i < n) { s = s + i; i = i + 1; } out s = s; }";
+        let cf = CompiledFn::compile(&compile(src).unwrap());
+        let cfg = ExecConfig::default();
+        let convergent = generate(&[("n".to_string(), InputSpec::Constant(25))], 64, 1);
+        let c = SimCounters::default();
+        let d0 = measure_divergence(&cf, &convergent, &cfg, Some(&c));
+        assert_eq!(d0, 0.0, "identical lanes never leave the fast path");
+        // The probe's work is tallied: one batch, one distinct lane.
+        assert_eq!(c.vectors(), 1);
+        assert_eq!(c.batches(), 1);
+        let divergent = generate(
+            &[("n".to_string(), InputSpec::Uniform { lo: 0, hi: 400 })],
+            64,
+            2,
+        );
+        let d1 = measure_divergence(&cf, &divergent, &cfg, None);
+        assert!(d1 > d0, "spread trip counts must measure as divergence");
+        let scalar = ExecConfig {
+            engine: SimEngine::Scalar,
+            ..Default::default()
+        };
+        assert_eq!(measure_divergence(&cf, &divergent, &scalar, None), 0.0);
     }
 
     #[test]

@@ -18,20 +18,69 @@ pub type InputVector = HashMap<String, i64>;
 #[derive(Clone, Debug, Default)]
 pub struct TraceSet {
     /// The generated input vectors. Treated as immutable once the set is
-    /// built: the first call to [`TraceSet::dedup`] or
+    /// built: the first call to [`TraceSet::dedup_lanes`] or
     /// [`TraceSet::columns`] memoizes a view derived from the vectors, so
     /// mutating them afterwards would desynchronize the two.
     pub vectors: Vec<InputVector>,
-    /// Lazily-built dedup + columnar view (see [`TraceSet::dedup`]).
+    /// Lazily-built dedup + columnar view (see [`TraceSet::dedup_lanes`]).
     cache: OnceLock<DedupCache>,
 }
 
 /// The memoized product of one scan over the vectors: the dedup lanes and,
 /// when every vector has the same key set, a columnar value matrix.
+/// `lanes: None` means every vector is distinct — the identity mapping is
+/// represented without materializing `len` pairs (or a `row_of` table),
+/// since all-distinct traces (e.g. wide uniform inputs) gain nothing from
+/// dedup and the tables would be pure overhead on every batched pass.
 #[derive(Clone, Debug)]
 struct DedupCache {
-    lanes: Vec<(usize, usize)>,
+    lanes: Option<Vec<(usize, usize)>>,
     columns: Option<TraceColumns>,
+}
+
+/// Dedup view of a trace set: either the identity (every vector distinct,
+/// nothing allocated) or explicit `(first index, multiplicity)` lanes in
+/// first-occurrence order.
+#[derive(Clone, Copy, Debug)]
+pub enum DedupLanes<'a> {
+    /// Every one of the `n` vectors is distinct: lane `k` is vector `k`
+    /// with multiplicity 1.
+    Identity(usize),
+    /// Explicit dedup lanes.
+    Lanes(&'a [(usize, usize)]),
+}
+
+impl DedupLanes<'_> {
+    /// Number of distinct lanes.
+    pub fn len(&self) -> usize {
+        match self {
+            DedupLanes::Identity(n) => *n,
+            DedupLanes::Lanes(l) => l.len(),
+        }
+    }
+
+    /// Whether there are no lanes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is the identity mapping (all vectors distinct).
+    pub fn is_identity(&self) -> bool {
+        matches!(self, DedupLanes::Identity(_))
+    }
+
+    /// Lane `k` as `(first vector index, multiplicity)`.
+    pub fn get(&self, k: usize) -> (usize, usize) {
+        match self {
+            DedupLanes::Identity(_) => (k, 1),
+            DedupLanes::Lanes(l) => l[k],
+        }
+    }
+
+    /// First vector index of lane `k`.
+    pub fn index(&self, k: usize) -> usize {
+        self.get(k).0
+    }
 }
 
 /// Columnar view of a trace set's *distinct* vectors: one row per dedup
@@ -43,9 +92,15 @@ struct DedupCache {
 pub struct TraceColumns {
     /// Input names, sorted; column `c` holds values of `names[c]`.
     names: Vec<String>,
-    /// Row-major `lanes × names` value matrix.
+    /// Number of rows (dedup lanes) in the matrix.
+    rows: usize,
+    /// Column-major `names × lanes` value matrix: column `c` occupies
+    /// `data[c * rows..(c + 1) * rows]`, so resolving one input for a
+    /// whole batch reads (and lets a batch resolve copy) one contiguous
+    /// run.
     data: Vec<i64>,
-    /// Maps a vector index to its row (dedup lane index).
+    /// Maps a vector index to its row (dedup lane index). Empty means the
+    /// identity: every vector is distinct and row `i` holds vector `i`.
     row_of: Vec<u32>,
 }
 
@@ -57,11 +112,19 @@ impl TraceColumns {
 
     /// Value of column `c` in row (dedup lane) `row`.
     pub fn value(&self, row: usize, c: usize) -> i64 {
-        self.data[row * self.names.len() + c]
+        self.data[c * self.rows + row]
+    }
+
+    /// The full value run of column `c`, one entry per dedup lane.
+    pub fn col_values(&self, c: usize) -> &[i64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
     }
 
     /// The row (dedup lane index) holding vector `i`'s values.
     pub fn row_of(&self, i: usize) -> usize {
+        if self.row_of.is_empty() {
+            return i;
+        }
         self.row_of[i] as usize
     }
 }
@@ -101,13 +164,19 @@ impl TraceSet {
     /// so weighted profile accounting stays exact. The result is memoized:
     /// a search profiles the same trace set thousands of times, and the
     /// scan (hashing every vector) would otherwise dominate batched
-    /// simulation of cheap behaviors.
-    pub fn dedup(&self) -> &[(usize, usize)] {
-        &self.cache().lanes
+    /// simulation of cheap behaviors. When the scan finds every vector
+    /// distinct, [`DedupLanes::Identity`] is returned and no lane or
+    /// row-mapping tables are kept at all — the all-distinct case (PPS:
+    /// 1024/1024 lanes) pays for the one memoized scan and nothing more.
+    pub fn dedup_lanes(&self) -> DedupLanes<'_> {
+        match &self.cache().lanes {
+            None => DedupLanes::Identity(self.vectors.len()),
+            Some(l) => DedupLanes::Lanes(l),
+        }
     }
 
     /// The columnar view of the distinct vectors, if every vector has the
-    /// same key set (memoized alongside [`TraceSet::dedup`]).
+    /// same key set (memoized alongside [`TraceSet::dedup_lanes`]).
     pub fn columns(&self) -> Option<&TraceColumns> {
         self.cache().columns.as_ref()
     }
@@ -117,18 +186,30 @@ impl TraceSet {
     }
 
     fn build_cache(&self) -> DedupCache {
-        let lanes = match self.build_columns() {
-            Some((lanes, columns)) => {
-                return DedupCache {
-                    lanes,
-                    columns: Some(columns),
+        let n = self.vectors.len();
+        match self.build_columns() {
+            Some((lanes, mut columns)) => {
+                // All distinct: drop the identity tables entirely.
+                if lanes.len() == n {
+                    columns.row_of = Vec::new();
+                    DedupCache {
+                        lanes: None,
+                        columns: Some(columns),
+                    }
+                } else {
+                    DedupCache {
+                        lanes: Some(lanes),
+                        columns: Some(columns),
+                    }
                 }
             }
-            None => self.dedup_by_pairs(),
-        };
-        DedupCache {
-            lanes,
-            columns: None,
+            None => {
+                let lanes = self.dedup_by_pairs();
+                DedupCache {
+                    lanes: (lanes.len() != n).then_some(lanes),
+                    columns: None,
+                }
+            }
         }
     }
 
@@ -174,11 +255,22 @@ impl TraceSet {
                 }
             }
         }
+        // Transpose the accumulated row-major rows into the column-major
+        // layout — paid once per trace set (the cache is a `OnceLock`),
+        // saving a strided walk on every subsequent batch resolve.
+        let nrows = lanes.len();
+        let mut by_col = vec![0i64; data.len()];
+        for r in 0..nrows {
+            for c in 0..ncols {
+                by_col[c * nrows + r] = data[r * ncols + c];
+            }
+        }
         Some((
             lanes,
             TraceColumns {
                 names,
-                data,
+                rows: nrows,
+                data: by_col,
                 row_of,
             },
         ))
@@ -373,7 +465,10 @@ mod tests {
             ("j".to_string(), InputSpec::Constant(-2)),
         ];
         let t = generate(&specs, 12, 1);
-        assert_eq!(t.dedup(), vec![(0, 12)]);
+        let DedupLanes::Lanes(lanes) = t.dedup_lanes() else {
+            panic!("12 identical vectors must not be an identity dedup");
+        };
+        assert_eq!(lanes, vec![(0, 12)]);
     }
 
     #[test]
@@ -388,13 +483,17 @@ mod tests {
             mk(&[("a", 1), ("b", 2)]),
             mk(&[("a", 3), ("b", 9)]),
         ]);
-        let lanes = t.dedup();
+        let dl = t.dedup_lanes();
+        let DedupLanes::Lanes(lanes) = dl else {
+            panic!("duplicated vectors must not be an identity dedup");
+        };
         assert_eq!(lanes, vec![(0, 3), (1, 1), (4, 1)]);
         assert_eq!(lanes.iter().map(|&(_, m)| m).sum::<usize>(), t.len());
+        assert_eq!((0..dl.len()).map(|k| dl.get(k).1).sum::<usize>(), t.len());
     }
 
     #[test]
-    fn dedup_of_distinct_vectors_is_identity() {
+    fn dedup_of_distinct_vectors_takes_identity_fast_path() {
         let specs = [(
             "a".to_string(),
             InputSpec::Uniform {
@@ -403,12 +502,25 @@ mod tests {
             },
         )];
         let t = generate(&specs, 40, 3);
-        let lanes = t.dedup();
-        assert_eq!(lanes.len(), 40);
-        assert!(lanes
-            .iter()
-            .enumerate()
-            .all(|(i, &(v, m))| v == i && m == 1));
+        let dl = t.dedup_lanes();
+        // All-distinct sets take the identity representation: no lane
+        // pairs and no row-mapping table are materialized at all.
+        assert!(matches!(dl, DedupLanes::Identity(40)));
+        assert_eq!(dl.len(), 40);
+        assert!((0..40).all(|k| dl.get(k) == (k, 1)));
+        let cols = t.columns().expect("uniform traces are columnar");
+        assert!((0..40).all(|i| cols.row_of(i) == i));
+    }
+
+    #[test]
+    fn dedup_by_pairs_of_distinct_vectors_takes_identity_fast_path() {
+        let mk = |pairs: &[(&str, i64)]| -> InputVector {
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        };
+        // Heterogeneous key sets force the pairwise path; all distinct.
+        let t = TraceSet::new(vec![mk(&[("a", 1)]), mk(&[("b", 1)]), mk(&[("a", 2)])]);
+        assert!(t.columns().is_none());
+        assert!(matches!(t.dedup_lanes(), DedupLanes::Identity(3)));
     }
 
     #[test]

@@ -266,6 +266,18 @@ fn cfg(engine: SimEngine) -> ExecConfig {
 const LANE_CAPS: [usize; 4] = [1, 3, 8, 256];
 const SEEDS: u64 = 40;
 
+/// Every clustering/compaction combination. All are pure wall-clock knobs;
+/// the tests below hold each one to bit-identity.
+const TUNINGS: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+fn engine_with(max_lanes: usize, (cluster, compact): (bool, bool)) -> SimEngine {
+    SimEngine::Batched {
+        max_lanes,
+        cluster,
+        compact,
+    }
+}
+
 /// Canonical text form of an execution outcome (branch counts sorted, so
 /// `HashMap` iteration order cannot leak into the comparison).
 fn canon(r: &Result<ExecResult, ExecError>) -> String {
@@ -334,13 +346,13 @@ fn batched_profiles_bit_identical_to_scalar() {
             reference, scalar,
             "compiled scalar profile differs (seed {seed})\n{src}"
         );
-        let lanes = traces.dedup().len() as u64;
+        let lanes = traces.dedup_lanes().len() as u64;
         for max_lanes in LANE_CAPS {
             let counters = SimCounters::default();
             let batched = profile_compiled_with(
                 &cf,
                 &traces,
-                &cfg(SimEngine::Batched { max_lanes }),
+                &cfg(SimEngine::batched_with(max_lanes)),
                 Some(&counters),
             );
             assert_eq!(
@@ -382,7 +394,7 @@ fn equivalence_verdicts_bit_identical_across_engines() {
                     &g,
                     &traces,
                     seed ^ 0xC0FFEE,
-                    &cfg(SimEngine::Batched { max_lanes }),
+                    &cfg(SimEngine::batched_with(max_lanes)),
                     None,
                 );
                 match (&scalar, &batched) {
@@ -437,7 +449,7 @@ fn reference_check_paths_bit_identical() {
                 let batched = reference.check_with(
                     &cg,
                     &traces,
-                    SimEngine::Batched { max_lanes },
+                    SimEngine::batched_with(max_lanes),
                     Some(&counters),
                 );
                 match (&scalar, &batched) {
@@ -465,7 +477,7 @@ fn reference_check_paths_bit_identical() {
                 let batched_p = reference.check_profiled_with(
                     &cg,
                     &traces,
-                    SimEngine::Batched { max_lanes },
+                    SimEngine::batched_with(max_lanes),
                     None,
                 );
                 match (&scalar_p, &batched_p) {
@@ -490,6 +502,139 @@ fn reference_check_paths_bit_identical() {
                         scalar_p.is_ok(),
                         batched_p.is_ok()
                     ),
+                }
+            }
+        }
+    }
+}
+
+/// Clustering permutation invariance: feeding the *same* vectors in any
+/// lane order — which changes how clustering and compaction permute the
+/// internal layout — must leave per-lane results bit-identical to scalar
+/// execution in the caller's order, and profiles bit-identical to the
+/// scalar reference, for every tuning combination.
+#[test]
+fn clustering_is_lane_order_invariant() {
+    for seed in 0..12u64 {
+        let src = gen_program(seed, Variant::Plain, false, true);
+        let f = compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let cf = CompiledFn::compile(&f);
+        let traces = traces_for(seed, 40);
+        let reference = profile_with(&f, &traces, &cfg(SimEngine::Scalar));
+        // A seeded Fisher–Yates shuffle of the vector order.
+        let mut perm: Vec<usize> = (0..traces.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5071);
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let shuffled = TraceSet::new(
+            perm.iter()
+                .map(|&i| traces.vectors[i].clone())
+                .collect::<Vec<_>>(),
+        );
+        for tuning in TUNINGS {
+            for max_lanes in [3usize, 256] {
+                let p = profile_compiled_with(
+                    &cf,
+                    &shuffled,
+                    &cfg(engine_with(max_lanes, tuning)),
+                    None,
+                );
+                assert_eq!(
+                    reference, p,
+                    "profile depends on lane order (seed {seed}, {tuning:?}, \
+                     max_lanes {max_lanes})\n{src}"
+                );
+            }
+        }
+        // And per-lane results come back in the shuffled caller order.
+        let lanes: Vec<Lane<'_>> = shuffled
+            .vectors
+            .iter()
+            .map(|v| Lane {
+                inputs: v,
+                init: &[],
+            })
+            .collect();
+        let batch = cf.run_batch(&lanes, 20_000);
+        for (i, v) in shuffled.vectors.iter().enumerate() {
+            let scalar = cf.execute_seeded(v, &[], 20_000);
+            assert_eq!(
+                canon(&batch[i]),
+                canon(&scalar),
+                "shuffled lane {i} differs (seed {seed})\n{src}"
+            );
+        }
+    }
+}
+
+/// Compaction/clustering toggles: equivalence verdicts (including the
+/// exact mismatch report and index) and merged check+profile passes are
+/// bit-identical to scalar for every combination of the two switches.
+#[test]
+fn tuning_toggles_preserve_verdicts_and_profiles() {
+    for seed in 0..12u64 {
+        let plain = gen_program(seed, Variant::Plain, false, true);
+        let f = compile(&plain).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{plain}"));
+        let traces = traces_for(seed, 40);
+        let reference = EquivReference::capture(&f, &traces, seed ^ 0xBEEF);
+        for variant in [Variant::Rewritten, Variant::Mutated] {
+            let src = gen_program(seed, variant, false, true);
+            let g = compile(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let cg = CompiledFn::compile(&g);
+            let scalar = check_equivalence_with(
+                &f,
+                &g,
+                &traces,
+                seed ^ 0xC0FFEE,
+                &cfg(SimEngine::Scalar),
+                None,
+            );
+            let scalar_p = reference.check_profiled_with(&cg, &traces, SimEngine::Scalar, None);
+            for tuning in TUNINGS {
+                for max_lanes in [3usize, 256] {
+                    let e = engine_with(max_lanes, tuning);
+                    let batched =
+                        check_equivalence_with(&f, &g, &traces, seed ^ 0xC0FFEE, &cfg(e), None);
+                    match (&scalar, &batched) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a, b,
+                            "checked counts differ (seed {seed}, {tuning:?})\n{src}"
+                        ),
+                        (Err(a), Err(b)) => assert_eq!(
+                            a.to_string(),
+                            b.to_string(),
+                            "mismatch reports differ (seed {seed}, {tuning:?})\n{src}"
+                        ),
+                        _ => panic!(
+                            "verdicts differ (seed {seed}, {tuning:?}, max_lanes \
+                             {max_lanes}): scalar ok={}, batched ok={}\n{src}",
+                            scalar.is_ok(),
+                            batched.is_ok()
+                        ),
+                    }
+                    let batched_p = reference.check_profiled_with(&cg, &traces, e, None);
+                    match (&scalar_p, &batched_p) {
+                        (Ok((n1, p1)), Ok((n2, p2))) => {
+                            assert_eq!(n1, n2, "merged counts differ (seed {seed}, {tuning:?})");
+                            assert_eq!(
+                                p1, p2,
+                                "merged profile differs (seed {seed}, {tuning:?})\n{src}"
+                            );
+                        }
+                        (Err(a), Err(b)) => assert_eq!(
+                            a.to_string(),
+                            b.to_string(),
+                            "merged mismatches differ (seed {seed}, {tuning:?})\n{src}"
+                        ),
+                        _ => panic!(
+                            "merged verdicts differ (seed {seed}, {tuning:?}, max_lanes \
+                             {max_lanes}): scalar ok={}, batched ok={}\n{src}",
+                            scalar_p.is_ok(),
+                            batched_p.is_ok()
+                        ),
+                    }
                 }
             }
         }

@@ -41,4 +41,18 @@ assert t2["frontier"] >= 8, f"Test2 frontier too small: {t2}"
 print(f"BENCH_pareto.json ok: Test2 frontier={t2['frontier']} hv={t2['hypervolume']}")
 EOF
 
+echo "== engine-selector never-lose gate (BENCH_sim.json)"
+python3 - <<'EOF'
+import json
+with open("crates/bench/BENCH_sim.json") as f:
+    d = json.load(f)
+assert d["bench"] == "sim", d
+# The divergence-aware selector must never lose to the scalar baseline:
+# every suite's chosen-engine speedup stays at parity or better.
+bad = [(s["name"], s["speedup"]) for s in d["suites"] if s["speedup"] < 1.0]
+assert not bad, f"selector lost on: {bad}"
+line = " ".join(f"{s['name']}:{s['speedup']}x({s['chosen']})" for s in d["suites"])
+print(f"BENCH_sim.json ok: {line}")
+EOF
+
 echo "ci.sh: all gates passed"

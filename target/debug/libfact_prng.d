@@ -1,0 +1,1 @@
+/root/repo/target/debug/libfact_prng.rlib: /root/repo/crates/prng/src/lib.rs

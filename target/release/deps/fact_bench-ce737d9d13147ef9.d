@@ -1,6 +1,6 @@
-/root/repo/target/release/deps/fact_bench-ce737d9d13147ef9.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+/root/repo/target/release/deps/fact_bench-ce737d9d13147ef9.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
 
-/root/repo/target/release/deps/fact_bench-ce737d9d13147ef9: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/search_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
+/root/repo/target/release/deps/fact_bench-ce737d9d13147ef9: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/example1.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fig4.rs crates/bench/src/pareto_perf.rs crates/bench/src/search_perf.rs crates/bench/src/sim_perf.rs crates/bench/src/sweep.rs crates/bench/src/table2.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
@@ -8,6 +8,8 @@ crates/bench/src/example1.rs:
 crates/bench/src/fig1.rs:
 crates/bench/src/fig2.rs:
 crates/bench/src/fig4.rs:
+crates/bench/src/pareto_perf.rs:
 crates/bench/src/search_perf.rs:
+crates/bench/src/sim_perf.rs:
 crates/bench/src/sweep.rs:
 crates/bench/src/table2.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/fact_core-736bcc29800dcb86.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/release/deps/fact_core-736bcc29800dcb86.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
-/root/repo/target/release/deps/fact_core-736bcc29800dcb86: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
+/root/repo/target/release/deps/fact_core-736bcc29800dcb86: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cache.rs crates/core/src/objective.rs crates/core/src/pareto.rs crates/core/src/partition.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/search.rs crates/core/src/suite.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
 crates/core/src/cache.rs:
 crates/core/src/objective.rs:
+crates/core/src/pareto.rs:
 crates/core/src/partition.rs:
 crates/core/src/pipeline.rs:
 crates/core/src/report.rs:

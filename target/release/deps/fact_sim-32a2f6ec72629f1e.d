@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/fact_sim-32a2f6ec72629f1e.d: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/fact_sim-32a2f6ec72629f1e.d: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
-/root/repo/target/release/deps/fact_sim-32a2f6ec72629f1e: crates/sim/src/lib.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
+/root/repo/target/release/deps/fact_sim-32a2f6ec72629f1e: crates/sim/src/lib.rs crates/sim/src/batch.rs crates/sim/src/compiled.rs crates/sim/src/equiv.rs crates/sim/src/interp.rs crates/sim/src/profile.rs crates/sim/src/trace.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/batch.rs:
 crates/sim/src/compiled.rs:
 crates/sim/src/equiv.rs:
 crates/sim/src/interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ppsprof-f0d4464d058466e7.d: crates/bench/examples/ppsprof.rs
+
+/root/repo/target/release/examples/ppsprof-f0d4464d058466e7: crates/bench/examples/ppsprof.rs
+
+crates/bench/examples/ppsprof.rs:
