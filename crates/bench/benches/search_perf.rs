@@ -3,7 +3,8 @@
 //!
 //! Flags (after `--`):
 //!   --out PATH    output file (default BENCH_search.json)
-//!   --budget N    evaluation budget per benchmark (default 400)
+//!   --budget N    evaluation budget per benchmark (default 400;
+//!                 an explicit value wins over the `--smoke` cap)
 //!   --smoke       tiny budget, stdout only (CI well-formedness check)
 
 use fact_bench::search_perf::{run_with, standard_config, to_json};
@@ -11,6 +12,7 @@ use fact_bench::search_perf::{run_with, standard_config, to_json};
 fn main() {
     let mut out_path = String::from("BENCH_search.json");
     let mut budget = 400usize;
+    let mut budget_explicit = false;
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -20,14 +22,15 @@ fn main() {
                 budget = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--budget needs a number")
+                    .expect("--budget needs a number");
+                budget_explicit = true;
             }
             "--smoke" => smoke = true,
             "--bench" => {} // cargo bench passes this through
             other => eprintln!("search_perf: ignoring unknown flag {other}"),
         }
     }
-    if smoke {
+    if smoke && !budget_explicit {
         budget = budget.min(10);
     }
 
@@ -45,12 +48,16 @@ fn main() {
         );
         for s in &p.suites {
             eprintln!(
-                "  {:8} {:5} evals {:7.3}s {:8.0} evals/sec cache {:4.0}%",
+                "  {:8} {:5} evals {:7.3}s {:8.0} evals/sec cache {:4.0}% \
+                 (compile {:.3}s sim {:.3}s est {:.3}s)",
                 s.name,
                 s.evaluated,
                 s.wall_s,
                 s.evals_per_sec,
-                s.cache_hit_rate * 100.0
+                s.cache_hit_rate * 100.0,
+                s.compile_s,
+                s.simulate_s,
+                s.estimate_s,
             );
         }
     }
@@ -66,17 +73,26 @@ fn main() {
     }
 }
 
-/// One pass per engine mode: the incremental engine (the default) and
-/// the full-reschedule fallback, so the JSON carries an apples-to-apples
-/// speedup ratio. Both passes follow bit-identical search trajectories
-/// (pinned by fact-core's equivalence tests), so evals/sec is the only
-/// thing that differs.
+/// One pass per engine mode: the incremental engine with mega-batch
+/// dispatch (the default), the same engine dispatching per candidate,
+/// and the full-reschedule fallback — so the JSON carries both the
+/// mega-batch speedup and the overall incremental speedup as
+/// apples-to-apples ratios. All passes follow bit-identical search
+/// trajectories (pinned by fact-core's equivalence tests), so evals/sec
+/// is the only thing that differs.
 fn measure(budget: usize) -> Vec<fact_bench::search_perf::SearchPerf> {
     let incremental = standard_config(budget);
+    let mut per_candidate = standard_config(budget);
+    per_candidate.mega_batch = false;
     let mut full = standard_config(budget);
     full.incremental = false;
+    // Unmeasured warmup: the first pass of a fresh process otherwise
+    // absorbs one-time costs (page faults, frequency ramp) and skews
+    // the mode-vs-mode comparison by measurement order.
+    let _ = run_with("warmup", &standard_config(budget.min(50)));
     vec![
         run_with("incremental", &incremental),
+        run_with("per_candidate", &per_candidate),
         run_with("full", &full),
     ]
 }

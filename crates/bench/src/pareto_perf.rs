@@ -93,6 +93,7 @@ pub fn run_with(mode: &str, config: &FactConfig, only: Option<&str>) -> ParetoPe
         let hooks = OptimizeHooks {
             cache: Some(&cache),
             stop: None,
+            timers: None,
         };
         let t0 = Instant::now();
         let r = optimize_pareto_with(

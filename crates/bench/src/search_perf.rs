@@ -10,8 +10,11 @@
 //! Std-only by design (the offline build has no serde/criterion): the
 //! JSON is emitted by hand from a flat result struct.
 
-use fact_core::{optimize_with, suite, EvalCache, FactConfig, OptimizeHooks, TransformLibrary};
+use fact_core::{
+    optimize_with, suite, EvalCache, FactConfig, OptimizeHooks, PhaseTimers, TransformLibrary,
+};
 use fact_estim::section5_library;
+use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 /// Throughput measurement of one suite benchmark.
@@ -29,6 +32,15 @@ pub struct SuitePerf {
     pub evals_per_sec: f64,
     /// Cache hit rate over the run (`hits / lookups`).
     pub cache_hit_rate: f64,
+    /// Wall time spent compiling candidates, seconds
+    /// ([`PhaseTimers::compile_ns`]).
+    pub compile_s: f64,
+    /// Wall time spent simulating (verification, profiling, divergence
+    /// probes), seconds ([`PhaseTimers::simulate_ns`]).
+    pub simulate_s: f64,
+    /// Wall time spent scheduling and estimating, seconds
+    /// ([`PhaseTimers::estimate_ns`]).
+    pub estimate_s: f64,
 }
 
 /// One full measurement pass: every Table 2 benchmark, fresh cache each.
@@ -76,9 +88,11 @@ pub fn run_with(mode: &str, config: &FactConfig) -> SearchPerf {
     let mut suites = Vec::new();
     for b in suite(&lib) {
         let cache = EvalCache::default();
+        let timers = PhaseTimers::default();
         let hooks = OptimizeHooks {
             cache: Some(&cache),
             stop: None,
+            timers: Some(&timers),
         };
         let t0 = Instant::now();
         let r = optimize_with(
@@ -108,6 +122,9 @@ pub fn run_with(mode: &str, config: &FactConfig) -> SearchPerf {
                 0.0
             },
             cache_hit_rate: cs.hit_rate(),
+            compile_s: timers.compile_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            simulate_s: timers.simulate_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            estimate_s: timers.estimate_ns.load(Ordering::Relaxed) as f64 / 1e9,
         });
     }
     SearchPerf {
@@ -138,13 +155,17 @@ pub fn to_json(passes: &[SearchPerf]) -> String {
         for (i, s) in p.suites.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"name\": \"{}\", \"evaluated\": {}, \"cache_hits\": {}, \
-                 \"wall_s\": {:.4}, \"evals_per_sec\": {:.1}, \"cache_hit_rate\": {:.4}}}{}\n",
+                 \"wall_s\": {:.4}, \"evals_per_sec\": {:.1}, \"cache_hit_rate\": {:.4}, \
+                 \"compile_s\": {:.4}, \"simulate_s\": {:.4}, \"estimate_s\": {:.4}}}{}\n",
                 s.name,
                 s.evaluated,
                 s.cache_hits,
                 s.wall_s,
                 s.evals_per_sec,
                 s.cache_hit_rate,
+                s.compile_s,
+                s.simulate_s,
+                s.estimate_s,
                 if i + 1 < p.suites.len() { "," } else { "" }
             ));
         }

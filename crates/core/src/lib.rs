@@ -61,11 +61,12 @@ pub use partition::{partition, region_of_block, PartitionConfig, StgBlock};
 pub use pipeline::{
     evaluation_context_key, optimize, optimize_pareto, optimize_pareto_with, optimize_with,
     FactConfig, FactError, FactResult, OptimizeHooks, ParetoConfig, ParetoDesignPoint,
-    ParetoFactResult,
+    ParetoFactResult, PhaseTimers,
 };
 pub use report::{geomean_ratio, render_table2, DesignReport, Table2Row};
 pub use search::{
-    apply_transforms, apply_transforms_parallel, apply_transforms_pareto, ParetoCandidate,
-    ParetoSearchResult, SearchConfig, SearchResult,
+    apply_transforms, apply_transforms_batched, apply_transforms_parallel, apply_transforms_pareto,
+    apply_transforms_pareto_batched, MegaCandidate, MegaEval, ParetoCandidate, ParetoSearchResult,
+    SearchConfig, SearchResult,
 };
 pub use suite::{suite, Benchmark};

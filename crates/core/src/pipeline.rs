@@ -13,7 +13,8 @@ use crate::objective::Objective;
 use crate::pareto::{nondominated, sweep_vdd, ParetoArchive, ParetoPoint};
 use crate::partition::{partition, region_of_block, PartitionConfig};
 use crate::search::{
-    apply_transforms_parallel, apply_transforms_pareto, ParetoCandidate, SearchConfig, SearchResult,
+    apply_transforms_batched, apply_transforms_parallel, apply_transforms_pareto,
+    apply_transforms_pareto_batched, MegaCandidate, ParetoCandidate, SearchConfig, SearchResult,
 };
 use fact_estim::{
     evaluate_power_mode_with_memo, evaluate_with_memo, markov_of, Estimate, MarkovMemo,
@@ -24,13 +25,14 @@ use fact_sched::{
     ScheduleResult, SelectionRules,
 };
 use fact_sim::{
-    check_equivalence_with, measure_divergence, profile, profile_compiled_with, BranchProfile,
-    CompiledFn, EquivReference, ExecConfig, SimCounters, SimEngine, TraceSet,
+    check_equivalence_with, measure_divergence, profile, profile_compiled_reusing,
+    profile_compiled_with, BranchProfile, CompiledFn, EquivReference, ExecConfig, SimCounters,
+    SimEngine, SimScratch, TraceSet,
 };
 use fact_xform::{Region, TransformLibrary};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Configuration of a FACT run.
@@ -66,6 +68,18 @@ pub struct FactConfig {
     /// property tests pin this); `false` keeps the one-vector-at-a-time
     /// scalar path as fallback and oracle.
     pub sim_batch: bool,
+    /// Evaluate each search move's surviving candidates as one
+    /// mega-batch (effective only with `incremental`): the whole
+    /// neighborhood reaches the evaluator as a slice, every candidate
+    /// compiles once and reuses a per-worker [`SimScratch`] across the
+    /// dispatch, and the engine selector's divergence probe is folded
+    /// into the verification pass itself. Results — best, score, applied
+    /// path, evaluation count, cache hits — are bit-identical to
+    /// per-candidate dispatch for any thread count (the mega-batch
+    /// property tests pin this); only wall-clock and the sim work
+    /// counters change. `false` keeps per-candidate dispatch as fallback
+    /// and oracle.
+    pub mega_batch: bool,
     /// Frontier knobs for [`Objective::Pareto`] runs (ignored by the
     /// single-objective drivers).
     pub pareto: ParetoConfig,
@@ -82,6 +96,7 @@ impl Default for FactConfig {
             max_blocks: 3,
             incremental: true,
             sim_batch: true,
+            mega_batch: true,
             pareto: ParetoConfig::default(),
         }
     }
@@ -149,9 +164,35 @@ pub struct FactResult {
     pub sim_engine_batched: u64,
     /// Lane-compaction passes performed inside batched simulation.
     pub lane_compactions: u64,
+    /// Whole-neighborhood mega-batch dispatches evaluated (0 with
+    /// `mega_batch` off or in non-incremental runs).
+    pub neighborhood_batches: u64,
+    /// Simulation lanes dispatched by the mega-batch path: candidates ×
+    /// deduplicated trace lanes, counting only candidates that actually
+    /// simulated (cache hits short-circuit their lanes out of the batch).
+    pub mega_lanes: u64,
+    /// Candidates handed to mega-batch dispatches (cache hits included).
+    pub mega_candidates: u64,
     /// `true` when the run was cut short by cancellation or timeout;
     /// the result is the best of what was explored.
     pub stopped: bool,
+}
+
+/// Wall-clock phase accounting of candidate evaluation, accumulated in
+/// nanoseconds across all worker threads (so a phase's total can exceed
+/// the run's wall time when `search.threads > 1`). Wired in through
+/// [`OptimizeHooks::timers`]; the benchmark harness uses it to attribute
+/// search throughput to compilation, simulation, and estimation.
+#[derive(Debug, Default)]
+pub struct PhaseTimers {
+    /// Time compiling candidates ([`CompiledFn::compile`]).
+    pub compile_ns: AtomicU64,
+    /// Time simulating: equivalence verification, divergence probes, and
+    /// branch profiling.
+    pub simulate_ns: AtomicU64,
+    /// Time scheduling and estimating (list scheduling, Markov solves,
+    /// power/latency evaluation).
+    pub estimate_ns: AtomicU64,
 }
 
 /// Optional cross-cutting machinery for a FACT run: the shared
@@ -166,6 +207,9 @@ pub struct OptimizeHooks<'a> {
     /// Set to `true` (by a timeout watchdog or a client disconnect) to
     /// make the run wind down at the next evaluation boundary.
     pub stop: Option<&'a AtomicBool>,
+    /// When present, receives the compile/simulate/estimate wall-time
+    /// breakdown of candidate evaluation. `None` skips all timing calls.
+    pub timers: Option<&'a PhaseTimers>,
 }
 
 /// FACT failure.
@@ -220,6 +264,47 @@ struct IncrementalCtx<'a> {
     div_rates: Mutex<HashMap<u64, f64>>,
     /// Vectors/batches simulated so far (shared across worker threads).
     sim: SimCounters,
+    /// Phase wall-time sinks from [`OptimizeHooks::timers`].
+    timers: Option<&'a PhaseTimers>,
+    /// Mega-batch dispatch accounting (stays zero off the mega path).
+    mega: MegaCounters,
+}
+
+/// Counters of the mega-batch dispatch path (see
+/// [`FactResult::neighborhood_batches`] and friends).
+#[derive(Default)]
+struct MegaCounters {
+    batches: AtomicU64,
+    lanes: AtomicU64,
+    candidates: AtomicU64,
+}
+
+/// Runs `f`, charging its wall time to `slot(timers)` when timers are
+/// wired in. Times are accumulated with relaxed atomics — per-phase sums
+/// are exact, only cross-phase snapshots are unordered.
+fn timed<T>(
+    timers: Option<&PhaseTimers>,
+    slot: fn(&PhaseTimers) -> &AtomicU64,
+    f: impl FnOnce() -> T,
+) -> T {
+    match timers {
+        Some(t) => {
+            let start = std::time::Instant::now();
+            let out = f();
+            slot(t).fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            out
+        }
+        None => f(),
+    }
+}
+
+/// The engine the divergence model picks for a measured rate.
+fn engine_of_rate(rate: f64) -> SimEngine {
+    if rate > SCALAR_DIVERGENCE_THRESHOLD {
+        SimEngine::Scalar
+    } else {
+        SimEngine::default()
+    }
 }
 
 /// How [`IncrementalCtx`] resolves the simulation engine per candidate.
@@ -249,7 +334,7 @@ impl<'a> IncrementalCtx<'a> {
         f: &Function,
         traces: &TraceSet,
         config: &FactConfig,
-        cache: Option<&'a EvalCache>,
+        hooks: OptimizeHooks<'a>,
     ) -> IncrementalCtx<'a> {
         let policy = if !config.sim_batch {
             EnginePolicy::Fixed(SimEngine::Scalar)
@@ -281,10 +366,37 @@ impl<'a> IncrementalCtx<'a> {
             full_reschedules: AtomicUsize::new(0),
             block_spliced: AtomicUsize::new(0),
             policy,
-            cache,
+            cache: hooks.cache,
             div_salt,
             div_rates: Mutex::new(HashMap::new()),
             sim: SimCounters::default(),
+            timers: hooks.timers,
+            mega: MegaCounters::default(),
+        }
+    }
+
+    /// The divergence-rate cache key of a candidate with structural hash
+    /// `hash` under this run's trace set.
+    fn div_key(&self, hash: u64) -> u64 {
+        ContextHasher::new(self.div_salt).write_u64(hash).finish()
+    }
+
+    /// Recalls a measured divergence rate, from the shared [`EvalCache`]
+    /// when one is wired in, from the run-local map otherwise.
+    fn cached_div_rate(&self, key: u64) -> Option<f64> {
+        match self.cache {
+            Some(c) => c.lookup(key).flatten(),
+            None => self.div_rates.lock().unwrap().get(&key).copied(),
+        }
+    }
+
+    /// Stores a measured divergence rate under `key`.
+    fn store_div_rate(&self, key: u64, rate: f64) {
+        match self.cache {
+            Some(c) => c.insert(key, Some(rate)),
+            None => {
+                self.div_rates.lock().unwrap().insert(key, rate);
+            }
         }
     }
 
@@ -313,32 +425,21 @@ impl<'a> IncrementalCtx<'a> {
             }
             EnginePolicy::Auto => SimEngine::default(),
         };
-        let key = ContextHasher::new(self.div_salt)
-            .write_u64(structural_hash(g))
-            .finish();
-        let cached = match self.cache {
-            Some(c) => c.lookup(key).flatten(),
-            None => self.div_rates.lock().unwrap().get(&key).copied(),
-        };
-        let rate = cached.unwrap_or_else(|| {
+        let key = self.div_key(structural_hash(g));
+        let rate = self.cached_div_rate(key).unwrap_or_else(|| {
             let probe_cfg = ExecConfig {
                 engine: base,
                 ..ExecConfig::default()
             };
-            let rate = measure_divergence(cf, traces, &probe_cfg, Some(&self.sim));
-            match self.cache {
-                Some(c) => c.insert(key, Some(rate)),
-                None => {
-                    self.div_rates.lock().unwrap().insert(key, rate);
-                }
-            }
+            let rate = timed(
+                self.timers,
+                |t| &t.simulate_ns,
+                || measure_divergence(cf, traces, &probe_cfg, Some(&self.sim)),
+            );
+            self.store_div_rate(key, rate);
             rate
         });
-        let engine = if rate > SCALAR_DIVERGENCE_THRESHOLD {
-            SimEngine::Scalar
-        } else {
-            base
-        };
+        let engine = engine_of_rate(rate);
         self.sim.note_engine(engine);
         engine
     }
@@ -374,57 +475,67 @@ fn eval_candidate(
 ) -> Option<(ScheduleResult, Estimate)> {
     let prof: BranchProfile = match (prof, cf) {
         (Some(p), _) => p,
-        (None, Some(cf)) => {
-            let cfg = ExecConfig {
-                engine,
-                ..ExecConfig::default()
-            };
-            profile_compiled_with(cf, traces, &cfg, Some(&ctx.sim))
-        }
-        (None, None) => profile(g, traces),
+        (None, Some(cf)) => timed(
+            ctx.timers,
+            |t| &t.simulate_ns,
+            || {
+                let cfg = ExecConfig {
+                    engine,
+                    ..ExecConfig::default()
+                };
+                profile_compiled_with(cf, traces, &cfg, Some(&ctx.sim))
+            },
+        ),
+        (None, None) => timed(ctx.timers, |t| &t.simulate_ns, || profile(g, traces)),
     };
     if prof.runs_ok == 0 {
         return None;
     }
-    let sr = schedule_with_memo(
-        g,
-        library,
-        rules,
-        alloc,
-        &prof,
-        &config.sched,
-        ctx.sched.as_ref(),
-    )
-    .ok()?;
-    ctx.note_schedule(&sr.report);
-    let memo = ctx.markov.as_ref();
-    let est = match config.objective {
-        // Pareto mode estimates at the reference voltage too: the archive
-        // lives in (energy_vdd2, latency) space and voltage becomes a
-        // knob only when the frontier is expanded ([`sweep_vdd`]).
-        Objective::Throughput | Objective::Pareto => {
-            evaluate_with_memo(&sr, library, config.sched.clock_ns, memo).ok()?
-        }
-        Objective::Power => {
-            let est = evaluate_power_mode_with_memo(
-                &sr,
+    timed(
+        ctx.timers,
+        |t| &t.estimate_ns,
+        || {
+            let sr = schedule_with_memo(
+                g,
                 library,
-                config.sched.clock_ns,
-                base_cycles,
-                memo,
+                rules,
+                alloc,
+                &prof,
+                &config.sched,
+                ctx.sched.as_ref(),
             )
             .ok()?;
-            // The paper's power mode holds performance at the baseline
-            // ("our aim is to keep the performance … the same while
-            // reducing power"): slower candidates are not admissible, or
-            // the energy/time quotient would reward mere slowdown.
-            if est.average_schedule_length > base_cycles * 1.001 {
-                return None;
-            }
-            est
-        }
-    };
-    Some((sr, est))
+            ctx.note_schedule(&sr.report);
+            let memo = ctx.markov.as_ref();
+            let est = match config.objective {
+                // Pareto mode estimates at the reference voltage too: the archive
+                // lives in (energy_vdd2, latency) space and voltage becomes a
+                // knob only when the frontier is expanded ([`sweep_vdd`]).
+                Objective::Throughput | Objective::Pareto => {
+                    evaluate_with_memo(&sr, library, config.sched.clock_ns, memo).ok()?
+                }
+                Objective::Power => {
+                    let est = evaluate_power_mode_with_memo(
+                        &sr,
+                        library,
+                        config.sched.clock_ns,
+                        base_cycles,
+                        memo,
+                    )
+                    .ok()?;
+                    // The paper's power mode holds performance at the baseline
+                    // ("our aim is to keep the performance … the same while
+                    // reducing power"): slower candidates are not admissible, or
+                    // the energy/time quotient would reward mere slowdown.
+                    if est.average_schedule_length > base_cycles * 1.001 {
+                        return None;
+                    }
+                    est
+                }
+            };
+            Some((sr, est))
+        },
+    )
 }
 
 /// The full per-candidate evaluation both search drivers share:
@@ -449,7 +560,9 @@ fn checked_estimate(
     // serves the equivalence check and the profiling pass (verdicts and
     // profiles are identical to the interpreter's — fact-sim's tests pin
     // this).
-    let cf = config.incremental.then(|| CompiledFn::compile(g));
+    let cf = config
+        .incremental
+        .then(|| timed(ctx.timers, |t| &t.compile_ns, || CompiledFn::compile(g)));
     // The engine selector runs per candidate: under the `Auto` policy it
     // measures (or recalls) this function's divergence rate and picks
     // whichever engine the model predicts is faster. Engines are
@@ -464,30 +577,36 @@ fn checked_estimate(
     };
     let mut merged_prof = None;
     if config.check_equivalence {
-        let verdict_ok = match (&ctx.equiv, &cf) {
-            // Memory-free behaviors: the equivalence pass executes the
-            // exact machine profiling would, so one simulation pass
-            // serves both.
-            (Some(reference), Some(cf)) if g.memories().count() == 0 => {
-                match reference.check_profiled_with(cf, traces, engine, Some(&ctx.sim)) {
-                    Ok((_, prof)) => {
-                        merged_prof = Some(prof);
-                        true
+        let verdict_ok = timed(
+            ctx.timers,
+            |t| &t.simulate_ns,
+            || {
+                match (&ctx.equiv, &cf) {
+                    // Memory-free behaviors: the equivalence pass executes the
+                    // exact machine profiling would, so one simulation pass
+                    // serves both.
+                    (Some(reference), Some(cf)) if g.memories().count() == 0 => {
+                        match reference.check_profiled_with(cf, traces, engine, Some(&ctx.sim)) {
+                            Ok((_, prof)) => {
+                                merged_prof = Some(prof);
+                                true
+                            }
+                            Err(_) => false,
+                        }
                     }
-                    Err(_) => false,
+                    (Some(reference), Some(cf)) => reference
+                        .check_with(cf, traces, engine, Some(&ctx.sim))
+                        .is_ok(),
+                    _ => {
+                        let cfg = ExecConfig {
+                            engine,
+                            ..ExecConfig::default()
+                        };
+                        check_equivalence_with(f, g, traces, 0xC0FFEE, &cfg, Some(&ctx.sim)).is_ok()
+                    }
                 }
-            }
-            (Some(reference), Some(cf)) => reference
-                .check_with(cf, traces, engine, Some(&ctx.sim))
-                .is_ok(),
-            _ => {
-                let cfg = ExecConfig {
-                    engine,
-                    ..ExecConfig::default()
-                };
-                check_equivalence_with(f, g, traces, 0xC0FFEE, &cfg, Some(&ctx.sim)).is_ok()
-            }
-        };
+            },
+        );
         if !verdict_ok {
             return None;
         }
@@ -506,6 +625,196 @@ fn checked_estimate(
         merged_prof,
     )?;
     Some(est)
+}
+
+/// [`checked_estimate`] specialized to mega-batch dispatch: the candidate
+/// arrives with its stage-1 structural hash (no re-hashing), compiles
+/// once, and is verified against the captured reference in a single
+/// allocation-free pass over the neighborhood-shared `scratch`. The
+/// engine selector's divergence probe is folded into that pass: a cached
+/// rate routes the engine immediately; a miss runs this evaluation
+/// batched and banks the rate measured over the *whole* verification —
+/// a better sample than the old one-batch probe, obtained for free.
+///
+/// Returns exactly what the per-candidate path would: both engines and
+/// both verify paths are bit-identical (fact-sim's property tests pin
+/// this), so only wall-clock and the sim work counters can differ.
+#[allow(clippy::too_many_arguments)]
+fn checked_estimate_mega(
+    f: &Function,
+    cand: &MegaCandidate<'_>,
+    library: &FuLibrary,
+    rules: &SelectionRules,
+    alloc: &Allocation,
+    traces: &TraceSet,
+    config: &FactConfig,
+    base_cycles: f64,
+    ctx: &IncrementalCtx,
+    scratch: &mut SimScratch,
+) -> Option<Estimate> {
+    let g = cand.function;
+    debug_assert_eq!(cand.hash, structural_hash(g));
+    // The folded verify+profile pass needs the captured reference; with
+    // equivalence checking off there is no verification pass to fold the
+    // probe into, so the plain per-candidate evaluation serves.
+    let Some(reference) = &ctx.equiv else {
+        return checked_estimate(
+            f,
+            g,
+            library,
+            rules,
+            alloc,
+            traces,
+            config,
+            base_cycles,
+            ctx,
+        );
+    };
+    let cf = timed(ctx.timers, |t| &t.compile_ns, || CompiledFn::compile(g));
+    let (engine, measure_key) = match ctx.policy {
+        EnginePolicy::Fixed(e) => (e, None),
+        EnginePolicy::Auto => {
+            let key = ctx.div_key(cand.hash);
+            match ctx.cached_div_rate(key) {
+                Some(rate) => (engine_of_rate(rate), None),
+                None => (SimEngine::default(), Some(key)),
+            }
+        }
+    };
+    ctx.sim.note_engine(engine);
+    let memory_free = g.memories().count() == 0;
+    let lanes = if memory_free {
+        traces.dedup_lanes().len()
+    } else {
+        traces.len()
+    };
+    ctx.mega.lanes.fetch_add(lanes as u64, Ordering::Relaxed);
+    let mut merged_prof = None;
+    let measured = timed(
+        ctx.timers,
+        |t| &t.simulate_ns,
+        || {
+            if memory_free {
+                // One simulation pass serves equivalence, profiling, and the
+                // divergence measurement.
+                let (verdict, rate) =
+                    reference.check_profiled_reusing(&cf, traces, engine, Some(&ctx.sim), scratch);
+                match verdict {
+                    Ok((_, prof)) => {
+                        merged_prof = Some(prof);
+                        Some(rate)
+                    }
+                    Err(_) => None,
+                }
+            } else {
+                let (verdict, rate) =
+                    reference.check_reusing(&cf, traces, engine, Some(&ctx.sim), scratch);
+                verdict.ok()?;
+                // Memory-bearing candidates still need the separate
+                // zero-initialized profiling pass; route it through the same
+                // neighborhood scratch instead of fresh per-call buffers.
+                let cfg = ExecConfig {
+                    engine,
+                    ..ExecConfig::default()
+                };
+                merged_prof = Some(profile_compiled_reusing(
+                    &cf,
+                    traces,
+                    &cfg,
+                    Some(&ctx.sim),
+                    scratch,
+                ));
+                Some(rate)
+            }
+        },
+    );
+    let rate = measured?;
+    if let Some(key) = measure_key {
+        ctx.store_div_rate(key, rate);
+    }
+    let (_, est) = eval_candidate(
+        g,
+        library,
+        rules,
+        alloc,
+        traces,
+        config,
+        base_cycles,
+        ctx,
+        engine,
+        Some(&cf),
+        merged_prof,
+    )?;
+    Some(est)
+}
+
+/// Evaluates one search neighborhood (the whole deduplicated candidate
+/// frontier of a move) as a single dispatch. Candidates are scored in
+/// slice order by `threads` workers, each holding one [`SimScratch`]
+/// drawn from `pool` for the duration of the batch, and results land in
+/// their candidate's slot — so the returned vector, and therefore the
+/// search trajectory, is identical for any thread count.
+fn evaluate_neighborhood<S: Send>(
+    batch: &[MegaCandidate<'_>],
+    threads: usize,
+    stop: Option<&AtomicBool>,
+    pool: &Mutex<Vec<SimScratch>>,
+    ctx: &IncrementalCtx,
+    eval_one: &(dyn Fn(&MegaCandidate<'_>, &mut SimScratch) -> Option<S> + Sync),
+) -> Vec<Option<S>> {
+    ctx.mega.batches.fetch_add(1, Ordering::Relaxed);
+    ctx.mega
+        .candidates
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let take_scratch = || pool.lock().unwrap().pop().unwrap_or_default();
+    let workers = threads.max(1).min(batch.len());
+    if workers <= 1 {
+        let mut scratch = take_scratch();
+        let mut out = Vec::with_capacity(batch.len());
+        for cand in batch {
+            if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                out.push(None);
+                continue;
+            }
+            out.push(eval_one(cand, &mut scratch));
+        }
+        pool.lock().unwrap().push(scratch);
+        return out;
+    }
+    // Work-stealing over candidate indices, mirroring the parallel
+    // dispatcher's scheme: assignment order never affects which slot a
+    // result lands in.
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<S>> = Vec::with_capacity(batch.len());
+    slots.resize_with(batch.len(), || None);
+    let chunks: Vec<Vec<(usize, Option<S>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = take_scratch();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= batch.len() {
+                            break;
+                        }
+                        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                            local.push((i, None));
+                            continue;
+                        }
+                        local.push((i, eval_one(&batch[i], &mut scratch)));
+                    }
+                    pool.lock().unwrap().push(scratch);
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, s) in chunks.into_iter().flatten() {
+        slots[i] = s;
+    }
+    slots
 }
 
 /// A 64-bit key covering everything a candidate's score depends on
@@ -600,7 +909,7 @@ pub fn optimize_with(
     config: &FactConfig,
     hooks: OptimizeHooks<'_>,
 ) -> Result<FactResult, FactError> {
-    let ctx = IncrementalCtx::new(f, traces, config, hooks.cache);
+    let ctx = IncrementalCtx::new(f, traces, config, hooks);
 
     // Step 1: schedule the input behavior (through the memo, so the
     // baseline's block fragments are already warm for candidates that
@@ -648,6 +957,10 @@ pub fn optimize_with(
 
     let context_key = evaluation_context_key(f, alloc, traces, config);
     let cache_hits = AtomicUsize::new(0);
+    let use_mega = config.mega_batch && config.incremental;
+    // Per-worker reusable simulation buffers, recycled across every
+    // mega-batch of the run (workers check one out per dispatch).
+    let scratch_pool: Mutex<Vec<SimScratch>> = Mutex::new(Vec::new());
     let mut stopped = false;
 
     for region in &regions {
@@ -655,34 +968,82 @@ pub fn optimize_with(
             stopped = true;
             break;
         }
-        let eval = |g: &Function| -> Option<f64> {
-            let score_of = || -> Option<f64> {
-                let est = checked_estimate(
-                    f,
-                    g,
-                    library,
-                    rules,
-                    alloc,
-                    traces,
-                    config,
-                    base_cycles,
-                    &ctx,
-                )?;
-                Some(config.objective.score(&est))
-            };
-            match hooks.cache {
-                Some(cache) => {
-                    let key = ContextHasher::new(context_key)
-                        .write_u64(structural_hash(g))
-                        .finish();
-                    let (score, hit) = cache.get_or_eval(key, score_of);
-                    if hit {
-                        cache_hits.fetch_add(1, Ordering::Relaxed);
+        let result = if use_mega {
+            let eval_one = |cand: &MegaCandidate<'_>, scratch: &mut SimScratch| -> Option<f64> {
+                let score_of = |scratch: &mut SimScratch| -> Option<f64> {
+                    let est = checked_estimate_mega(
+                        f,
+                        cand,
+                        library,
+                        rules,
+                        alloc,
+                        traces,
+                        config,
+                        base_cycles,
+                        &ctx,
+                        scratch,
+                    )?;
+                    Some(config.objective.score(&est))
+                };
+                match hooks.cache {
+                    Some(cache) => {
+                        // Same key the per-candidate path computes — the
+                        // hash rode in from stage-1 dedup instead of being
+                        // recomputed here.
+                        let key = ContextHasher::new(context_key)
+                            .write_u64(cand.hash)
+                            .finish();
+                        let (score, hit) = cache.get_or_eval(key, || score_of(scratch));
+                        if hit {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        score
                     }
-                    score
+                    None => score_of(scratch),
                 }
-                None => score_of(),
-            }
+            };
+            let mega = |batch: &[MegaCandidate<'_>]| -> Vec<Option<f64>> {
+                evaluate_neighborhood(
+                    batch,
+                    config.search.threads,
+                    hooks.stop,
+                    &scratch_pool,
+                    &ctx,
+                    &eval_one,
+                )
+            };
+            apply_transforms_batched(&current, region, tlib, &config.search, &mega, hooks.stop)
+        } else {
+            let eval = |g: &Function| -> Option<f64> {
+                let score_of = || -> Option<f64> {
+                    let est = checked_estimate(
+                        f,
+                        g,
+                        library,
+                        rules,
+                        alloc,
+                        traces,
+                        config,
+                        base_cycles,
+                        &ctx,
+                    )?;
+                    Some(config.objective.score(&est))
+                };
+                match hooks.cache {
+                    Some(cache) => {
+                        let key = ContextHasher::new(context_key)
+                            .write_u64(structural_hash(g))
+                            .finish();
+                        let (score, hit) = cache.get_or_eval(key, score_of);
+                        if hit {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        score
+                    }
+                    None => score_of(),
+                }
+            };
+            apply_transforms_parallel(&current, region, tlib, &config.search, &eval, hooks.stop)
         };
         let SearchResult {
             best,
@@ -691,7 +1052,7 @@ pub fn optimize_with(
             applied: path,
             stopped: search_stopped,
             ..
-        } = apply_transforms_parallel(&current, region, tlib, &config.search, &eval, hooks.stop);
+        } = result;
         evaluated += n;
         stopped |= search_stopped;
         if best_score > f64::NEG_INFINITY && !path.is_empty() {
@@ -735,6 +1096,9 @@ pub fn optimize_with(
         sim_engine_scalar: ctx.sim.engine_scalar(),
         sim_engine_batched: ctx.sim.engine_batched(),
         lane_compactions: ctx.sim.compactions(),
+        neighborhood_batches: ctx.mega.batches.load(Ordering::Relaxed),
+        mega_lanes: ctx.mega.lanes.load(Ordering::Relaxed),
+        mega_candidates: ctx.mega.candidates.load(Ordering::Relaxed),
         stopped,
     })
 }
@@ -793,6 +1157,12 @@ pub struct ParetoFactResult {
     pub sim_engine_batched: u64,
     /// Lane-compaction passes performed inside batched simulation.
     pub lane_compactions: u64,
+    /// Whole-neighborhood mega-batch dispatches evaluated.
+    pub neighborhood_batches: u64,
+    /// Simulation lanes dispatched by the mega-batch path.
+    pub mega_lanes: u64,
+    /// Candidates handed to mega-batch dispatches (cache hits included).
+    pub mega_candidates: u64,
     /// `true` when the run was cut short by cancellation or timeout.
     pub stopped: bool,
 }
@@ -858,7 +1228,7 @@ pub fn optimize_pareto_with(
         ..config.clone()
     };
     let config = &config;
-    let ctx = IncrementalCtx::new(f, traces, config, hooks.cache);
+    let ctx = IncrementalCtx::new(f, traces, config, hooks);
 
     // Step 1: schedule + estimate the input behavior.
     let prof = profile(f, traces);
@@ -902,6 +1272,8 @@ pub fn optimize_pareto_with(
         ParetoArchive::new(config.pareto.archive_capacity);
     let context_key = evaluation_context_key(f, alloc, traces, config);
     let cache_hits = AtomicUsize::new(0);
+    let use_mega = config.mega_batch && config.incremental;
+    let scratch_pool: Mutex<Vec<SimScratch>> = Mutex::new(Vec::new());
     let mut evaluated = 0usize;
     let mut blocks_optimized = 0usize;
     let mut stopped = false;
@@ -911,51 +1283,111 @@ pub fn optimize_pareto_with(
             stopped = true;
             break;
         }
-        let eval = |g: &Function| -> Option<(f64, f64)> {
-            let pair_of = || -> Option<(f64, f64)> {
-                let est = checked_estimate(
-                    f,
-                    g,
-                    library,
-                    rules,
-                    alloc,
-                    traces,
-                    config,
-                    base_cycles,
-                    &ctx,
-                )?;
-                Some((est.energy_vdd2, est.average_schedule_length))
-            };
-            match hooks.cache {
-                Some(cache) => {
-                    // Two salted slots per candidate (the cache stores one
-                    // f64 per key): energy under salt 1, latency under 2.
-                    let base = ContextHasher::new(context_key)
-                        .write_u64(structural_hash(g))
-                        .finish();
-                    let ke = ContextHasher::new(base).write_u64(1).finish();
-                    let kl = ContextHasher::new(base).write_u64(2).finish();
-                    if let (Some(e), Some(l)) = (cache.lookup(ke), cache.lookup(kl)) {
-                        cache_hits.fetch_add(1, Ordering::Relaxed);
-                        return e.zip(l);
+        let r = if use_mega {
+            let eval_one =
+                |cand: &MegaCandidate<'_>, scratch: &mut SimScratch| -> Option<(f64, f64)> {
+                    let pair_of = |scratch: &mut SimScratch| -> Option<(f64, f64)> {
+                        let est = checked_estimate_mega(
+                            f,
+                            cand,
+                            library,
+                            rules,
+                            alloc,
+                            traces,
+                            config,
+                            base_cycles,
+                            &ctx,
+                            scratch,
+                        )?;
+                        Some((est.energy_vdd2, est.average_schedule_length))
+                    };
+                    match hooks.cache {
+                        Some(cache) => {
+                            // Two salted slots per candidate, exactly as the
+                            // per-candidate path below.
+                            let base = ContextHasher::new(context_key)
+                                .write_u64(cand.hash)
+                                .finish();
+                            let ke = ContextHasher::new(base).write_u64(1).finish();
+                            let kl = ContextHasher::new(base).write_u64(2).finish();
+                            if let (Some(e), Some(l)) = (cache.lookup(ke), cache.lookup(kl)) {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                                return e.zip(l);
+                            }
+                            let pair = pair_of(scratch);
+                            cache.insert(ke, pair.map(|(e, _)| e));
+                            cache.insert(kl, pair.map(|(_, l)| l));
+                            pair
+                        }
+                        None => pair_of(scratch),
                     }
-                    let pair = pair_of();
-                    cache.insert(ke, pair.map(|(e, _)| e));
-                    cache.insert(kl, pair.map(|(_, l)| l));
-                    pair
+                };
+            let mega = |batch: &[MegaCandidate<'_>]| -> Vec<Option<(f64, f64)>> {
+                evaluate_neighborhood(
+                    batch,
+                    config.search.threads,
+                    hooks.stop,
+                    &scratch_pool,
+                    &ctx,
+                    &eval_one,
+                )
+            };
+            apply_transforms_pareto_batched(
+                f,
+                region,
+                tlib,
+                &config.search,
+                &mut archive,
+                &mega,
+                hooks.stop,
+            )
+        } else {
+            let eval = |g: &Function| -> Option<(f64, f64)> {
+                let pair_of = || -> Option<(f64, f64)> {
+                    let est = checked_estimate(
+                        f,
+                        g,
+                        library,
+                        rules,
+                        alloc,
+                        traces,
+                        config,
+                        base_cycles,
+                        &ctx,
+                    )?;
+                    Some((est.energy_vdd2, est.average_schedule_length))
+                };
+                match hooks.cache {
+                    Some(cache) => {
+                        // Two salted slots per candidate (the cache stores one
+                        // f64 per key): energy under salt 1, latency under 2.
+                        let base = ContextHasher::new(context_key)
+                            .write_u64(structural_hash(g))
+                            .finish();
+                        let ke = ContextHasher::new(base).write_u64(1).finish();
+                        let kl = ContextHasher::new(base).write_u64(2).finish();
+                        if let (Some(e), Some(l)) = (cache.lookup(ke), cache.lookup(kl)) {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                            return e.zip(l);
+                        }
+                        let pair = pair_of();
+                        cache.insert(ke, pair.map(|(e, _)| e));
+                        cache.insert(kl, pair.map(|(_, l)| l));
+                        pair
+                    }
+                    None => pair_of(),
                 }
-                None => pair_of(),
-            }
+            };
+            apply_transforms_pareto(
+                f,
+                region,
+                tlib,
+                &config.search,
+                &mut archive,
+                &eval,
+                hooks.stop,
+            )
         };
-        let r = apply_transforms_pareto(
-            f,
-            region,
-            tlib,
-            &config.search,
-            &mut archive,
-            &eval,
-            hooks.stop,
-        );
         evaluated += r.evaluated;
         stopped |= r.stopped;
         blocks_optimized += 1;
@@ -1013,6 +1445,9 @@ pub fn optimize_pareto_with(
         sim_engine_scalar: ctx.sim.engine_scalar(),
         sim_engine_batched: ctx.sim.engine_batched(),
         lane_compactions: ctx.sim.compactions(),
+        neighborhood_batches: ctx.mega.batches.load(Ordering::Relaxed),
+        mega_lanes: ctx.mega.lanes.load(Ordering::Relaxed),
+        mega_candidates: ctx.mega.candidates.load(Ordering::Relaxed),
         stopped,
     })
 }
@@ -1213,6 +1648,7 @@ mod tests {
         let hooks = OptimizeHooks {
             cache: Some(&cache),
             stop: None,
+            timers: None,
         };
         let cold = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
         assert_eq!(cold.cache_hits, 0, "first job must be all misses");
@@ -1238,6 +1674,7 @@ mod tests {
         let hooks = OptimizeHooks {
             cache: Some(&cache),
             stop: None,
+            timers: None,
         };
         let uncached = optimize(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg).unwrap();
         let _ = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
@@ -1352,6 +1789,7 @@ mod tests {
         let hooks = OptimizeHooks {
             cache: None,
             stop: Some(&stop),
+            timers: None,
         };
         let r = optimize_with(&f, &lib, &rules, &alloc, &traces, &tlib, &cfg, hooks).unwrap();
         // Pre-cancelled: the baseline still gets scheduled (that is the

@@ -130,6 +130,20 @@ struct Scored {
     path: Option<Arc<PathNode>>,
 }
 
+/// One stage-1 survivor of a neighborhood expansion, as handed to a
+/// whole-batch evaluator ([`apply_transforms_batched`] /
+/// [`apply_transforms_pareto_batched`]).
+///
+/// The structural hash is the one stage 1 already computed for
+/// deduplication, piggybacked here so batched evaluators can key their
+/// score caches without hashing the function a second time.
+pub struct MegaCandidate<'a> {
+    /// The candidate CDFG.
+    pub function: &'a Function,
+    /// `structural_hash(self.function)`, computed during stage-1 dedup.
+    pub hash: u64,
+}
+
 /// How a batch of candidates gets scored. Generic over the score type:
 /// the scalar search dispatches `f64` objectives, the Pareto search
 /// dispatches `(energy, latency)` pairs through the same machinery.
@@ -141,15 +155,32 @@ enum Dispatch<'a, S: Send> {
         eval: &'a (dyn Fn(&Function) -> Option<S> + Sync),
         threads: usize,
     },
+    /// The whole surviving neighborhood in one call: the evaluator sees
+    /// the full candidate slice (with piggybacked structural hashes) and
+    /// returns one score slot per candidate, in order. How work is
+    /// scheduled inside the batch is the evaluator's business — the
+    /// search only fixes the batch order, which is what determinism
+    /// rests on.
+    Mega(&'a MegaEval<'a, S>),
 }
 
+/// A whole-neighborhood evaluator for mega-batch dispatch: scores one
+/// candidate slice in a single call, returning one score slot per
+/// candidate in slice order (`None` marks an invalid or skipped
+/// candidate).
+pub type MegaEval<'e, S> = dyn Fn(&[MegaCandidate<'_>]) -> Vec<Option<S>> + Sync + 'e;
+
 impl<S: Send> Dispatch<'_, S> {
-    fn eval_batch(&mut self, batch: &[&Function], stop: Option<&AtomicBool>) -> Vec<Option<S>> {
+    fn eval_batch(
+        &mut self,
+        batch: &[MegaCandidate<'_>],
+        stop: Option<&AtomicBool>,
+    ) -> Vec<Option<S>> {
         let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
         match self {
             Dispatch::Seq(eval) => batch
                 .iter()
-                .map(|g| if cancelled() { None } else { eval(g) })
+                .map(|c| if cancelled() { None } else { eval(c.function) })
                 .collect(),
             Dispatch::Par { eval, threads } => {
                 let eval: &(dyn Fn(&Function) -> Option<S> + Sync) = *eval;
@@ -157,7 +188,7 @@ impl<S: Send> Dispatch<'_, S> {
                 if workers <= 1 {
                     return batch
                         .iter()
-                        .map(|g| if cancelled() { None } else { eval(g) })
+                        .map(|c| if cancelled() { None } else { eval(c.function) })
                         .collect();
                 }
                 let next = AtomicUsize::new(0);
@@ -177,7 +208,7 @@ impl<S: Send> Dispatch<'_, S> {
                                     if i >= batch.len() {
                                         break;
                                     }
-                                    local.push((i, eval(batch[i])));
+                                    local.push((i, eval(batch[i].function)));
                                 }
                                 local
                             })
@@ -191,6 +222,15 @@ impl<S: Send> Dispatch<'_, S> {
                 });
                 scores
             }
+            Dispatch::Mega(eval) => {
+                let scores = eval(batch);
+                assert_eq!(
+                    scores.len(),
+                    batch.len(),
+                    "mega-batch evaluator must return one slot per candidate"
+                );
+                scores
+            }
         }
     }
 }
@@ -198,6 +238,8 @@ impl<S: Send> Dispatch<'_, S> {
 /// A not-yet-evaluated expansion of a frontier element.
 struct Candidate {
     f: Function,
+    /// Structural hash computed by stage-1 dedup (see [`MegaCandidate`]).
+    hash: u64,
     parent: usize,
     description: String,
 }
@@ -275,6 +317,32 @@ pub fn apply_transforms_parallel(
     )
 }
 
+/// [`apply_transforms`] with whole-neighborhood dispatch: instead of one
+/// evaluator call per candidate, `evaluate` receives every stage-1
+/// surviving candidate of a move as one [`MegaCandidate`] slice and
+/// returns one score slot per candidate, in order. This is the entry
+/// point of the mega-batched evaluation pipeline (see
+/// `fact_core::optimize`), which amortizes trace-column resolution and
+/// simulation scratch across the whole neighborhood.
+///
+/// Determinism contract: the search fixes the batch order in stage 1 and
+/// consumes its RNG only in stage 3, exactly as the per-candidate
+/// dispatches do — so as long as `evaluate` fills each slot with the
+/// same value the per-candidate evaluator would produce, the result is
+/// bit-identical to [`apply_transforms`] / [`apply_transforms_parallel`]
+/// for the same seed, regardless of how the evaluator schedules work
+/// internally.
+pub fn apply_transforms_batched(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    evaluate: &MegaEval<'_, f64>,
+    stop: Option<&AtomicBool>,
+) -> SearchResult {
+    run_search(g0, region, library, config, Dispatch::Mega(evaluate), stop)
+}
+
 fn run_search(
     g0: &Function,
     region: &Region,
@@ -288,9 +356,18 @@ fn run_search(
     let mut seen: HashSet<u64> = HashSet::new();
     let cancelled = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
 
-    let base_score = dispatch.eval_batch(&[g0], stop).remove(0);
+    let h0 = structural_hash(g0);
+    let base_score = dispatch
+        .eval_batch(
+            &[MegaCandidate {
+                function: g0,
+                hash: h0,
+            }],
+            stop,
+        )
+        .remove(0);
     evaluated += 1;
-    seen.insert(structural_hash(g0));
+    seen.insert(h0);
     let Some(base_score) = base_score else {
         return SearchResult {
             best: g0.clone(),
@@ -330,11 +407,13 @@ fn run_search(
                     if candidates.len() >= budget {
                         break 'expand;
                     }
-                    if !seen.insert(structural_hash(&cand.function)) {
+                    let hash = structural_hash(&cand.function);
+                    if !seen.insert(hash) {
                         continue;
                     }
                     candidates.push(Candidate {
                         f: cand.function,
+                        hash,
                         parent,
                         description: cand.description,
                     });
@@ -345,7 +424,13 @@ fn run_search(
             }
 
             // Stage 2: score the batch (possibly across worker threads).
-            let batch: Vec<&Function> = candidates.iter().map(|c| &c.f).collect();
+            let batch: Vec<MegaCandidate<'_>> = candidates
+                .iter()
+                .map(|c| MegaCandidate {
+                    function: &c.f,
+                    hash: c.hash,
+                })
+                .collect();
             let scores = dispatch.eval_batch(&batch, stop);
             evaluated += candidates.len();
             if cancelled() {
@@ -514,10 +599,56 @@ pub fn apply_transforms_pareto(
     evaluate: &(dyn Fn(&Function) -> Option<(f64, f64)> + Sync),
     stop: Option<&AtomicBool>,
 ) -> ParetoSearchResult {
-    let mut dispatch = Dispatch::Par {
-        eval: evaluate,
-        threads: config.threads.max(1),
-    };
+    run_search_pareto(
+        g0,
+        region,
+        library,
+        config,
+        archive,
+        Dispatch::Par {
+            eval: evaluate,
+            threads: config.threads.max(1),
+        },
+        stop,
+    )
+}
+
+/// [`apply_transforms_pareto`] with whole-neighborhood dispatch: like
+/// [`apply_transforms_batched`], every stage-1 surviving candidate of a
+/// move reaches `evaluate` in one slice (scores are `(energy_vdd2,
+/// latency_cycles)` pairs, one slot per candidate, in order). The final
+/// archive is bit-identical to [`apply_transforms_pareto`]'s given the
+/// same seed and a slot-wise identical evaluator.
+pub fn apply_transforms_pareto_batched(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    archive: &mut ParetoArchive<ParetoCandidate>,
+    evaluate: &MegaEval<'_, (f64, f64)>,
+    stop: Option<&AtomicBool>,
+) -> ParetoSearchResult {
+    run_search_pareto(
+        g0,
+        region,
+        library,
+        config,
+        archive,
+        Dispatch::Mega(evaluate),
+        stop,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_search_pareto(
+    g0: &Function,
+    region: &Region,
+    library: &TransformLibrary,
+    config: &SearchConfig,
+    archive: &mut ParetoArchive<ParetoCandidate>,
+    mut dispatch: Dispatch<'_, (f64, f64)>,
+    stop: Option<&AtomicBool>,
+) -> ParetoSearchResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut evaluated = 0usize;
     let mut seen: HashSet<u64> = HashSet::new();
@@ -528,8 +659,17 @@ pub fn apply_transforms_pareto(
         seen.insert(structural_hash(&c.f));
     }
     // The input anchors the high-latency end of the frontier.
-    if seen.insert(structural_hash(g0)) {
-        let base = dispatch.eval_batch(&[g0], stop).remove(0);
+    let h0 = structural_hash(g0);
+    if seen.insert(h0) {
+        let base = dispatch
+            .eval_batch(
+                &[MegaCandidate {
+                    function: g0,
+                    hash: h0,
+                }],
+                stop,
+            )
+            .remove(0);
         evaluated += 1;
         if let Some((energy, latency)) = base {
             archive.try_insert(
@@ -573,11 +713,13 @@ pub fn apply_transforms_pareto(
                     if candidates.len() >= budget {
                         break 'expand;
                     }
-                    if !seen.insert(structural_hash(&cand.function)) {
+                    let hash = structural_hash(&cand.function);
+                    if !seen.insert(hash) {
                         continue;
                     }
                     candidates.push(Candidate {
                         f: cand.function,
+                        hash,
                         parent,
                         description: cand.description,
                     });
@@ -588,7 +730,13 @@ pub fn apply_transforms_pareto(
             }
 
             // Stage 2: score the batch across worker threads.
-            let batch: Vec<&Function> = candidates.iter().map(|c| &c.f).collect();
+            let batch: Vec<MegaCandidate<'_>> = candidates
+                .iter()
+                .map(|c| MegaCandidate {
+                    function: &c.f,
+                    hash: c.hash,
+                })
+                .collect();
             let scores = dispatch.eval_batch(&batch, stop);
             evaluated += candidates.len();
             if cancelled() {
@@ -801,6 +949,94 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_to_sequential() {
+        // The mega-batch dispatch sees whole neighborhoods but must walk
+        // the exact same trajectory; the piggybacked hashes must match a
+        // fresh structural hash of each candidate.
+        let f =
+            compile("proc f(a, b, c, d, e2) { out y = a * b + a * c + a * d + a * e2; }").unwrap();
+        let lib = TransformLibrary::full();
+        let seq = apply_transforms(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &mut op_count_score,
+        );
+        let batched_eval = |batch: &[MegaCandidate<'_>]| {
+            batch
+                .iter()
+                .map(|c| {
+                    assert_eq!(c.hash, structural_hash(c.function));
+                    op_count_score(c.function)
+                })
+                .collect()
+        };
+        let mega = apply_transforms_batched(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &batched_eval,
+            None,
+        );
+        assert_eq!(mega.best_score, seq.best_score);
+        assert_eq!(mega.evaluated, seq.evaluated);
+        assert_eq!(mega.rounds, seq.rounds);
+        assert_eq!(mega.applied, seq.applied);
+        assert_eq!(mega.best.to_string(), seq.best.to_string());
+    }
+
+    #[test]
+    fn batched_pareto_matches_per_candidate() {
+        let f =
+            compile("proc f(a, b, c, d, e2) { out y = a * b + a * c + a * d + a * e2; }").unwrap();
+        let lib = TransformLibrary::full();
+        let pair = |g: &Function| {
+            let ops = datapath_op_count(g) as f64;
+            Some((ops, -ops))
+        };
+        let mut a1 = ParetoArchive::new(16);
+        let r1 = apply_transforms_pareto(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &mut a1,
+            &pair,
+            None,
+        );
+        let mut a2 = ParetoArchive::new(16);
+        let batched_pair = |batch: &[MegaCandidate<'_>]| {
+            batch
+                .iter()
+                .map(|c| {
+                    assert_eq!(c.hash, structural_hash(c.function));
+                    pair(c.function)
+                })
+                .collect()
+        };
+        let r2 = apply_transforms_pareto_batched(
+            &f,
+            &Region::whole(),
+            &lib,
+            &SearchConfig::default(),
+            &mut a2,
+            &batched_pair,
+            None,
+        );
+        assert_eq!(r1.evaluated, r2.evaluated);
+        assert_eq!(r1.rounds, r2.rounds);
+        let pts = |a: &ParetoArchive<ParetoCandidate>| {
+            a.entries()
+                .iter()
+                .map(|(p, c)| (p.energy, p.latency, c.applied()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pts(&a1), pts(&a2));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Mega-batch-vs-per-candidate equivalence property tests.
+//!
+//! The mega-batched neighborhood dispatch (whole candidate frontier
+//! evaluated as one slice, shared per-worker scratch, divergence probe
+//! folded into verification) must be *bit-identical* to per-candidate
+//! dispatch — same search trajectory, same winner, same scores, same
+//! cache behavior — for any thread count. These tests hold the two
+//! dispatch modes together across the §5 suite, both objectives, and
+//! the Pareto driver.
+//!
+//! Deliberately NOT compared: `sim_vectors`, `sim_batches`, and the
+//! engine-routing counters. The mega path measures divergence on the
+//! whole verification pass instead of a separate probe batch, so the
+//! amount and routing of simulation *work* legitimately differs; only
+//! results must not.
+
+use fact_core::{
+    optimize_pareto_with, optimize_with, structural_hash, suite, EvalCache, FactConfig, FactResult,
+    Objective, OptimizeHooks, ParetoFactResult, TransformLibrary,
+};
+use fact_estim::section5_library;
+
+fn quick_config(objective: Objective, seed: u64, threads: usize) -> FactConfig {
+    let mut config = FactConfig {
+        objective,
+        ..FactConfig::default()
+    };
+    config.search.seed = seed;
+    config.search.threads = threads;
+    config.search.max_moves = 3;
+    config.search.in_set_size = 2;
+    config.search.max_rounds = 2;
+    config.search.max_evaluations = 60;
+    config
+}
+
+fn run(b: &suite::Benchmark, config: &FactConfig) -> (FactResult, EvalCache) {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    let cache = EvalCache::default();
+    let hooks = OptimizeHooks {
+        cache: Some(&cache),
+        stop: None,
+        timers: None,
+    };
+    let r = optimize_with(
+        &b.function,
+        &lib,
+        &rules,
+        &b.allocation,
+        &b.traces,
+        &tlib,
+        config,
+        hooks,
+    )
+    .expect("optimize run");
+    (r, cache)
+}
+
+fn assert_results_identical(a: &FactResult, b: &FactResult, ctx: &str) {
+    assert_eq!(a.applied, b.applied, "applied path differs ({ctx})");
+    assert_eq!(a.evaluated, b.evaluated, "eval count differs ({ctx})");
+    assert_eq!(a.cache_hits, b.cache_hits, "cache hits differ ({ctx})");
+    assert_eq!(
+        structural_hash(&a.best),
+        structural_hash(&b.best),
+        "winner structural hash differs ({ctx})"
+    );
+    assert_eq!(
+        a.estimate.average_schedule_length.to_bits(),
+        b.estimate.average_schedule_length.to_bits(),
+        "schedule length differs ({ctx})"
+    );
+    assert_eq!(
+        a.estimate.power.to_bits(),
+        b.estimate.power.to_bits(),
+        "power differs ({ctx})"
+    );
+    assert_eq!(
+        a.blocks_optimized, b.blocks_optimized,
+        "blocks optimized differ ({ctx})"
+    );
+}
+
+/// For fixed seeds, mega-batch dispatch must reproduce per-candidate
+/// dispatch exactly — across the suite, both objectives, and worker
+/// thread counts 1, 2, and 8.
+#[test]
+fn optimize_suite_mega_matches_per_candidate() {
+    let (lib, _) = section5_library();
+    for b in suite(&lib) {
+        for (objective, seed) in [(Objective::Throughput, 3), (Objective::Power, 17)] {
+            let mut baseline_cfg = quick_config(objective, seed, 1);
+            baseline_cfg.mega_batch = false;
+            let (baseline, baseline_cache) = run(&b, &baseline_cfg);
+            assert_eq!(
+                baseline.neighborhood_batches, 0,
+                "per-candidate dispatch ran mega batches ({})",
+                b.name
+            );
+
+            for threads in [1usize, 2, 8] {
+                let mega_cfg = quick_config(objective, seed, threads);
+                let (mega, mega_cache) = run(&b, &mega_cfg);
+                let ctx = format!("{} {objective:?} seed={seed} threads={threads}", b.name);
+                assert_results_identical(&baseline, &mega, &ctx);
+                // The shared-cache state both runs leave behind must agree
+                // too: same keys resolved, same hit/miss split.
+                let (bs, ms) = (baseline_cache.stats(), mega_cache.stats());
+                assert_eq!(bs.entries, ms.entries, "cache entries differ ({ctx})");
+                assert_eq!(bs.misses, ms.misses, "cache misses differ ({ctx})");
+                if mega.evaluated > 0 {
+                    assert!(
+                        mega.neighborhood_batches > 0,
+                        "mega dispatch never engaged ({ctx})"
+                    );
+                    assert_eq!(
+                        mega.mega_candidates, mega.evaluated as u64,
+                        "mega candidate count != evaluations ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `mega_batch` toggle must be a pure dispatch choice in the Pareto
+/// driver too: same frontier (bit for bit), same trajectory.
+#[test]
+fn optimize_pareto_mega_matches_per_candidate() {
+    let (lib, rules) = section5_library();
+    let tlib = TransformLibrary::full();
+    for b in suite(&lib).into_iter().take(3) {
+        let run_pareto = |mega: bool, threads: usize| -> ParetoFactResult {
+            let mut config = quick_config(Objective::Pareto, 5, threads);
+            config.mega_batch = mega;
+            let cache = EvalCache::default();
+            let hooks = OptimizeHooks {
+                cache: Some(&cache),
+                stop: None,
+                timers: None,
+            };
+            optimize_pareto_with(
+                &b.function,
+                &lib,
+                &rules,
+                &b.allocation,
+                &b.traces,
+                &tlib,
+                &config,
+                hooks,
+            )
+            .expect("pareto run")
+        };
+        let baseline = run_pareto(false, 1);
+        for threads in [1usize, 2, 8] {
+            let mega = run_pareto(true, threads);
+            let ctx = format!("{} pareto threads={threads}", b.name);
+            assert_eq!(
+                baseline.evaluated, mega.evaluated,
+                "eval count differs ({ctx})"
+            );
+            assert_eq!(
+                baseline.cache_hits, mega.cache_hits,
+                "cache hits differ ({ctx})"
+            );
+            assert_eq!(
+                baseline.archive_len, mega.archive_len,
+                "archive size differs ({ctx})"
+            );
+            assert_eq!(
+                baseline.frontier.len(),
+                mega.frontier.len(),
+                "frontier size differs ({ctx})"
+            );
+            for (x, y) in baseline.frontier.iter().zip(&mega.frontier) {
+                assert_eq!(
+                    x.energy.to_bits(),
+                    y.energy.to_bits(),
+                    "frontier energy differs ({ctx})"
+                );
+                assert_eq!(
+                    x.latency_cycles.to_bits(),
+                    y.latency_cycles.to_bits(),
+                    "frontier latency differs ({ctx})"
+                );
+                assert_eq!(x.applied, y.applied, "frontier path differs ({ctx})");
+            }
+        }
+    }
+}
+
+/// `mega_batch` is gated on `incremental`: without the incremental
+/// machinery there is no compiled form or captured reference to batch
+/// over, so the toggle must quietly fall back to per-candidate dispatch.
+#[test]
+fn mega_requires_incremental() {
+    let (lib, _) = section5_library();
+    let b = suite(&lib).into_iter().next().expect("suite nonempty");
+    let mut config = quick_config(Objective::Throughput, 3, 1);
+    config.incremental = false;
+    config.mega_batch = true;
+    let (r, _) = run(&b, &config);
+    assert_eq!(
+        r.neighborhood_batches, 0,
+        "mega dispatch engaged without incremental evaluation"
+    );
+}

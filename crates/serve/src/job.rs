@@ -74,6 +74,7 @@ pub fn run_job(
     let hooks = OptimizeHooks {
         cache: Some(cache),
         stop: Some(stop),
+        timers: None,
     };
     let result = optimize_with(
         &f,
@@ -106,6 +107,7 @@ pub fn run_pareto_job(
     let hooks = OptimizeHooks {
         cache: Some(cache),
         stop: Some(stop),
+        timers: None,
     };
     let result = optimize_pareto_with(
         &f,

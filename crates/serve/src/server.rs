@@ -105,6 +105,9 @@ struct JobCounters {
     sim_engine_scalar: u64,
     sim_engine_batched: u64,
     lane_compactions: u64,
+    neighborhood_batches: u64,
+    mega_lanes: u64,
+    mega_candidates: u64,
     stopped: bool,
 }
 
@@ -287,6 +290,9 @@ fn worker_loop(shared: &Shared) {
                         sim_engine_scalar: r.sim_engine_scalar,
                         sim_engine_batched: r.sim_engine_batched,
                         lane_compactions: r.lane_compactions,
+                        neighborhood_batches: r.neighborhood_batches,
+                        mega_lanes: r.mega_lanes,
+                        mega_candidates: r.mega_candidates,
                         stopped: r.stopped,
                     },
                 )
@@ -305,6 +311,9 @@ fn worker_loop(shared: &Shared) {
                         sim_engine_scalar: r.sim_engine_scalar,
                         sim_engine_batched: r.sim_engine_batched,
                         lane_compactions: r.lane_compactions,
+                        neighborhood_batches: r.neighborhood_batches,
+                        mega_lanes: r.mega_lanes,
+                        mega_candidates: r.mega_candidates,
                         stopped: r.stopped,
                     },
                 )
@@ -344,6 +353,18 @@ fn worker_loop(shared: &Shared) {
                     .stats
                     .lane_compactions
                     .fetch_add(c.lane_compactions, Ordering::Relaxed);
+                shared
+                    .stats
+                    .neighborhood_batches
+                    .fetch_add(c.neighborhood_batches, Ordering::Relaxed);
+                shared
+                    .stats
+                    .mega_lanes
+                    .fetch_add(c.mega_lanes, Ordering::Relaxed);
+                shared
+                    .stats
+                    .mega_candidates
+                    .fetch_add(c.mega_candidates, Ordering::Relaxed);
                 let counter = if c.stopped {
                     &shared.stats.timed_out
                 } else {

@@ -60,6 +60,15 @@ pub struct ServerStats {
     /// Regroup-point lane compactions performed by the batched engine
     /// across all jobs (`FactResult::lane_compactions`).
     pub lane_compactions: AtomicU64,
+    /// Whole-neighborhood mega-batch dispatches across all jobs
+    /// (`FactResult::neighborhood_batches`).
+    pub neighborhood_batches: AtomicU64,
+    /// Simulation lanes dispatched by the mega-batch path across all
+    /// jobs (`FactResult::mega_lanes`).
+    pub mega_lanes: AtomicU64,
+    /// Candidates handed to mega-batch dispatches across all jobs
+    /// (`FactResult::mega_candidates`; cache hits included).
+    pub mega_candidates: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -89,6 +98,9 @@ impl ServerStats {
             sim_engine_scalar: AtomicU64::new(0),
             sim_engine_batched: AtomicU64::new(0),
             lane_compactions: AtomicU64::new(0),
+            neighborhood_batches: AtomicU64::new(0),
+            mega_lanes: AtomicU64::new(0),
+            mega_candidates: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
@@ -116,6 +128,16 @@ impl ServerStats {
             return 0.0;
         }
         self.sim_vectors.load(Ordering::Relaxed) as f64 / secs
+    }
+
+    /// Mean candidates per mega-batch dispatch across the server's
+    /// lifetime (0.0 before any mega-batch runs).
+    pub fn candidates_per_batch(&self) -> f64 {
+        let batches = self.neighborhood_batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            return 0.0;
+        }
+        self.mega_candidates.load(Ordering::Relaxed) as f64 / batches as f64
     }
 
     /// `(p50, p95)` over the recent-latency window, in milliseconds;
@@ -160,6 +182,12 @@ impl ServerStats {
             ("sim_engine_scalar", counter(&self.sim_engine_scalar)),
             ("sim_engine_batched", counter(&self.sim_engine_batched)),
             ("lane_compactions", counter(&self.lane_compactions)),
+            ("neighborhood_batches", counter(&self.neighborhood_batches)),
+            ("mega_lanes", counter(&self.mega_lanes)),
+            (
+                "candidates_per_batch",
+                Value::Float(self.candidates_per_batch()),
+            ),
             (
                 "sim_vectors_per_sec",
                 Value::Float(self.sim_vectors_per_sec()),
@@ -182,6 +210,7 @@ impl ServerStats {
              kinds=opt:{}/pareto:{} pareto_pts={} \
              evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
              engine=scalar:{}/batched:{} compactions={} \
+             mega={}x{:.1} ({} lanes) \
              cache={:.0}% ({} entries) p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
             self.completed.load(Ordering::Relaxed)
@@ -204,6 +233,9 @@ impl ServerStats {
             self.sim_engine_scalar.load(Ordering::Relaxed),
             self.sim_engine_batched.load(Ordering::Relaxed),
             self.lane_compactions.load(Ordering::Relaxed),
+            self.neighborhood_batches.load(Ordering::Relaxed),
+            self.candidates_per_batch(),
+            self.mega_lanes.load(Ordering::Relaxed),
             cs.hit_rate() * 100.0,
             cs.entries,
             p50,
@@ -264,6 +296,9 @@ mod tests {
         s.sim_engine_scalar.fetch_add(4, Ordering::Relaxed);
         s.sim_engine_batched.fetch_add(12, Ordering::Relaxed);
         s.lane_compactions.fetch_add(9, Ordering::Relaxed);
+        s.neighborhood_batches.fetch_add(4, Ordering::Relaxed);
+        s.mega_lanes.fetch_add(512, Ordering::Relaxed);
+        s.mega_candidates.fetch_add(18, Ordering::Relaxed);
         let cache = EvalCache::default();
         let v = s.snapshot(&cache);
         assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
@@ -276,6 +311,9 @@ mod tests {
         assert_eq!(v.get("sim_engine_scalar").unwrap().as_i64(), Some(4));
         assert_eq!(v.get("sim_engine_batched").unwrap().as_i64(), Some(12));
         assert_eq!(v.get("lane_compactions").unwrap().as_i64(), Some(9));
+        assert_eq!(v.get("neighborhood_batches").unwrap().as_i64(), Some(4));
+        assert_eq!(v.get("mega_lanes").unwrap().as_i64(), Some(512));
+        assert_eq!(v.get("candidates_per_batch").unwrap().as_f64(), Some(4.5));
         assert!(v.get("sim_vectors_per_sec").unwrap().as_f64().unwrap() >= 0.0);
         assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
         let line = s.log_line(&cache);
@@ -283,5 +321,6 @@ mod tests {
         assert!(line.contains("resched full=7 spliced=5"));
         assert!(line.contains("sim=640v/16b"));
         assert!(line.contains("engine=scalar:4/batched:12 compactions=9"));
+        assert!(line.contains("mega=4x4.5 (512 lanes)"));
     }
 }

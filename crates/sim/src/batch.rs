@@ -406,6 +406,91 @@ impl RetireSink for FullSink {
     }
 }
 
+/// Sink judging each lane against its captured expectation *as it
+/// retires*, optionally folding branch/visit counters into a
+/// [`ProfileAccum`] at the same time. This is the merged
+/// verify-and-profile pass of `EquivReference` without the per-lane
+/// [`ExecResult`] materialization of [`FullSink`]: no `BranchStats` map,
+/// no output-name `String` clones, no visit-vector copies. Only a
+/// *verdict* comes out — `mismatch` is a sticky flag, not a located
+/// [`crate::Mismatch`](crate::Mismatch) — so callers that need the first
+/// mismatch's details re-run through the materializing path (mismatches
+/// are the rare case; clean candidates pay nothing for locatability).
+///
+/// Equality semantics match `judge` in `crate::equiv` exactly: outputs
+/// compared element-wise in emission order, then the return value, then
+/// memory images; a lane where both sides failed is skipped (not a
+/// mismatch, not counted in `checked`).
+pub(crate) struct VerifySink<'a> {
+    /// Captured original-side outcome per *external* lane index.
+    pub(crate) expected: &'a [crate::equiv::Expected<'a>],
+    /// Per-external-lane dedup multiplicities; `None` means all 1.
+    pub(crate) weights: Option<&'a [usize]>,
+    /// When present, receives the same weighted statistics
+    /// [`ProfileSink`] would record.
+    pub(crate) accum: Option<&'a mut ProfileAccum>,
+    /// Weighted count of vectors where both sides succeeded and agreed.
+    pub(crate) checked: usize,
+    /// Sticky: any lane disagreed with its expectation.
+    pub(crate) mismatch: bool,
+}
+
+impl VerifySink<'_> {
+    fn weight(&self, ext: usize) -> usize {
+        self.weights.map_or(1, |w| w[ext])
+    }
+}
+
+impl RetireSink for VerifySink<'_> {
+    const LEAN: bool = false;
+
+    fn fail(&mut self, st: &mut BatchState, li: usize, _e: ExecError) {
+        let ext = st.ext[li] as usize;
+        let w = self.weight(ext);
+        if let Some(a) = self.accum.as_mut() {
+            a.record_failed(w);
+        }
+        // (Err, Err) is a preserved failure; an expected success that
+        // failed is a mismatch.
+        if self.expected[ext].is_ok() {
+            self.mismatch = true;
+        }
+    }
+
+    fn retire(&mut self, cf: &CompiledFn, st: &mut BatchState, li: usize, returned: Option<usize>) {
+        let nb = cf.blocks.len();
+        let ext = st.ext[li] as usize;
+        let w = self.weight(ext);
+        if let Some(a) = self.accum.as_mut() {
+            a.record_run(
+                &st.branch_counts[li * nb..(li + 1) * nb],
+                &st.block_visits[li * nb..(li + 1) * nb],
+                w,
+            );
+        }
+        match self.expected[ext] {
+            Err(_) => self.mismatch = true,
+            Ok((outputs, memories, ret)) => {
+                let got = &st.outputs[li];
+                let outputs_eq = got.len() == outputs.len()
+                    && got.iter().zip(outputs).all(|(&(id, v), (name, ev))| {
+                        v == *ev && cf.output_names[id as usize] == *name
+                    });
+                let returned_eq = returned.map(|slot| st.values[slot * st.lanes + li]) == ret;
+                let memories_eq = memories
+                    .iter()
+                    .zip(&st.memories[li])
+                    .all(|(ma, mb)| ma.iter().zip(mb).all(|(x, y)| x == y));
+                if outputs_eq && returned_eq && memories_eq {
+                    self.checked += w;
+                } else {
+                    self.mismatch = true;
+                }
+            }
+        }
+    }
+}
+
 /// Sink folding retirements straight into a [`ProfileAccum`], weighted by
 /// the lane's dedup multiplicity. No [`ExecResult`] is ever built — the
 /// per-lane allocations (output name strings, visit vectors, branch maps)
@@ -512,13 +597,59 @@ pub(crate) struct BatchScratch {
 
 impl BatchScratch {
     /// One sized per-lane memory image list per lane, reusing the outer
-    /// vector's allocation.
+    /// vector's allocation and every inner per-memory vector it still
+    /// holds from the previous batch.
     pub(crate) fn take_memories(&mut self, sized: &[Vec<i64>], n: usize) -> Vec<Vec<Vec<i64>>> {
+        self.take_memories_with(n, |_, lane| copy_memories(lane, sized))
+    }
+
+    /// [`take_memories`](Self::take_memories) with a per-lane builder:
+    /// `fill` receives lane `k`'s recycled buffers (stale contents,
+    /// retained capacity) and must leave them exactly as a fresh build
+    /// would.
+    pub(crate) fn take_memories_with(
+        &mut self,
+        n: usize,
+        mut fill: impl FnMut(usize, &mut Vec<Vec<i64>>),
+    ) -> Vec<Vec<Vec<i64>>> {
         let mut m = std::mem::take(&mut self.memories);
-        m.clear();
-        m.resize_with(n, || sized.to_vec());
+        m.truncate(n);
+        for (k, lane) in m.iter_mut().enumerate() {
+            fill(k, lane);
+        }
+        for k in m.len()..n {
+            let mut lane = Vec::new();
+            fill(k, &mut lane);
+            m.push(lane);
+        }
         m
     }
+}
+
+/// Overwrites `dst` to equal `src` element for element, reusing the
+/// allocations `dst` already holds.
+pub(crate) fn copy_memories(dst: &mut Vec<Vec<i64>>, src: &[Vec<i64>]) {
+    dst.truncate(src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clear();
+        d.extend_from_slice(s);
+    }
+    for s in &src[dst.len()..] {
+        dst.push(s.clone());
+    }
+}
+
+/// Reusable buffers for the batched verification entry points of
+/// [`EquivReference`](crate::EquivReference) (see
+/// `check_profiled_reusing` / `check_reusing`). A search loop evaluates
+/// thousands of candidates back to back; threading one `SimScratch`
+/// through all of them turns every per-candidate batch allocation into a
+/// `clear`+`resize` of an already-sized buffer. Purely an optimization:
+/// the scratch only donates capacity, and results never depend on its
+/// contents.
+#[derive(Default)]
+pub struct SimScratch {
+    pub(crate) batch: BatchScratch,
 }
 
 /// Clears and re-fills a recycled vector, preserving its capacity.
@@ -701,6 +832,20 @@ pub(crate) fn sized_memories(cf: &CompiledFn, init: &[Vec<i64>]) -> Vec<Vec<i64>
                 .unwrap_or_else(|| vec![0; sz])
         })
         .collect()
+}
+
+/// [`sized_memories`] into a recycled per-lane list: same contents, but
+/// `dst`'s existing allocations are reused instead of cloning `init`.
+pub(crate) fn sized_memories_into(cf: &CompiledFn, init: &[Vec<i64>], dst: &mut Vec<Vec<i64>>) {
+    dst.truncate(cf.mem_sizes.len());
+    dst.resize_with(cf.mem_sizes.len(), Vec::new);
+    for (i, (&sz, d)) in cf.mem_sizes.iter().zip(dst.iter_mut()).enumerate() {
+        d.clear();
+        if let Some(v) = init.get(i) {
+            d.extend_from_slice(&v[..v.len().min(sz)]);
+        }
+        d.resize(sz, 0);
+    }
 }
 
 /// Computes the branch-signature clustering order: a bounded scalar
@@ -1089,6 +1234,27 @@ impl CompiledFn {
         let mut sink = ProfileSink { accum, weights };
         self.run_batch_core(
             resolved, memories, step_limit, tuning, counters, &mut sink, scratch, prefill,
+        );
+    }
+
+    /// Verify-(and optionally profile-)only batched run: every lane is
+    /// judged against its captured expectation during retirement (see
+    /// [`VerifySink`]) without materializing per-lane results. `scratch`
+    /// donates and receives back the per-batch buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_batch_verified(
+        &self,
+        resolved: ResolvedInputs,
+        memories: Vec<Vec<Vec<i64>>>,
+        step_limit: u64,
+        tuning: BatchTuning,
+        counters: Option<&SimCounters>,
+        sink: &mut VerifySink<'_>,
+        scratch: &mut BatchScratch,
+        prefill: Option<InputPrefill<'_>>,
+    ) {
+        self.run_batch_core(
+            resolved, memories, step_limit, tuning, counters, sink, scratch, prefill,
         );
     }
 

@@ -15,7 +15,11 @@
 //! merged branch profile of [`EquivReference::check_profiled`] — are
 //! bit-identical between the two.
 
-use crate::batch::{resolve_columns, sized_memories, BatchTuning, Lane, SimCounters, SimEngine};
+use crate::batch::{
+    resolve_columns, resolve_columns_range, resolve_presence_only, sized_memories,
+    sized_memories_into, BatchTuning, InputPrefill, Lane, SimCounters, SimEngine, SimScratch,
+    VerifySink,
+};
 use crate::compiled::CompiledFn;
 use crate::interp::{execute_with, ExecConfig, ExecError, ExecResult};
 use crate::profile::{BranchProfile, ProfileAccum};
@@ -95,7 +99,8 @@ impl fmt::Display for Mismatch {
 
 /// The original side of one vector's comparison: observable success data,
 /// or the error it failed with.
-type Expected<'a> = Result<(&'a [(String, i64)], &'a [Vec<i64>], Option<i64>), &'a ExecError>;
+pub(crate) type Expected<'a> =
+    Result<(&'a [(String, i64)], &'a [Vec<i64>], Option<i64>), &'a ExecError>;
 
 /// Judges one vector: compares the transformed side's result against the
 /// original's, in the fixed order outputs → return value → memories.
@@ -625,6 +630,281 @@ impl EquivReference {
         result.map(|()| (checked, accum.finish(transformed.branch_blocks())))
     }
 
+    /// [`EquivReference::check_profiled_with`] with caller-provided
+    /// reusable scratch buffers and built-in divergence measurement.
+    ///
+    /// The returned `f64` is the fraction of lane-steps the verification
+    /// spent off the contiguous-group fast path (see
+    /// [`SimCounters::divergence`]), measured over the *whole* pass — the
+    /// signal [`crate::measure_divergence`] samples with a separate probe
+    /// batch, obtained here for free (0.0 on the scalar engine). Lanes
+    /// are judged during retirement without materializing per-lane
+    /// results, so a clean candidate pays one allocation-free pass; on a
+    /// mismatch the whole check re-runs through
+    /// [`EquivReference::check_profiled_with`] so the returned
+    /// [`Mismatch`] (vector index and payload) — and therefore the
+    /// verdict — stays bit-identical to that path.
+    ///
+    /// # Panics
+    /// Panics if `transformed` declares memories, or if `traces` has a
+    /// different vector count than the captured set.
+    pub fn check_profiled_reusing(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+        engine: SimEngine,
+        counters: Option<&SimCounters>,
+        scratch: &mut SimScratch,
+    ) -> (Result<(usize, BranchProfile), Box<Mismatch>>, f64) {
+        let SimEngine::Batched {
+            max_lanes,
+            cluster,
+            compact,
+        } = engine
+        else {
+            return (
+                self.check_profiled_with(transformed, traces, engine, counters),
+                0.0,
+            );
+        };
+        assert_eq!(
+            transformed.num_memories(),
+            0,
+            "check_profiled requires a memory-free function: profiles \
+             would otherwise depend on the memory initialization, which \
+             differs between equivalence checking and profiling"
+        );
+        assert_eq!(
+            traces.vectors.len(),
+            self.vectors.len(),
+            "EquivReference::check needs the traces it was captured with"
+        );
+        let tuning = BatchTuning { cluster, compact };
+        // Dedup exactly as check_profiled_with: sound only when the
+        // captured original was memory-free too.
+        let dl = if self.memory_free() {
+            traces.dedup_lanes()
+        } else {
+            DedupLanes::Identity(traces.vectors.len())
+        };
+        let cols = traces.columns();
+        let distinct = dl.len();
+        let cap = max_lanes.max(1);
+        // Straight-line fusion, exactly as in batched profiling (see
+        // `profile_compiled_with`): sound here because dedup row `k` is
+        // trace-column row `k`.
+        let fuse = self.memory_free()
+            && transformed.fusable_straightline(self.step_limit)
+            && cols.is_some_and(|c| transformed.input_names.iter().all(|n| c.col(n).is_some()));
+        let mut accum = ProfileAccum::new(transformed.num_blocks());
+        let local = SimCounters::default();
+        let mut vectors_run = 0u64;
+        let mut batches = 0u64;
+        let mut checked = 0usize;
+        let mut mismatch = false;
+        let mut start = 0usize;
+        while start < distinct && !mismatch {
+            let end = (start + cap).min(distinct);
+            let n = end - start;
+            let weights: Option<Vec<usize>> = match dl {
+                DedupLanes::Identity(_) => None,
+                DedupLanes::Lanes(l) => Some(l[start..end].iter().map(|&(_, m)| m).collect()),
+            };
+            let expected: Vec<Expected<'_>> =
+                (start..end).map(|k| self.expected(dl.index(k))).collect();
+            let (resolved, memories) = match cols {
+                Some(_) if fuse => (
+                    resolve_presence_only(transformed, n, &mut scratch.batch),
+                    scratch.batch.take_memories(&[], n),
+                ),
+                // Columnar fast path: with a memory-free reference,
+                // dedup row k *is* column row k, so the chunk is one
+                // contiguous row range (a memcpy per input name).
+                Some(cols) if self.memory_free() => {
+                    debug_assert!((start..end).all(|k| cols.row_of(dl.index(k)) == k));
+                    (
+                        resolve_columns_range(transformed, cols, start..end, &mut scratch.batch),
+                        scratch.batch.take_memories(&[], n),
+                    )
+                }
+                Some(cols) => (
+                    resolve_columns(
+                        transformed,
+                        cols,
+                        (start..end).map(|k| cols.row_of(dl.index(k))),
+                        &mut scratch.batch,
+                    ),
+                    scratch.batch.take_memories(&[], n),
+                ),
+                None => {
+                    let batch: Vec<Lane<'_>> = (start..end)
+                        .map(|k| Lane {
+                            inputs: &traces.vectors[dl.index(k)],
+                            init: &[],
+                        })
+                        .collect();
+                    crate::batch::resolve_lanes(transformed, &batch)
+                }
+            };
+            let prefill = match cols {
+                Some(cols) if fuse => Some(InputPrefill {
+                    cols,
+                    rows: start..end,
+                }),
+                _ => None,
+            };
+            let mut sink = VerifySink {
+                expected: &expected,
+                weights: weights.as_deref(),
+                accum: Some(&mut accum),
+                checked: 0,
+                mismatch: false,
+            };
+            transformed.run_batch_verified(
+                resolved,
+                memories,
+                self.step_limit,
+                tuning,
+                Some(&local),
+                &mut sink,
+                &mut scratch.batch,
+                prefill,
+            );
+            checked += sink.checked;
+            mismatch = sink.mismatch;
+            vectors_run += match dl {
+                DedupLanes::Identity(_) => n as u64,
+                DedupLanes::Lanes(l) => l[start..end].iter().map(|&(_, m)| m as u64).sum(),
+            };
+            batches += 1;
+            start = end;
+        }
+        if let Some(c) = counters {
+            c.merge(&local);
+            c.add(vectors_run, batches);
+        }
+        let divergence = local.divergence();
+        if mismatch {
+            // Re-run through the materializing path to locate the first
+            // mismatch bit-identically. Failing candidates pay twice;
+            // clean candidates (the common case) never take this branch.
+            return (
+                self.check_profiled_with(transformed, traces, engine, counters),
+                divergence,
+            );
+        }
+        (
+            Ok((checked, accum.finish(transformed.branch_blocks()))),
+            divergence,
+        )
+    }
+
+    /// [`EquivReference::check_with`] with caller-provided reusable
+    /// scratch buffers and built-in divergence measurement — the
+    /// memory-bearing counterpart of
+    /// [`EquivReference::check_profiled_reusing`] (same verdict
+    /// guarantees, same divergence semantics, no merged profile: profiles
+    /// of functions with memories need a separate zero-initialized pass).
+    ///
+    /// # Panics
+    /// Panics if `traces` has a different vector count than the captured
+    /// set.
+    pub fn check_reusing(
+        &self,
+        transformed: &CompiledFn,
+        traces: &TraceSet,
+        engine: SimEngine,
+        counters: Option<&SimCounters>,
+        scratch: &mut SimScratch,
+    ) -> (Result<usize, Box<Mismatch>>, f64) {
+        let SimEngine::Batched {
+            max_lanes,
+            cluster,
+            compact,
+        } = engine
+        else {
+            return (self.check_with(transformed, traces, engine, counters), 0.0);
+        };
+        assert_eq!(
+            traces.vectors.len(),
+            self.vectors.len(),
+            "EquivReference::check needs the traces it was captured with"
+        );
+        let tuning = BatchTuning { cluster, compact };
+        let cols = traces.columns();
+        let total = traces.vectors.len();
+        let cap = max_lanes.max(1);
+        let local = SimCounters::default();
+        let mut vectors_run = 0u64;
+        let mut batches = 0u64;
+        let mut checked = 0usize;
+        let mut mismatch = false;
+        let mut start = 0usize;
+        while start < total && !mismatch {
+            let end = (start + cap).min(total);
+            let n = end - start;
+            let expected: Vec<Expected<'_>> = (start..end).map(|i| self.expected(i)).collect();
+            let (resolved, memories) = match cols {
+                Some(cols) => (
+                    resolve_columns(
+                        transformed,
+                        cols,
+                        (start..end).map(|i| cols.row_of(i)),
+                        &mut scratch.batch,
+                    ),
+                    // Per-lane init images rebuilt into the recycled
+                    // buffers of the previous chunk (and candidate).
+                    scratch.batch.take_memories_with(n, |k, lane| {
+                        sized_memories_into(transformed, &self.vectors[start + k].init, lane)
+                    }),
+                ),
+                None => {
+                    let batch: Vec<Lane<'_>> = (start..end)
+                        .map(|i| Lane {
+                            inputs: &traces.vectors[i],
+                            init: &self.vectors[i].init,
+                        })
+                        .collect();
+                    crate::batch::resolve_lanes(transformed, &batch)
+                }
+            };
+            let mut sink = VerifySink {
+                expected: &expected,
+                weights: None,
+                accum: None,
+                checked: 0,
+                mismatch: false,
+            };
+            transformed.run_batch_verified(
+                resolved,
+                memories,
+                self.step_limit,
+                tuning,
+                Some(&local),
+                &mut sink,
+                &mut scratch.batch,
+                None,
+            );
+            checked += sink.checked;
+            mismatch = sink.mismatch;
+            vectors_run += n as u64;
+            batches += 1;
+            start = end;
+        }
+        if let Some(c) = counters {
+            c.merge(&local);
+            c.add(vectors_run, batches);
+        }
+        let divergence = local.divergence();
+        if mismatch {
+            return (
+                self.check_with(transformed, traces, engine, counters),
+                divergence,
+            );
+        }
+        (Ok(checked), divergence)
+    }
+
     /// The captured original-side view of vector `i` for [`judge`].
     fn expected(&self, i: usize) -> Expected<'_> {
         match &self.vectors[i].outcome {
@@ -827,6 +1107,83 @@ mod tests {
             .check_profiled_with(&cf2, &t, SimEngine::batched_with(2), None)
             .unwrap_err();
         assert_eq!(slow.to_string(), fast.to_string());
+    }
+
+    #[test]
+    fn reusing_check_profiled_matches_plain() {
+        // One scratch threaded across clean, looping, and mismatching
+        // candidates: verdicts, checked counts, profiles, mismatch
+        // payloads, and work counters must all match the materializing
+        // path exactly.
+        let f = compile(
+            "proc f(a, n) { var i = 0; var s = 0; \
+             while (i < n) { if (a < i) { s = s + i; } else { s = s - 1; } i = i + 1; } \
+             out s = s; }",
+        )
+        .unwrap();
+        let bad = compile("proc f(a, n) { out s = a + n; }").unwrap();
+        // Tiny ranges: heavy duplication exercises the dedup-weighted path.
+        let t = generate(
+            &[
+                ("a".to_string(), InputSpec::Uniform { lo: 0, hi: 2 }),
+                ("n".to_string(), InputSpec::Uniform { lo: 0, hi: 3 }),
+            ],
+            50,
+            21,
+        );
+        let reference = EquivReference::capture(&f, &t, 7);
+        let mut scratch = SimScratch::default();
+        for engine in [SimEngine::batched_with(5), SimEngine::Scalar] {
+            for g in [&f, &bad] {
+                let cg = CompiledFn::compile(g);
+                let plain_counters = SimCounters::default();
+                let reuse_counters = SimCounters::default();
+                let plain = reference.check_profiled_with(&cg, &t, engine, Some(&plain_counters));
+                let (reused, div) = reference.check_profiled_reusing(
+                    &cg,
+                    &t,
+                    engine,
+                    Some(&reuse_counters),
+                    &mut scratch,
+                );
+                assert!((0.0..=1.0).contains(&div));
+                match (plain, reused) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b);
+                        assert_eq!(plain_counters.vectors(), reuse_counters.vectors());
+                        assert_eq!(plain_counters.batches(), reuse_counters.batches());
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => panic!("verdicts diverge: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_check_matches_plain_with_memories() {
+        // The memory-bearing path: per-vector random initial images, final
+        // memory comparison inside the sink.
+        let f1 = compile("proc f(a) { array x[4]; x[0] = a; out y = x[0]; }").unwrap();
+        let f2 = compile("proc f(a) { array x[4]; x[0] = a; out y = a; }").unwrap();
+        let f3 = compile("proc f(a) { array x[4]; x[1] = a; out y = a; }").unwrap();
+        let f4 = compile("proc f(a) { array x[4]; out y = x[0]; x[0] = a; }").unwrap();
+        let t = generate(&[("a".to_string(), InputSpec::Constant(5))], 12, 4);
+        let reference = EquivReference::capture(&f1, &t, 11);
+        let mut scratch = SimScratch::default();
+        for engine in [SimEngine::batched_with(4), SimEngine::Scalar] {
+            for g in [&f1, &f2, &f3, &f4] {
+                let cg = CompiledFn::compile(g);
+                let plain = reference.check_with(&cg, &t, engine, None);
+                let (reused, div) = reference.check_reusing(&cg, &t, engine, None, &mut scratch);
+                assert!((0.0..=1.0).contains(&div));
+                match (plain, reused) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b),
+                    (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => panic!("verdicts diverge: {a:?} vs {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

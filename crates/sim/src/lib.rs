@@ -19,12 +19,12 @@ mod interp;
 pub mod profile;
 pub mod trace;
 
-pub use batch::{Lane, SimCounters, SimEngine, DEFAULT_MAX_LANES};
+pub use batch::{Lane, SimCounters, SimEngine, SimScratch, DEFAULT_MAX_LANES};
 pub use compiled::CompiledFn;
 pub use equiv::{check_equivalence, check_equivalence_with, EquivReference, Mismatch};
 pub use interp::{execute, execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
 pub use profile::{
-    measure_divergence, profile, profile_compiled, profile_compiled_with, profile_with,
-    BranchProfile,
+    measure_divergence, profile, profile_compiled, profile_compiled_reusing, profile_compiled_with,
+    profile_with, BranchProfile,
 };
 pub use trace::{generate, DedupLanes, InputSpec, TraceColumns, TraceSet};

@@ -8,7 +8,7 @@
 
 use crate::batch::{
     resolve_columns_range, resolve_lanes, resolve_presence_only, sized_memories, BatchScratch,
-    BatchTuning, InputPrefill, Lane, SimCounters, SimEngine,
+    BatchTuning, InputPrefill, Lane, SimCounters, SimEngine, SimScratch,
 };
 use crate::compiled::CompiledFn;
 use crate::interp::{execute_with, BranchStats, ExecConfig, ExecError, ExecResult};
@@ -135,6 +135,21 @@ pub fn profile_compiled_with(
     config: &ExecConfig,
     counters: Option<&SimCounters>,
 ) -> BranchProfile {
+    profile_compiled_reusing(cf, traces, config, counters, &mut SimScratch::default())
+}
+
+/// [`profile_compiled_with`] with caller-provided reusable scratch
+/// buffers: identical profile, but the per-batch allocations recycle
+/// through `scratch` across calls. The mega-batch candidate loop in
+/// `fact-core` threads one [`SimScratch`] through every profiling pass of
+/// a neighborhood, so steady-state profiling allocates nothing here.
+pub fn profile_compiled_reusing(
+    cf: &CompiledFn,
+    traces: &TraceSet,
+    config: &ExecConfig,
+    counters: Option<&SimCounters>,
+    scratch: &mut SimScratch,
+) -> BranchProfile {
     let mut accum = ProfileAccum::new(cf.num_blocks());
     let mut batches = 0u64;
     match config.engine {
@@ -163,7 +178,7 @@ pub fn profile_compiled_with(
             // (`InputPrefill`), skipping the resolved-plane round trip.
             let fuse = cf.fusable_straightline(config.step_limit)
                 && cols.is_some_and(|c| cf.input_names.iter().all(|n| c.col(n).is_some()));
-            let mut scratch = BatchScratch::default();
+            let scratch = &mut scratch.batch;
             let mut start = 0usize;
             while start < distinct {
                 let end = (start + cap).min(distinct);
@@ -175,13 +190,13 @@ pub fn profile_compiled_with(
                 };
                 let (resolved, memories) = match cols {
                     Some(_) if fuse => (
-                        resolve_presence_only(cf, end - start, &mut scratch),
+                        resolve_presence_only(cf, end - start, scratch),
                         scratch.take_memories(&sized, end - start),
                     ),
                     // Columnar fast path: inputs come straight out of the
                     // dedup rows, no per-(name, lane) hash-map probes.
                     Some(cols) => (
-                        resolve_columns_range(cf, cols, start..end, &mut scratch),
+                        resolve_columns_range(cf, cols, start..end, scratch),
                         scratch.take_memories(&sized, end - start),
                     ),
                     None => {
@@ -212,7 +227,7 @@ pub fn profile_compiled_with(
                     counters,
                     weights.as_deref(),
                     &mut accum,
-                    &mut scratch,
+                    scratch,
                     prefill,
                 );
                 start = end;

@@ -55,4 +55,42 @@ line = " ".join(f"{s['name']}:{s['speedup']}x({s['chosen']})" for s in d["suites
 print(f"BENCH_sim.json ok: {line}")
 EOF
 
+echo "== search never-regress gate (BENCH_search.json)"
+python3 - <<'EOF'
+import json
+# Floor calibrated on the current CI container (see DESIGN.md §10.4);
+# regenerate BENCH_search.json on comparable hardware before bumping.
+FLOOR = 9000.0
+with open("crates/bench/BENCH_search.json") as f:
+    d = json.load(f)
+assert d["bench"] == "search", d
+passes = {p["mode"]: p for p in d["passes"]}
+inc = passes["incremental"]["total_evals_per_sec"]
+per = passes["per_candidate"]["total_evals_per_sec"]
+assert inc >= FLOOR, f"incremental throughput regressed: {inc} < floor {FLOOR}"
+assert inc >= per, f"mega-batch dispatch lost to per-candidate: {inc} < {per}"
+print(f"BENCH_search.json ok: incremental {inc} >= floor {FLOOR}, x{inc/per:.2f} vs per-candidate")
+EOF
+
+echo "== mega-batch vs per-candidate smoke gate (Test2, best of 3)"
+for i in 1 2 3; do
+    scripts/bench.sh search --smoke --budget 400 > "/tmp/search_smoke_$i.json"
+done
+python3 - <<'EOF'
+import json
+# Best-of-3 fresh runs: the mega-batch dispatch must beat per-candidate
+# dispatch on Test2, the memory-bearing worst case (two simulation
+# passes per candidate). Best-of suppresses scheduler/timing noise.
+best = {}
+for i in (1, 2, 3):
+    with open(f"/tmp/search_smoke_{i}.json") as f:
+        d = json.load(f)
+    for p in d["passes"]:
+        t2 = next(s for s in p["suites"] if s["name"] == "Test2")
+        best[p["mode"]] = max(best.get(p["mode"], 0.0), t2["evals_per_sec"])
+inc, per = best["incremental"], best["per_candidate"]
+assert inc >= per, f"mega-batch lost to per-candidate on Test2: {inc} < {per}"
+print(f"Test2 smoke ok: mega {inc:.0f} evals/s vs per-candidate {per:.0f} (x{inc/per:.2f})")
+EOF
+
 echo "ci.sh: all gates passed"
