@@ -1,0 +1,336 @@
+//! A retrying `factd` client implementing the documented backoff
+//! contract.
+//!
+//! The daemon's overload replies (`error:"busy"`, `error:"shed"`) are
+//! explicitly retryable and carry a `retry_after_ms` hint — the server's
+//! own estimate of when a queue slot frees up. This client implements
+//! the other half of that contract: on a retryable reply it waits the
+//! hinted time (falling back to exponential backoff when no hint is
+//! present), adds deterministic jitter so a fleet of clients does not
+//! retry in lockstep, and resubmits — up to a bounded attempt budget.
+//!
+//! The jitter stream comes from [`fact_prng::splitmix64`], so a given
+//! policy seed produces a reproducible backoff schedule — load
+//! experiments built on this client are replayable like everything else
+//! in the reproduction.
+
+use fact_prng::splitmix64;
+use fact_serve::{parse, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// Backoff policy for [`RetryingClient`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total submission attempts before giving up (minimum 1).
+    pub max_attempts: u32,
+    /// First backoff when the server sends no `retry_after_ms` hint;
+    /// doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, hinted or not.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 50,
+            max_backoff_ms: 10_000,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based), given the
+    /// server's optional `retry_after_ms` hint and the jitter state.
+    ///
+    /// The hint (or the exponential fallback) is scaled by a jitter
+    /// factor in `[0.5, 1.5)` so concurrent clients spread out instead
+    /// of stampeding the freed slot, then clamped to `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry: u32, hint: Option<u64>, jitter_state: &mut u64) -> u64 {
+        let base = match hint {
+            Some(ms) => ms.max(1),
+            None => self
+                .base_backoff_ms
+                .max(1)
+                .saturating_mul(1u64 << retry.min(20)),
+        };
+        // Uniform jitter factor in [0.5, 1.5) from the top 53 bits.
+        let frac = (splitmix64(jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = (base as f64 * (0.5 + frac)) as u64;
+        jittered.clamp(1, self.max_backoff_ms.max(1))
+    }
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failure.
+    Io(std::io::Error),
+    /// The reply was not a parseable JSON line.
+    Protocol(String),
+    /// A non-retryable server error reply (`compile`, `timeout`, …).
+    Server {
+        /// The reply's `error` code.
+        code: String,
+        /// The reply's human-readable `message`.
+        message: String,
+    },
+    /// Every attempt was answered with a retryable overload reply.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Exhausted { attempts } => {
+                write!(f, "server still overloaded after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful exchange, with its retry telemetry.
+#[derive(Debug)]
+pub struct Exchange {
+    /// The non-error (or non-retryable-error) reply.
+    pub reply: Value,
+    /// Submission attempts used (1 = no retries).
+    pub attempts: u32,
+    /// Total time spent backing off, in milliseconds.
+    pub backed_off_ms: u64,
+}
+
+/// A `factd` client that retries `busy`/`shed` replies with hinted,
+/// jittered backoff. One connection per attempt (the daemon replies
+/// `busy` and keeps the connection open, but a fresh connect per retry
+/// also exercises the accept path under load).
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    jitter_state: u64,
+}
+
+impl RetryingClient {
+    /// A client for the daemon at `addr` under `policy`.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> RetryingClient {
+        let jitter_state = policy.seed;
+        RetryingClient {
+            addr,
+            policy,
+            jitter_state,
+        }
+    }
+
+    /// Sends one request line, retrying overload replies per the policy.
+    pub fn request(&mut self, line: &str) -> Result<Exchange, ClientError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut backed_off_ms = 0u64;
+        for attempt in 0..attempts {
+            let reply = self.exchange_once(line)?;
+            match retryable_hint(&reply) {
+                None => {
+                    return match server_error(&reply) {
+                        Some((code, message)) => Err(ClientError::Server { code, message }),
+                        None => Ok(Exchange {
+                            reply,
+                            attempts: attempt + 1,
+                            backed_off_ms,
+                        }),
+                    }
+                }
+                Some(hint) if attempt + 1 < attempts => {
+                    let ms = self
+                        .policy
+                        .backoff_ms(attempt, hint, &mut self.jitter_state);
+                    backed_off_ms += ms;
+                    thread::sleep(Duration::from_millis(ms));
+                }
+                Some(_) => {} // out of attempts; fall through
+            }
+        }
+        Err(ClientError::Exhausted { attempts })
+    }
+
+    fn exchange_once(&self, line: &str) -> Result<Value, ClientError> {
+        let mut stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
+        stream.write_all(line.as_bytes()).map_err(ClientError::Io)?;
+        stream.write_all(b"\n").map_err(ClientError::Io)?;
+        let mut reply = String::new();
+        BufReader::new(stream)
+            .read_line(&mut reply)
+            .map_err(ClientError::Io)?;
+        if reply.is_empty() {
+            return Err(ClientError::Protocol("connection closed mid-reply".into()));
+        }
+        parse(reply.trim()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+}
+
+/// `Some(hint)` when the reply is a retryable overload error; the inner
+/// option is the server's `retry_after_ms`, if present.
+fn retryable_hint(reply: &Value) -> Option<Option<u64>> {
+    let code = reply.get("error").and_then(Value::as_str)?;
+    matches!(code, "busy" | "shed").then(|| {
+        reply
+            .get("retry_after_ms")
+            .and_then(Value::as_i64)
+            .map(|ms| ms.max(0) as u64)
+    })
+}
+
+/// `Some((code, message))` when the reply is a non-retryable error.
+fn server_error(reply: &Value) -> Option<(String, String)> {
+    let code = reply.get("error").and_then(Value::as_str)?;
+    let message = reply
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    Some((code.to_string(), message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_honors_the_server_hint() {
+        let policy = RetryPolicy {
+            max_backoff_ms: 60_000,
+            ..RetryPolicy::default()
+        };
+        let mut state = 42u64;
+        for retry in 0..4 {
+            let ms = policy.backoff_ms(retry, Some(1000), &mut state);
+            // Hint 1000 ms with jitter in [0.5, 1.5): the exponential
+            // fallback never applies.
+            assert!((500..1500).contains(&ms), "retry {retry}: {ms}");
+        }
+    }
+
+    #[test]
+    fn backoff_without_hint_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            base_backoff_ms: 100,
+            max_backoff_ms: 2_000,
+            ..RetryPolicy::default()
+        };
+        let mut state = 7u64;
+        let b0 = policy.backoff_ms(0, None, &mut state); // ~100
+        let b3 = policy.backoff_ms(3, None, &mut state); // ~800
+        let b9 = policy.backoff_ms(9, None, &mut state); // capped
+        assert!((50..150).contains(&b0), "{b0}");
+        assert!((400..1200).contains(&b3), "{b3}");
+        assert_eq!(b9, 2_000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spreads_clients() {
+        let policy = RetryPolicy::default();
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut state = seed;
+            (0..8)
+                .map(|r| policy.backoff_ms(r, Some(500), &mut state))
+                .collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "same seed, same schedule");
+        assert_ne!(schedule(1), schedule(2), "different seeds must diverge");
+    }
+
+    #[test]
+    fn classifies_replies() {
+        let busy =
+            parse(r#"{"type":"error","error":"busy","message":"m","retry_after_ms":250}"#).unwrap();
+        assert_eq!(retryable_hint(&busy), Some(Some(250)));
+        let shed = parse(r#"{"type":"error","error":"shed","message":"m"}"#).unwrap();
+        assert_eq!(retryable_hint(&shed), Some(None));
+        let compile = parse(r#"{"type":"error","error":"compile","message":"m"}"#).unwrap();
+        assert_eq!(retryable_hint(&compile), None);
+        assert_eq!(server_error(&compile), Some(("compile".into(), "m".into())));
+        let ok = parse(r#"{"type":"result","status":"ok"}"#).unwrap();
+        assert_eq!(retryable_hint(&ok), None);
+        assert_eq!(server_error(&ok), None);
+    }
+
+    #[test]
+    fn retries_through_a_saturated_daemon() {
+        use fact_serve::{FaultSpec, Server, ServerConfig};
+
+        // One worker stalled 1.5 s by an injected delay, one queue slot:
+        // the third concurrent job bounces with `busy` and must succeed
+        // on a later attempt through the backoff loop.
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 1,
+            stats_interval_s: 0,
+            log: false,
+            faults: FaultSpec::parse("seed=13,slow=1:1,slow_ms=1500").unwrap(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle();
+        let join = thread::spawn(move || server.run().unwrap());
+
+        let job = |id: &str| -> String {
+            format!(
+                concat!(
+                    r#"{{"type":"optimize","id":"{}","source":"proc f(n) {{ out y = n + 1; }}","#,
+                    r#""alloc":{{"a1":1,"i1":1,"sb1":1}},"#,
+                    r#""traces":{{"n":2,"inputs":{{"n":{{"const":3}}}}}},"#,
+                    r#""search":{{"max_evaluations":10}}}}"#
+                ),
+                id
+            )
+        };
+        // Fill the worker and the queue slot from background threads.
+        let fillers: Vec<_> = (0..2)
+            .map(|i| {
+                let line = job(&format!("fill{i}"));
+                let mut c = RetryingClient::new(addr, RetryPolicy::default());
+                thread::spawn(move || c.request(&line).unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(400));
+
+        let mut client = RetryingClient::new(
+            addr,
+            RetryPolicy {
+                max_attempts: 20,
+                base_backoff_ms: 100,
+                max_backoff_ms: 500,
+                seed: 99,
+            },
+        );
+        let exchange = client.request(&job("retried")).unwrap();
+        assert_eq!(
+            exchange.reply.get("status").and_then(Value::as_str),
+            Some("ok")
+        );
+        assert!(exchange.attempts >= 2, "expected at least one busy bounce");
+        assert!(exchange.backed_off_ms > 0);
+
+        for f in fillers {
+            let ex = f.join().unwrap();
+            assert_eq!(ex.reply.get("status").and_then(Value::as_str), Some("ok"));
+        }
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

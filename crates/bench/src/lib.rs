@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod client;
 pub mod example1;
 pub mod fig1;
 pub mod fig2;

@@ -19,6 +19,9 @@
 use fact_ir::{Function, OpKind, Terminator};
 use fact_prng::mix64;
 use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -350,6 +353,154 @@ impl EvalCache {
             s.lock().unwrap().clear();
         }
     }
+
+    /// All entries, sorted by key — the deterministic iteration order the
+    /// snapshot writer uses (same contents ⇒ byte-identical snapshot).
+    pub fn entries_sorted(&self) -> Vec<(u64, CachedScore)> {
+        let mut out: Vec<(u64, CachedScore)> = Vec::with_capacity(self.len());
+        for s in self.shards.iter() {
+            out.extend(s.lock().unwrap().iter().map(|(&k, &v)| (k, v)));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Writes every entry to `path` as a crash-safe snapshot: the bytes
+    /// go to a sibling `*.tmp` file first, are fsynced, and only then
+    /// renamed over `path` (plus a best-effort directory fsync), so a
+    /// crash at any instant leaves either the old snapshot or the new
+    /// one — never a half-written file under the real name. Returns the
+    /// number of entries written.
+    pub fn save_snapshot(&self, path: &Path) -> io::Result<usize> {
+        let entries = self.entries_sorted();
+        let mut buf = Vec::with_capacity(SNAPSHOT_MAGIC.len() + entries.len() * RECORD_BYTES);
+        buf.extend_from_slice(SNAPSHOT_MAGIC);
+        for &(key, score) in &entries {
+            let payload = encode_record(key, score);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&payload);
+            buf.extend_from_slice(&record_checksum(&payload).to_le_bytes());
+        }
+        let tmp = snapshot_tmp_path(path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself; not all platforms allow opening a
+        // directory for sync, so this is best-effort.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(entries.len())
+    }
+
+    /// Loads a snapshot previously written by [`EvalCache::save_snapshot`],
+    /// inserting every record that survives validation.
+    ///
+    /// Corruption handling: records are validated in order (length
+    /// prefix, payload checksum); the first invalid or incomplete record
+    /// ends the load, keeping everything before it — a torn tail from a
+    /// crash or a bit-flip costs only the damaged suffix, never the whole
+    /// file. When a corrupt tail is detected the file is truncated back
+    /// to the last valid record (best-effort) so the damage does not
+    /// grow. A wrong magic loads zero entries but is not an I/O error.
+    pub fn load_snapshot(&self, path: &Path) -> io::Result<SnapshotLoad> {
+        let data = fs::read(path)?;
+        let mut loaded = 0usize;
+        let mut valid_len = 0usize;
+        if data.len() >= SNAPSHOT_MAGIC.len() && &data[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC {
+            let mut pos = SNAPSHOT_MAGIC.len();
+            valid_len = pos;
+            while let Some(len_bytes) = data.get(pos..pos + 4) {
+                let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+                if len != RECORD_PAYLOAD {
+                    break; // unknown record shape: treat as corruption
+                }
+                let Some(payload) = data.get(pos + 4..pos + 4 + len) else {
+                    break;
+                };
+                let Some(sum_bytes) = data.get(pos + 4 + len..pos + 4 + len + 8) else {
+                    break;
+                };
+                let sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+                if sum != record_checksum(payload) {
+                    break;
+                }
+                let (key, score) = decode_record(payload);
+                self.insert(key, score);
+                loaded += 1;
+                pos += 4 + len + 8;
+                valid_len = pos;
+            }
+        }
+        let truncated = valid_len < data.len();
+        if truncated && valid_len > 0 {
+            // Cut the corrupt tail off so the next writer starts from a
+            // clean prefix; losing this truncation to an error is fine —
+            // the next load stops at the same place.
+            if let Ok(f) = OpenOptions::new().write(true).open(path) {
+                let _ = f.set_len(valid_len as u64);
+            }
+        }
+        Ok(SnapshotLoad {
+            entries: loaded,
+            truncated,
+        })
+    }
+}
+
+/// Outcome of [`EvalCache::load_snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotLoad {
+    /// Records that validated and were inserted.
+    pub entries: usize,
+    /// Whether a corrupt or torn tail was detected (and cut off).
+    pub truncated: bool,
+}
+
+/// Snapshot file magic + format version. Bump the trailing digit on any
+/// incompatible record-format change; a mismatch loads as empty.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"FACTEVC1";
+/// Record payload: key u64 + presence tag u8 + score f64 bits.
+const RECORD_PAYLOAD: usize = 17;
+/// Full on-disk record: u32 length prefix + payload + u64 checksum.
+const RECORD_BYTES: usize = 4 + RECORD_PAYLOAD + 8;
+
+/// The sibling temp file the atomic writer stages into.
+pub fn snapshot_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn encode_record(key: u64, score: CachedScore) -> [u8; RECORD_PAYLOAD] {
+    let mut payload = [0u8; RECORD_PAYLOAD];
+    payload[..8].copy_from_slice(&key.to_le_bytes());
+    match score {
+        Some(v) => {
+            payload[8] = 1;
+            payload[9..].copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+        None => payload[8] = 0,
+    }
+    payload
+}
+
+fn decode_record(payload: &[u8]) -> (u64, CachedScore) {
+    let key = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let score = (payload[8] == 1)
+        .then(|| f64::from_bits(u64::from_le_bytes(payload[9..17].try_into().unwrap())));
+    (key, score)
+}
+
+fn record_checksum(payload: &[u8]) -> u64 {
+    ContextHasher::new(0xFAC7_54A9)
+        .write_bytes(payload)
+        .finish()
 }
 
 impl Default for EvalCache {
@@ -503,6 +654,177 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 1);
+    }
+
+    /// A unique temp path per test; cleaned up by the returned guard.
+    struct TempPath(std::path::PathBuf);
+    impl TempPath {
+        fn new(tag: &str) -> Self {
+            let p = std::env::temp_dir().join(format!(
+                "fact-cache-{}-{}.snap",
+                std::process::id(),
+                tag
+            ));
+            let _ = std::fs::remove_file(&p);
+            TempPath(p)
+        }
+    }
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+            let _ = std::fs::remove_file(snapshot_tmp_path(&self.0));
+        }
+    }
+
+    fn seeded_cache(n: u64, seed: u64) -> EvalCache {
+        let c = EvalCache::new(4);
+        for i in 0..n {
+            let key = mix64(seed ^ i);
+            // Mix in some invalid-candidate records (score = None).
+            let score = (i % 5 != 0).then(|| (mix64(key) >> 11) as f64 / 1e6);
+            c.insert(key, score);
+        }
+        c
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_entries() {
+        let path = TempPath::new("roundtrip");
+        let c = seeded_cache(100, 7);
+        let written = c.save_snapshot(&path.0).unwrap();
+        assert_eq!(written, 100);
+        assert!(
+            !snapshot_tmp_path(&path.0).exists(),
+            "tmp staging file must not survive a successful save"
+        );
+        let warm = EvalCache::new(2);
+        let load = warm.load_snapshot(&path.0).unwrap();
+        assert_eq!(
+            load,
+            SnapshotLoad {
+                entries: 100,
+                truncated: false
+            }
+        );
+        assert_eq!(warm.entries_sorted(), c.entries_sorted());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_bytes() {
+        let (p1, p2) = (TempPath::new("det1"), TempPath::new("det2"));
+        // Same contents inserted in different orders, different shard
+        // counts: identical bytes on disk.
+        let a = seeded_cache(64, 3);
+        let b = EvalCache::new(16);
+        for (k, s) in a.entries_sorted().into_iter().rev() {
+            b.insert(k, s);
+        }
+        a.save_snapshot(&p1.0).unwrap();
+        b.save_snapshot(&p2.0).unwrap();
+        assert_eq!(std::fs::read(&p1.0).unwrap(), std::fs::read(&p2.0).unwrap());
+    }
+
+    #[test]
+    fn truncated_snapshot_loads_the_valid_prefix() {
+        let path = TempPath::new("trunc");
+        let c = seeded_cache(50, 11);
+        c.save_snapshot(&path.0).unwrap();
+        let full = std::fs::read(&path.0).unwrap();
+        let original = c.entries_sorted();
+        // Cut at every byte offset across the first few records and a
+        // spread of later ones: the load must never error, and must
+        // recover exactly the records whose bytes fully survived.
+        let offsets: Vec<usize> = (0..full.len()).step_by(7).collect();
+        for cut in offsets {
+            std::fs::write(&path.0, &full[..cut]).unwrap();
+            let warm = EvalCache::new(1);
+            let load = warm.load_snapshot(&path.0).unwrap();
+            let expect = cut.saturating_sub(SNAPSHOT_MAGIC.len()) / RECORD_BYTES;
+            assert_eq!(load.entries, expect, "cut at {cut}");
+            assert_eq!(warm.entries_sorted()[..], original[..expect]);
+            // A partial trailing record (or a damaged magic) marks the
+            // load truncated; an empty file or a clean record boundary
+            // does not.
+            let clean = cut == 0
+                || (cut >= SNAPSHOT_MAGIC.len()
+                    && (cut - SNAPSHOT_MAGIC.len()).is_multiple_of(RECORD_BYTES));
+            assert_eq!(load.truncated, !clean, "cut at {cut}");
+            if load.entries > 0 {
+                let remaining = std::fs::metadata(&path.0).unwrap().len() as usize;
+                assert_eq!(remaining, SNAPSHOT_MAGIC.len() + expect * RECORD_BYTES);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_load_garbage() {
+        let path = TempPath::new("flip");
+        let c = seeded_cache(40, 23);
+        c.save_snapshot(&path.0).unwrap();
+        let full = std::fs::read(&path.0).unwrap();
+        let original = c.entries_sorted();
+        let mut rng_state = 0x00C0_FFEE_u64;
+        for _ in 0..200 {
+            let byte = (fact_prng::splitmix64(&mut rng_state) as usize) % full.len();
+            let bit = (fact_prng::splitmix64(&mut rng_state) % 8) as u8;
+            let mut bytes = full.clone();
+            bytes[byte] ^= 1 << bit;
+            std::fs::write(&path.0, &bytes).unwrap();
+            let warm = EvalCache::new(1);
+            let load = warm.load_snapshot(&path.0).unwrap();
+            // Every loaded record must be an exact prefix of the
+            // original set — a flipped key, score, length, or checksum
+            // must stop the load, never invent an entry.
+            let got = warm.entries_sorted();
+            assert!(got.len() <= original.len());
+            assert_eq!(
+                got[..],
+                original[..got.len()],
+                "flip at byte {byte} bit {bit}"
+            );
+            if byte >= SNAPSHOT_MAGIC.len() {
+                // Only the record containing the flip (and its suffix)
+                // may be lost.
+                let record = (byte - SNAPSHOT_MAGIC.len()) / RECORD_BYTES;
+                assert_eq!(load.entries, record, "flip at byte {byte}");
+            } else {
+                assert_eq!(load.entries, 0, "magic flip at byte {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_loads_empty_without_error() {
+        let path = TempPath::new("magic");
+        std::fs::write(&path.0, b"NOTACACH plus trailing junk").unwrap();
+        let warm = EvalCache::new(1);
+        let load = warm.load_snapshot(&path.0).unwrap();
+        assert_eq!(load.entries, 0);
+        assert!(load.truncated);
+        assert!(warm.is_empty());
+    }
+
+    #[test]
+    fn missing_snapshot_is_an_io_error() {
+        let path = TempPath::new("missing");
+        let warm = EvalCache::new(1);
+        let err = warm.load_snapshot(&path.0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn stale_tmp_file_does_not_block_save_or_load() {
+        let path = TempPath::new("staletmp");
+        // Simulate a crash mid-snapshot: a half-written tmp next to a
+        // valid snapshot. The tmp is simply overwritten by the next save
+        // and never read by load.
+        let c = seeded_cache(10, 5);
+        c.save_snapshot(&path.0).unwrap();
+        std::fs::write(snapshot_tmp_path(&path.0), b"torn half-writ").unwrap();
+        let warm = EvalCache::new(1);
+        assert_eq!(warm.load_snapshot(&path.0).unwrap().entries, 10);
+        assert_eq!(c.save_snapshot(&path.0).unwrap(), 10);
+        assert!(!snapshot_tmp_path(&path.0).exists());
     }
 
     #[test]

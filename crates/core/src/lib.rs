@@ -50,7 +50,10 @@ pub mod search;
 pub mod suite;
 
 pub use baselines::{flamel, m1, BaselineResult};
-pub use cache::{block_hashes, structural_hash, CacheStats, ContextHasher, EvalCache};
+pub use cache::{
+    block_hashes, snapshot_tmp_path, structural_hash, CacheStats, ContextHasher, EvalCache,
+    SnapshotLoad,
+};
 pub use fact_xform::TransformLibrary;
 pub use objective::Objective;
 pub use pareto::{

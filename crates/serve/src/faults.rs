@@ -1,0 +1,509 @@
+//! Deterministic fault injection for hardening tests.
+//!
+//! A [`FaultSpec`] describes *which* faults to inject and *how often*; a
+//! [`FaultPlan`] is the armed runtime form that actually makes the
+//! injection decisions. Every decision is a pure function of the plan's
+//! seed, the fault site, and a per-site arrival counter — so a chaos run
+//! is **replayable**: the same spec against the same request sequence
+//! injects the same faults at the same points, and a test that fails
+//! under `seed=42,panic=1:3` fails the same way every time.
+//!
+//! The plan is off in production: `factd` only arms it via the `--faults`
+//! flag or the `FACTD_FAULTS` environment variable, and a disabled plan
+//! costs one branch per site.
+//!
+//! ## Fault sites
+//!
+//! | spec key | site | effect |
+//! |---|---|---|
+//! | `panic` | candidate evaluation | `panic!` inside the per-job `catch_unwind` |
+//! | `kill` | worker, after dequeue | `panic!` *outside* the per-job catch: the worker unwinds holding the job (reply sender drops, supervisor respawns) |
+//! | `slow` | candidate evaluation | sleeps `slow_ms` before the job runs |
+//! | `io` | TCP reply path | `ErrorKind::Interrupted` errors and short writes via [`FaultyWriter`] |
+//! | `corrupt` | cache snapshot | flips one byte near the snapshot tail after a save |
+//!
+//! Each key takes `RATE` or `RATE:MAX` — an injection probability in
+//! `[0, 1]` and an optional cap on total injections at that site
+//! (`panic=1:3` panics the first three evaluations, then never again).
+
+use fact_prng::mix64;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One fault class: an injection probability and an optional cap on the
+/// number of injections (0 = unlimited).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRate {
+    /// Probability in `[0, 1]` that an arrival at the site injects.
+    pub rate: f64,
+    /// Max injections at the site; 0 means unlimited.
+    pub max: u64,
+}
+
+impl FaultRate {
+    /// The never-inject rate.
+    pub const OFF: FaultRate = FaultRate { rate: 0.0, max: 0 };
+
+    /// Always inject, at most `max` times (0 = forever).
+    pub fn always(max: u64) -> FaultRate {
+        FaultRate { rate: 1.0, max }
+    }
+}
+
+/// A declarative fault-injection plan: what to inject, how often, and
+/// the seed that makes the decision sequence deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for all injection draws.
+    pub seed: u64,
+    /// Panic inside candidate evaluation (caught per job).
+    pub eval_panic: FaultRate,
+    /// Panic in the worker outside the per-job catch (kills the worker
+    /// loop; the supervisor respawns it).
+    pub worker_kill: FaultRate,
+    /// Artificial evaluation latency.
+    pub eval_slow: FaultRate,
+    /// How long a `slow` injection sleeps.
+    pub slow_ms: u64,
+    /// Interrupted/short writes on the TCP reply path.
+    pub net_io: FaultRate,
+    /// Snapshot-file corruption after a save.
+    pub snapshot_corrupt: FaultRate,
+}
+
+impl Default for FaultSpec {
+    /// Everything off — the production configuration.
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            eval_panic: FaultRate::OFF,
+            worker_kill: FaultRate::OFF,
+            eval_slow: FaultRate::OFF,
+            slow_ms: 100,
+            net_io: FaultRate::OFF,
+            snapshot_corrupt: FaultRate::OFF,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Whether any fault class can fire.
+    pub fn is_armed(&self) -> bool {
+        [
+            self.eval_panic,
+            self.worker_kill,
+            self.eval_slow,
+            self.net_io,
+            self.snapshot_corrupt,
+        ]
+        .iter()
+        .any(|r| r.rate > 0.0)
+    }
+
+    /// Parses a spec string like
+    /// `seed=42,panic=1:3,kill=0.5,slow=1:2,slow_ms=250,io=0.25,corrupt=1:1`.
+    ///
+    /// Keys may appear in any order; omitted keys stay off. Rates are
+    /// probabilities in `[0, 1]`, the optional `:MAX` caps total
+    /// injections at the site.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut out = FaultSpec::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}`: expected key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    out.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("fault spec seed: {e}"))?
+                }
+                "slow_ms" => {
+                    out.slow_ms = value
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("fault spec slow_ms: {e}"))?
+                }
+                "panic" => out.eval_panic = parse_rate("panic", value)?,
+                "kill" => out.worker_kill = parse_rate("kill", value)?,
+                "slow" => out.eval_slow = parse_rate("slow", value)?,
+                "io" => out.net_io = parse_rate("io", value)?,
+                "corrupt" => out.snapshot_corrupt = parse_rate("corrupt", value)?,
+                other => {
+                    return Err(format!(
+                        "unknown fault key `{other}` (expected seed, panic, kill, \
+                         slow, slow_ms, io, or corrupt)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads the `FACTD_FAULTS` environment variable; `None` when unset
+    /// or empty, `Err` when set but unparseable.
+    pub fn from_env() -> Result<Option<FaultSpec>, String> {
+        match std::env::var("FACTD_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => FaultSpec::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<FaultRate, String> {
+    let (rate, max) = match value.split_once(':') {
+        Some((r, m)) => (
+            r.trim(),
+            m.trim()
+                .parse()
+                .map_err(|e| format!("fault spec {key} max: {e}"))?,
+        ),
+        None => (value.trim(), 0),
+    };
+    let rate: f64 = rate
+        .parse()
+        .map_err(|e| format!("fault spec {key} rate: {e}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault spec {key} rate {rate} outside [0, 1]"));
+    }
+    Ok(FaultRate { rate, max })
+}
+
+/// Site indices into the plan's counter arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+enum Site {
+    EvalPanic = 0,
+    WorkerKill = 1,
+    EvalSlow = 2,
+    NetIo = 3,
+    SnapshotCorrupt = 4,
+}
+
+const SITES: usize = 5;
+/// Per-site domain-separation salts for the draw hash.
+const SITE_SALT: [u64; SITES] = [
+    0xFA01_0A1C,
+    0xFA02_011A,
+    0xFA03_510B,
+    0xFA04_1070,
+    0xFA05_C027,
+];
+
+/// The armed runtime form of a [`FaultSpec`]: the spec plus per-site
+/// arrival and injection counters. Decisions are lock-free and
+/// deterministic given single-site arrival order.
+pub struct FaultPlan {
+    spec: FaultSpec,
+    arrivals: [AtomicU64; SITES],
+    injected: [AtomicU64; SITES],
+}
+
+impl FaultPlan {
+    /// Arms a plan (a default spec yields an inert plan).
+    pub fn new(spec: FaultSpec) -> FaultPlan {
+        FaultPlan {
+            spec,
+            arrivals: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// An inert plan — every site disabled.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(FaultSpec::default())
+    }
+
+    /// Whether any fault class can fire.
+    pub fn is_armed(&self) -> bool {
+        self.spec.is_armed()
+    }
+
+    /// Total injections performed so far, all sites.
+    pub fn injections(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// One deterministic draw at `site`: true means inject. Returns the
+    /// arrival index alongside so callers can derive secondary choices
+    /// (e.g. interrupt-vs-short-write) from the same sequence number.
+    fn draw(&self, site: Site, rate: FaultRate) -> Option<u64> {
+        if rate.rate <= 0.0 {
+            return None;
+        }
+        let n = self.arrivals[site as usize].fetch_add(1, Ordering::Relaxed);
+        // 53-bit uniform fraction from the seeded site/arrival hash.
+        let h = mix64(
+            self.spec.seed ^ SITE_SALT[site as usize].wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n,
+        );
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if frac >= rate.rate {
+            return None;
+        }
+        let injected = &self.injected[site as usize];
+        if rate.max > 0 {
+            // Claim one of the remaining injection slots, or bail: the
+            // counter only ever counts *performed* injections.
+            let mut k = injected.load(Ordering::Relaxed);
+            loop {
+                if k >= rate.max {
+                    return None;
+                }
+                match injected.compare_exchange_weak(k, k + 1, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(v) => k = v,
+                }
+            }
+        } else {
+            injected.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(n)
+    }
+
+    /// Panics if an eval-panic injection is drawn. Call *inside* the
+    /// per-job `catch_unwind`.
+    pub fn maybe_eval_panic(&self) {
+        if self.draw(Site::EvalPanic, self.spec.eval_panic).is_some() {
+            panic!("injected fault: candidate evaluation panic");
+        }
+    }
+
+    /// Panics if a worker-kill injection is drawn. Call *outside* the
+    /// per-job catch, so the unwind drops the job (and its reply sender)
+    /// and escapes to the worker supervisor.
+    pub fn maybe_kill_worker(&self) {
+        if self.draw(Site::WorkerKill, self.spec.worker_kill).is_some() {
+            panic!("injected fault: worker killed holding a job");
+        }
+    }
+
+    /// The artificial latency to add before an evaluation, if drawn.
+    pub fn eval_delay(&self) -> Option<Duration> {
+        self.draw(Site::EvalSlow, self.spec.eval_slow)
+            .map(|_| Duration::from_millis(self.spec.slow_ms))
+    }
+
+    /// The I/O fault to inject on the next TCP write, if drawn.
+    pub fn net_fault(&self) -> Option<NetFault> {
+        self.draw(Site::NetIo, self.spec.net_io).map(|n| {
+            // Alternate fault shapes along the arrival sequence so both
+            // paths are exercised under any rate.
+            if n % 2 == 0 {
+                NetFault::Interrupted
+            } else {
+                NetFault::ShortWrite
+            }
+        })
+    }
+
+    /// Flips one byte near the tail of `path` if a snapshot-corruption
+    /// injection is drawn (the tail, so load-time truncation recovers a
+    /// nonempty prefix — the interesting failure mode). Returns whether
+    /// the file was corrupted.
+    pub fn maybe_corrupt_snapshot(&self, path: &Path) -> bool {
+        let Some(n) = self.draw(Site::SnapshotCorrupt, self.spec.snapshot_corrupt) else {
+            return false;
+        };
+        let Ok(mut bytes) = fs::read(path) else {
+            return false;
+        };
+        if bytes.is_empty() {
+            return false;
+        }
+        let window = bytes.len().min(16);
+        let h = mix64(self.spec.seed ^ 0xC027_0FF5 ^ n);
+        let offset = bytes.len() - 1 - (h as usize % window);
+        bytes[offset] ^= 1 << (h >> 32 & 7);
+        fs::write(path, bytes).is_ok()
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("spec", &self.spec)
+            .field("injections", &self.injections())
+            .finish()
+    }
+}
+
+/// The shape of one injected TCP write fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// The write call fails with `ErrorKind::Interrupted` (the caller
+    /// must retry, as `write_all` does).
+    Interrupted,
+    /// The write accepts only part of the buffer (at least one byte, so
+    /// retry loops always make progress).
+    ShortWrite,
+}
+
+/// A writer that injects the plan's TCP faults in front of `inner`.
+///
+/// Injected faults are exactly the ones a real kernel socket can
+/// produce — `Interrupted` errors and partial writes — so any caller
+/// that survives this wrapper (e.g. by using `write_all`) survives the
+/// real thing.
+pub struct FaultyWriter<'a, W: Write> {
+    inner: W,
+    plan: &'a FaultPlan,
+}
+
+impl<'a, W: Write> FaultyWriter<'a, W> {
+    /// Wraps `inner` with the plan's NetIo site.
+    pub fn new(inner: W, plan: &'a FaultPlan) -> Self {
+        FaultyWriter { inner, plan }
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.len() > 1 {
+            match self.plan.net_fault() {
+                Some(NetFault::Interrupted) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected fault: interrupted write",
+                    ));
+                }
+                Some(NetFault::ShortWrite) => {
+                    return self.inner.write(&buf[..buf.len() / 2]);
+                }
+                None => {}
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let s = FaultSpec::parse(
+            "seed=42, panic=1:3, kill=0.5, slow=1:2, slow_ms=250, io=0.25, corrupt=1:1",
+        )
+        .unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.eval_panic, FaultRate { rate: 1.0, max: 3 });
+        assert_eq!(s.worker_kill, FaultRate { rate: 0.5, max: 0 });
+        assert_eq!(s.eval_slow, FaultRate { rate: 1.0, max: 2 });
+        assert_eq!(s.slow_ms, 250);
+        assert_eq!(s.net_io, FaultRate { rate: 0.25, max: 0 });
+        assert_eq!(s.snapshot_corrupt, FaultRate::always(1));
+        assert!(s.is_armed());
+        assert!(!FaultSpec::default().is_armed());
+        assert!(!FaultSpec::parse("").unwrap().is_armed());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "panic",           // no value
+            "panic=2.0",       // rate out of range
+            "panic=-0.1",      // negative
+            "panic=1:x",       // bad max
+            "frobnicate=1",    // unknown key
+            "seed=notanumber", // bad seed
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_capped() {
+        let spec = FaultSpec::parse("seed=7,panic=0.5:0").unwrap();
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        let seq = |p: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|_| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.maybe_eval_panic()))
+                        .is_err()
+                })
+                .collect()
+        };
+        let sa = seq(&a);
+        assert_eq!(sa, seq(&b), "same seed must give the same sequence");
+        let hits = sa.iter().filter(|&&x| x).count();
+        assert!((10..=54).contains(&hits), "rate 0.5 over 64 draws: {hits}");
+
+        // A cap of 3 at rate 1.0 panics exactly the first 3 arrivals.
+        let capped = FaultPlan::new(FaultSpec::parse("seed=7,panic=1:3").unwrap());
+        let sc = seq(&capped);
+        assert_eq!(sc.iter().filter(|&&x| x).count(), 3);
+        assert!(sc[..3].iter().all(|&x| x));
+        assert_eq!(capped.injections(), 3);
+    }
+
+    #[test]
+    fn faulty_writer_is_survivable_with_write_all() {
+        let plan = FaultPlan::new(FaultSpec::parse("seed=3,io=0.9").unwrap());
+        let mut out = Vec::new();
+        let mut w = FaultyWriter::new(&mut out, &plan);
+        let msg = b"the quick brown fox jumps over the lazy daemon\n";
+        for _ in 0..50 {
+            loop {
+                match w.write_all(msg) {
+                    Ok(()) => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+        assert_eq!(out.len(), msg.len() * 50);
+        assert!(plan.injections() > 0, "rate 0.9 must have injected");
+        assert!(out.chunks(msg.len()).all(|c| c == msg));
+    }
+
+    #[test]
+    fn snapshot_corruption_flips_one_tail_byte() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fact-faults-{}.bin", std::process::id()));
+        let original: Vec<u8> = (0..200u8).collect();
+        fs::write(&path, &original).unwrap();
+        let plan = FaultPlan::new(FaultSpec::parse("seed=9,corrupt=1:1").unwrap());
+        assert!(plan.maybe_corrupt_snapshot(&path));
+        let after = fs::read(&path).unwrap();
+        assert_eq!(after.len(), original.len());
+        let diffs: Vec<usize> = (0..after.len())
+            .filter(|&i| after[i] != original[i])
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte must differ");
+        assert!(
+            diffs[0] >= original.len() - 16,
+            "corruption must hit the tail"
+        );
+        // The cap is spent: a second call is a no-op.
+        assert!(!plan.maybe_corrupt_snapshot(&path));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn env_arming() {
+        // Not set (or set empty) → None. This test must not *set* the
+        // variable: the test harness runs tests concurrently in one
+        // process and env mutation would race other tests.
+        if std::env::var("FACTD_FAULTS").is_err() {
+            assert_eq!(FaultSpec::from_env(), Ok(None));
+        }
+    }
+}

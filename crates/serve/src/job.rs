@@ -25,12 +25,16 @@ pub struct JobError {
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Backoff hint for retryable overload codes (`busy`, `shed`);
+    /// `None` for permanent errors.
+    pub retry_after_ms: Option<u64>,
 }
 
 fn fail(code: &'static str, message: impl Into<String>) -> JobError {
     JobError {
         code,
         message: message.into(),
+        retry_after_ms: None,
     }
 }
 

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod job;
 pub mod json;
 pub mod protocol;
@@ -49,6 +50,7 @@ pub mod queue;
 pub mod server;
 pub mod stats;
 
+pub use faults::{FaultPlan, FaultRate, FaultSpec, FaultyWriter, NetFault};
 pub use job::{run_job, JobError};
 pub use json::{parse, Value};
 pub use protocol::{decode_request, OptimizeRequest, Request, TracesSpec};

@@ -46,6 +46,9 @@ pub struct OptimizeRequest {
     /// Per-job wall-clock budget in milliseconds; `None` uses the
     /// server default.
     pub timeout_ms: Option<u64>,
+    /// Scheduling priority (higher is more important, default 0). Under
+    /// overload the server sheds the lowest-priority queued jobs first.
+    pub priority: i64,
 }
 
 /// Trace-generation spec (mirrors `fact_sim::generate`).
@@ -209,6 +212,13 @@ fn decode_optimize(v: &Value, pareto: bool) -> Result<OptimizeRequest, ProtocolE
         ),
     };
 
+    let priority = match v.get("priority") {
+        None => 0,
+        Some(p) => p
+            .as_i64()
+            .ok_or_else(|| bad("`priority` must be an integer"))?,
+    };
+
     Ok(OptimizeRequest {
         id,
         source,
@@ -216,6 +226,7 @@ fn decode_optimize(v: &Value, pareto: bool) -> Result<OptimizeRequest, ProtocolE
         traces,
         config,
         timeout_ms,
+        priority,
     })
 }
 
@@ -295,12 +306,28 @@ fn decode_input_spec(name: &str, v: &Value) -> Result<InputSpec, ProtocolError> 
 
 /// Builds an `error` reply.
 pub fn error_reply(id: &str, code: &str, message: &str) -> Value {
-    Value::object([
+    error_reply_with_retry(id, code, message, None)
+}
+
+/// Builds an `error` reply carrying an optional `retry_after_ms` hint —
+/// used by the `busy` and `shed` overload codes, where the client is
+/// expected to back off and resubmit.
+pub fn error_reply_with_retry(
+    id: &str,
+    code: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> Value {
+    let mut members = vec![
         ("type", Value::Str("error".into())),
         ("id", Value::Str(id.into())),
         ("error", Value::Str(code.into())),
         ("message", Value::Str(message.into())),
-    ])
+    ];
+    if let Some(ms) = retry_after_ms {
+        members.push(("retry_after_ms", Value::Int(ms as i64)));
+    }
+    Value::object(members)
 }
 
 #[cfg(test)]
@@ -331,7 +358,8 @@ mod tests {
             "traces":{"n":8,"seed":42,"inputs":{
                 "a":{"const":16},"b":{"lo":0,"hi":9},"c":{"sigma":10.0,"rho":0.9}}},
             "search":{"seed":7,"threads":2,"max_evaluations":100},
-            "timeout_ms":5000,"check_equivalence":false,"sim_batch":false,"max_blocks":2}"#;
+            "timeout_ms":5000,"priority":3,
+            "check_equivalence":false,"sim_batch":false,"max_blocks":2}"#;
         let Request::Optimize(req) = decode_request(&parse(src).unwrap()).unwrap() else {
             panic!("expected optimize");
         };
@@ -346,6 +374,7 @@ mod tests {
         assert_eq!(req.config.search.threads, 2);
         assert_eq!(req.config.search.max_evaluations, 100);
         assert_eq!(req.timeout_ms, Some(5000));
+        assert_eq!(req.priority, 3);
         assert_eq!(req.traces.n, 8);
         assert_eq!(req.traces.seed, 42);
         assert_eq!(req.traces.inputs.len(), 3);
@@ -368,6 +397,7 @@ mod tests {
         assert!(req.config.check_equivalence);
         assert!(req.config.sim_batch);
         assert_eq!(req.timeout_ms, None);
+        assert_eq!(req.priority, 0);
         assert_eq!(req.traces.seed, 1);
     }
 
@@ -442,6 +472,11 @@ mod tests {
                 r#"{"type":"optimize","source":"s","alloc":{},
                    "traces":{"n":1,"inputs":{}},"timeout_ms":0}"#,
                 "timeout_ms",
+            ),
+            (
+                r#"{"type":"optimize","source":"s","alloc":{},
+                   "traces":{"n":1,"inputs":{}},"priority":"high"}"#,
+                "priority",
             ),
         ] {
             let err = decode_request(&parse(src).unwrap()).unwrap_err();

@@ -6,6 +6,14 @@
 //! block in [`JobQueue::pop`] until an item or [`JobQueue::close`]
 //! arrives; after close, `pop` drains the remaining items and then
 //! returns `None` forever, which is the workers' exit signal.
+//!
+//! [`JobQueue::push_or_shed`] is the load-shedding variant: at capacity
+//! (the shed watermark) it evicts the lowest-priority queued item to
+//! admit a strictly higher-priority newcomer, handing the evicted item
+//! back to the caller so its client can be told to retry. Equal priority
+//! never sheds — under uniform load the queue degrades to plain `busy`
+//! backpressure, and a flood of low-priority jobs can never displace
+//! each other or anything above them.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -27,6 +35,21 @@ struct Inner<T> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PushError {
     /// The queue is at capacity; the caller should report backpressure.
+    Full,
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+/// Outcome of a [`JobQueue::push_or_shed`] admission attempt.
+#[derive(Debug)]
+pub enum PushOutcome<T> {
+    /// Item admitted; a slot was free.
+    Admitted,
+    /// Item admitted by evicting the returned lower-priority item; the
+    /// caller must fail the evicted item's client with a `shed` error.
+    Shed(T),
+    /// Queue full and nothing queued has lower priority; the item was
+    /// dropped — the caller reports `busy` backpressure.
     Full,
     /// The queue is closed (server shutting down).
     Closed,
@@ -59,6 +82,41 @@ impl<T> JobQueue<T> {
         drop(inner);
         self.nonempty.notify_one();
         Ok(())
+    }
+
+    /// Admission with load shedding: like [`JobQueue::try_push`], but at
+    /// capacity the lowest-priority queued item is evicted (newest first
+    /// among equals, preserving FIFO fairness for older work) when its
+    /// priority is *strictly* below the newcomer's. `prio` maps an item
+    /// to its priority — higher is more important.
+    pub fn push_or_shed(&self, item: T, prio: impl Fn(&T) -> i64) -> PushOutcome<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return PushOutcome::Closed;
+        }
+        if inner.items.len() < inner.capacity {
+            inner.items.push_back(item);
+            drop(inner);
+            self.nonempty.notify_one();
+            return PushOutcome::Admitted;
+        }
+        let victim = inner
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, it)| (prio(it), std::cmp::Reverse(*i)))
+            .filter(|(_, it)| prio(it) < prio(&item))
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let shed = inner.items.remove(i).expect("victim index in range");
+                inner.items.push_back(item);
+                drop(inner);
+                self.nonempty.notify_one();
+                PushOutcome::Shed(shed)
+            }
+            None => PushOutcome::Full,
+        }
     }
 
     /// Blocks for the next item. `None` means the queue is closed *and*
@@ -127,6 +185,45 @@ mod tests {
         assert_eq!(q.try_push(2), Err(PushError::Closed));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn shed_evicts_lowest_priority_newest_first() {
+        // Items are (id, priority).
+        let prio = |it: &(u32, i64)| it.1;
+        let q = JobQueue::new(3);
+        q.try_push((1, 0)).unwrap();
+        q.try_push((2, 5)).unwrap();
+        q.try_push((3, 0)).unwrap();
+        // Equal priority never sheds.
+        assert!(matches!(q.push_or_shed((4, 0), prio), PushOutcome::Full));
+        // Lower priority than everything queued never sheds.
+        assert!(matches!(q.push_or_shed((5, -1), prio), PushOutcome::Full));
+        // Higher priority evicts the *newest* of the lowest class: id 3.
+        match q.push_or_shed((6, 1), prio) {
+            PushOutcome::Shed(it) => assert_eq!(it, (3, 0)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Next eviction takes the remaining priority-0 item.
+        match q.push_or_shed((7, 9), prio) {
+            PushOutcome::Shed(it) => assert_eq!(it, (1, 0)),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // FIFO order of survivors is preserved.
+        assert_eq!(q.pop(), Some((2, 5)));
+        assert_eq!(q.pop(), Some((6, 1)));
+        assert_eq!(q.pop(), Some((7, 9)));
+    }
+
+    #[test]
+    fn push_or_shed_admits_below_capacity_and_respects_close() {
+        let prio = |it: &i64| *it;
+        let q = JobQueue::new(2);
+        assert!(matches!(q.push_or_shed(1, prio), PushOutcome::Admitted));
+        q.close();
+        assert!(matches!(q.push_or_shed(2, prio), PushOutcome::Closed));
+        assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
     }
 

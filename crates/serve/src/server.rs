@@ -10,9 +10,24 @@
 //!   cancellation flag; the search winds down at the next evaluation
 //!   boundary and replies with its best-so-far under `status:"timeout"`.
 //! - **worker pool**: [`ServerConfig::workers`] threads popping jobs
-//!   from the bounded [`JobQueue`]. A full queue rejects new jobs
-//!   immediately (`error:"busy"`) — that is the backpressure signal.
+//!   from the bounded [`JobQueue`]. Each job runs inside a
+//!   `catch_unwind` (a panicking evaluation fails only that job, with
+//!   `error:"internal"`), and each worker runs under a supervisor that
+//!   respawns it if a panic escapes the per-job catch.
 //! - **stats logger** (optional): prints one counters line per interval.
+//! - **snapshot thread** (with `--cache-file`): persists the shared
+//!   evaluation cache atomically (tmp + rename) every
+//!   [`ServerConfig::cache_snapshot_every_s`] seconds and at shutdown,
+//!   so a restart warm-starts from the last good snapshot.
+//!
+//! ## Overload
+//!
+//! Admission is deadline-aware: the server keeps an EWMA of job service
+//! time, and a job whose `timeout_ms` budget cannot be met at the
+//! current queue depth is rejected immediately (`error:"busy"` with a
+//! `retry_after_ms` hint) instead of queueing to certain death. At
+//! capacity, a higher-priority job may evict the lowest-priority queued
+//! job, whose client gets `error:"shed"` plus the same hint.
 //!
 //! ## Shutdown
 //!
@@ -21,14 +36,19 @@
 //! in-flight job's cancellation flag, and wakes the accept loop; workers
 //! drain, reply, and exit, and [`Server::run`] returns.
 
+use crate::faults::{FaultPlan, FaultSpec, FaultyWriter};
 use crate::job::{run_job, run_pareto_job, JobError};
 use crate::json::{parse, Value};
-use crate::protocol::{decode_request, error_reply, OptimizeRequest, Request};
-use crate::queue::{JobQueue, PushError};
+use crate::protocol::{
+    decode_request, error_reply, error_reply_with_retry, OptimizeRequest, Request,
+};
+use crate::queue::{JobQueue, PushOutcome};
 use crate::stats::ServerStats;
 use fact_core::EvalCache;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, Weak};
@@ -67,6 +87,14 @@ pub struct ServerConfig {
     pub stats_interval_s: u64,
     /// Print connection/shutdown/stats lines to stderr.
     pub log: bool,
+    /// Persistent evaluation-cache snapshot path; `None` keeps the cache
+    /// memory-only. Loaded (warm start) at bind, saved at shutdown.
+    pub cache_file: Option<String>,
+    /// Seconds between periodic cache snapshots; 0 saves only at
+    /// shutdown. Ignored without `cache_file`.
+    pub cache_snapshot_every_s: u64,
+    /// Fault-injection plan for chaos testing; the default is inert.
+    pub faults: FaultSpec,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +108,9 @@ impl Default for ServerConfig {
             cache_shards: 16,
             stats_interval_s: 30,
             log: true,
+            cache_file: None,
+            cache_snapshot_every_s: 0,
+            faults: FaultSpec::default(),
         }
     }
 }
@@ -121,6 +152,7 @@ struct Shared {
     /// Cancellation flags of in-flight jobs, so shutdown can stop them.
     active: Mutex<Vec<Weak<AtomicBool>>>,
     addr: Mutex<Option<SocketAddr>>,
+    faults: FaultPlan,
 }
 
 impl Shared {
@@ -147,6 +179,38 @@ impl Shared {
         let mut active = self.active.lock().unwrap();
         active.retain(|w| w.strong_count() > 0);
         active.push(Arc::downgrade(flag));
+    }
+
+    /// Backoff hint for `busy`/`shed` replies: the estimated time for
+    /// one queue slot to free up at the current depth, clamped to a
+    /// sane retry window.
+    fn retry_hint_ms(&self) -> u64 {
+        let avg = self.stats.avg_service_ms().max(100);
+        let depth = self.queue.len() as u64;
+        let workers = self.config.workers.max(1) as u64;
+        (avg * (depth + 1) / workers).clamp(10, 60_000)
+    }
+
+    /// Saves the cache snapshot (atomic tmp + rename), then lets the
+    /// fault plan corrupt it if a `corrupt` injection is drawn — chaos
+    /// tests recover from the corruption on the next warm start.
+    fn save_cache_snapshot(&self, path: &str) {
+        match self.cache.save_snapshot(Path::new(path)) {
+            Ok(entries) => {
+                self.stats.note_snapshot();
+                if self.faults.maybe_corrupt_snapshot(Path::new(path)) && self.config.log {
+                    log_stderr!("factd: injected fault: snapshot {path} corrupted");
+                }
+                if self.config.log {
+                    log_stderr!("factd: cache snapshot: {entries} entries to {path}");
+                }
+            }
+            Err(e) => {
+                if self.config.log {
+                    log_stderr!("factd: cache snapshot to {path} failed: {e}");
+                }
+            }
+        }
     }
 }
 
@@ -177,6 +241,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let cache = EvalCache::new(config.cache_shards.max(1));
+        let faults = FaultPlan::new(config.faults.clone());
+        if config.log && faults.is_armed() {
+            log_stderr!("factd: FAULT INJECTION ARMED ({:?})", config.faults);
+        }
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             stats: ServerStats::new(),
@@ -184,8 +252,39 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active: Mutex::new(Vec::new()),
             addr: Mutex::new(Some(addr)),
+            faults,
             config,
         });
+        // Warm start: load the last good cache snapshot, if any. A
+        // corrupt tail is truncated away; a missing file is a cold
+        // start, not an error.
+        if let Some(path) = shared.config.cache_file.clone() {
+            match shared.cache.load_snapshot(Path::new(&path)) {
+                Ok(load) => {
+                    shared
+                        .stats
+                        .cache_warm_entries
+                        .store(load.entries as u64, Ordering::Relaxed);
+                    if shared.config.log {
+                        log_stderr!(
+                            "factd: warm cache: {} entries from {path}{}",
+                            load.entries,
+                            if load.truncated {
+                                " (corrupt tail truncated)"
+                            } else {
+                                ""
+                            },
+                        );
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    if shared.config.log {
+                        log_stderr!("factd: cache snapshot {path} unreadable ({e}); cold start");
+                    }
+                }
+            }
+        }
         Ok(Server { shared, listener })
     }
 
@@ -216,15 +315,44 @@ impl Server {
         }
 
         let workers: Vec<_> = (0..shared.config.workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared))
+                // Supervisor: a panic that escapes the per-job catch
+                // (e.g. an injected worker kill) unwinds `worker_loop`;
+                // re-entering it is the respawn. The queue and all
+                // shared state live outside the loop, so nothing is
+                // lost but the job the worker was holding — whose
+                // client gets `internal` from its dropped reply sender.
+                thread::spawn(move || loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                        Ok(()) => break, // queue closed: clean exit
+                        Err(_) => {
+                            shared
+                                .stats
+                                .workers_respawned
+                                .fetch_add(1, Ordering::Relaxed);
+                            if shared.config.log {
+                                log_stderr!("factd: worker {i} died; respawning");
+                            }
+                        }
+                    }
+                })
             })
             .collect();
         let logger = (shared.config.stats_interval_s > 0).then(|| {
             let shared = Arc::clone(&shared);
             thread::spawn(move || logger_loop(&shared))
         });
+        let snapshotter = shared
+            .config
+            .cache_file
+            .is_some()
+            .then(|| {
+                let shared = Arc::clone(&shared);
+                (shared.config.cache_snapshot_every_s > 0)
+                    .then(|| thread::spawn(move || snapshot_loop(&shared)))
+            })
+            .flatten();
 
         for stream in listener.incoming() {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -252,6 +380,14 @@ impl Server {
         if let Some(l) = logger {
             let _ = l.join();
         }
+        if let Some(s) = snapshotter {
+            let _ = s.join();
+        }
+        // Final snapshot after the workers have drained, so the file
+        // holds everything this run learned.
+        if let Some(path) = shared.config.cache_file.clone() {
+            shared.save_cache_snapshot(&path);
+        }
         if shared.config.log {
             log_stderr!("{}", shared.stats.log_line(&shared.cache));
         }
@@ -266,105 +402,23 @@ fn worker_loop(shared: &Shared) {
             let _ = job.reply.send(Err(JobError {
                 code: "shutdown",
                 message: "server shutting down".into(),
+                retry_after_ms: None,
             }));
             continue;
         }
         shared.register_active(&job.cancel);
-        // Route by job kind; both pipelines report the same counter set,
-        // plus the per-kind job/point counters folded inline.
-        let outcome = if job.pareto {
-            run_pareto_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
-                shared.stats.pareto_jobs.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .stats
-                    .pareto_points
-                    .fetch_add(r.frontier.len() as u64, Ordering::Relaxed);
-                (
-                    reply,
-                    JobCounters {
-                        evaluated: r.evaluated as u64,
-                        full_reschedules: r.full_reschedules as u64,
-                        block_spliced: r.block_spliced as u64,
-                        sim_vectors: r.sim_vectors,
-                        sim_batches: r.sim_batches,
-                        sim_engine_scalar: r.sim_engine_scalar,
-                        sim_engine_batched: r.sim_engine_batched,
-                        lane_compactions: r.lane_compactions,
-                        neighborhood_batches: r.neighborhood_batches,
-                        mega_lanes: r.mega_lanes,
-                        mega_candidates: r.mega_candidates,
-                        stopped: r.stopped,
-                    },
-                )
-            })
-        } else {
-            run_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
-                shared.stats.optimize_jobs.fetch_add(1, Ordering::Relaxed);
-                (
-                    reply,
-                    JobCounters {
-                        evaluated: r.evaluated as u64,
-                        full_reschedules: r.full_reschedules as u64,
-                        block_spliced: r.block_spliced as u64,
-                        sim_vectors: r.sim_vectors,
-                        sim_batches: r.sim_batches,
-                        sim_engine_scalar: r.sim_engine_scalar,
-                        sim_engine_batched: r.sim_engine_batched,
-                        lane_compactions: r.lane_compactions,
-                        neighborhood_batches: r.neighborhood_batches,
-                        mega_lanes: r.mega_lanes,
-                        mega_candidates: r.mega_candidates,
-                        stopped: r.stopped,
-                    },
-                )
-            })
-        };
-        match outcome {
-            Ok((reply, c)) => {
-                shared
-                    .stats
-                    .evaluations
-                    .fetch_add(c.evaluated, Ordering::Relaxed);
-                shared
-                    .stats
-                    .full_reschedules
-                    .fetch_add(c.full_reschedules, Ordering::Relaxed);
-                shared
-                    .stats
-                    .block_spliced
-                    .fetch_add(c.block_spliced, Ordering::Relaxed);
-                shared
-                    .stats
-                    .sim_vectors
-                    .fetch_add(c.sim_vectors, Ordering::Relaxed);
-                shared
-                    .stats
-                    .sim_batches
-                    .fetch_add(c.sim_batches, Ordering::Relaxed);
-                shared
-                    .stats
-                    .sim_engine_scalar
-                    .fetch_add(c.sim_engine_scalar, Ordering::Relaxed);
-                shared
-                    .stats
-                    .sim_engine_batched
-                    .fetch_add(c.sim_engine_batched, Ordering::Relaxed);
-                shared
-                    .stats
-                    .lane_compactions
-                    .fetch_add(c.lane_compactions, Ordering::Relaxed);
-                shared
-                    .stats
-                    .neighborhood_batches
-                    .fetch_add(c.neighborhood_batches, Ordering::Relaxed);
-                shared
-                    .stats
-                    .mega_lanes
-                    .fetch_add(c.mega_lanes, Ordering::Relaxed);
-                shared
-                    .stats
-                    .mega_candidates
-                    .fetch_add(c.mega_candidates, Ordering::Relaxed);
+        // Injected worker kill: panics while holding the job, *outside*
+        // the per-job catch below — the reply sender drops (the waiting
+        // connection sees Disconnected → `internal`) and the unwind
+        // escapes to the supervisor, which respawns this worker.
+        shared.faults.maybe_kill_worker();
+        if let Some(delay) = shared.faults.eval_delay() {
+            thread::sleep(delay);
+        }
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job))) {
+            Ok(Ok((reply, c))) => {
+                fold_counters(shared, &c);
                 let counter = if c.stopped {
                     &shared.stats.timed_out
                 } else {
@@ -373,12 +427,122 @@ fn worker_loop(shared: &Shared) {
                 counter.fetch_add(1, Ordering::Relaxed);
                 shared
                     .stats
+                    .record_service_ms(started.elapsed().as_millis() as u64);
+                shared
+                    .stats
                     .record_latency_ms(job.submitted.elapsed().as_millis() as u64);
                 let _ = job.reply.send(Ok(reply));
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(Err(e));
+            }
+            Err(_) => {
+                // The evaluation panicked (a bug or an injected fault).
+                // The panic is contained to this job: its client gets a
+                // documented `internal` error and the worker lives on.
+                shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(JobError {
+                    code: "internal",
+                    message: "candidate evaluation panicked; job aborted".into(),
+                    retry_after_ms: None,
+                }));
+            }
+        }
+    }
+}
+
+/// Runs one job through its pipeline. Called inside the per-job
+/// `catch_unwind`; a panic anywhere below fails only this job.
+fn execute_job(shared: &Shared, job: &Job) -> Result<(Value, JobCounters), JobError> {
+    shared.faults.maybe_eval_panic();
+    // Route by job kind; both pipelines report the same counter set,
+    // plus the per-kind job/point counters folded inline.
+    if job.pareto {
+        run_pareto_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
+            shared.stats.pareto_jobs.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .pareto_points
+                .fetch_add(r.frontier.len() as u64, Ordering::Relaxed);
+            (
+                reply,
+                JobCounters {
+                    evaluated: r.evaluated as u64,
+                    full_reschedules: r.full_reschedules as u64,
+                    block_spliced: r.block_spliced as u64,
+                    sim_vectors: r.sim_vectors,
+                    sim_batches: r.sim_batches,
+                    sim_engine_scalar: r.sim_engine_scalar,
+                    sim_engine_batched: r.sim_engine_batched,
+                    lane_compactions: r.lane_compactions,
+                    neighborhood_batches: r.neighborhood_batches,
+                    mega_lanes: r.mega_lanes,
+                    mega_candidates: r.mega_candidates,
+                    stopped: r.stopped,
+                },
+            )
+        })
+    } else {
+        run_job(&job.req, &shared.cache, &job.cancel).map(|(reply, r)| {
+            shared.stats.optimize_jobs.fetch_add(1, Ordering::Relaxed);
+            (
+                reply,
+                JobCounters {
+                    evaluated: r.evaluated as u64,
+                    full_reschedules: r.full_reschedules as u64,
+                    block_spliced: r.block_spliced as u64,
+                    sim_vectors: r.sim_vectors,
+                    sim_batches: r.sim_batches,
+                    sim_engine_scalar: r.sim_engine_scalar,
+                    sim_engine_batched: r.sim_engine_batched,
+                    lane_compactions: r.lane_compactions,
+                    neighborhood_batches: r.neighborhood_batches,
+                    mega_lanes: r.mega_lanes,
+                    mega_candidates: r.mega_candidates,
+                    stopped: r.stopped,
+                },
+            )
+        })
+    }
+}
+
+/// Folds one job's counter deltas into the server totals.
+fn fold_counters(shared: &Shared, c: &JobCounters) {
+    let s = &shared.stats;
+    s.evaluations.fetch_add(c.evaluated, Ordering::Relaxed);
+    s.full_reschedules
+        .fetch_add(c.full_reschedules, Ordering::Relaxed);
+    s.block_spliced
+        .fetch_add(c.block_spliced, Ordering::Relaxed);
+    s.sim_vectors.fetch_add(c.sim_vectors, Ordering::Relaxed);
+    s.sim_batches.fetch_add(c.sim_batches, Ordering::Relaxed);
+    s.sim_engine_scalar
+        .fetch_add(c.sim_engine_scalar, Ordering::Relaxed);
+    s.sim_engine_batched
+        .fetch_add(c.sim_engine_batched, Ordering::Relaxed);
+    s.lane_compactions
+        .fetch_add(c.lane_compactions, Ordering::Relaxed);
+    s.neighborhood_batches
+        .fetch_add(c.neighborhood_batches, Ordering::Relaxed);
+    s.mega_lanes.fetch_add(c.mega_lanes, Ordering::Relaxed);
+    s.mega_candidates
+        .fetch_add(c.mega_candidates, Ordering::Relaxed);
+}
+
+/// Periodically persists the evaluation cache while the server runs.
+fn snapshot_loop(shared: &Shared) {
+    let interval = Duration::from_secs(shared.config.cache_snapshot_every_s);
+    let tick = Duration::from_millis(200);
+    let mut since_save = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(tick);
+        since_save += tick;
+        if since_save >= interval {
+            since_save = Duration::ZERO;
+            if let Some(path) = shared.config.cache_file.clone() {
+                shared.save_cache_snapshot(&path);
             }
         }
     }
@@ -405,7 +569,11 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
-    let mut writer = stream;
+    // The reply path goes through the fault plan's writer wrapper: with
+    // `io` faults armed it produces Interrupted errors and short writes,
+    // which `write_all` absorbs — proving the reply path survives
+    // everything a real socket can throw at it.
+    let mut writer = FaultyWriter::new(stream, &shared.faults);
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -424,7 +592,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn write_line(writer: &mut TcpStream, reply: &Value) -> io::Result<()> {
+fn write_line(writer: &mut impl Write, reply: &Value) -> io::Result<()> {
     let mut line = reply.to_json();
     line.push('\n');
     writer.write_all(line.as_bytes())?;
@@ -461,6 +629,27 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
             .unwrap_or(shared.config.default_timeout_ms)
             .max(1),
     );
+
+    // Deadline-aware admission: if the expected queue wait (service-time
+    // EWMA × depth ÷ workers) already exceeds this job's whole budget,
+    // queueing it only wastes a slot — reject now with a backoff hint.
+    // An idle server (EWMA 0 or empty queue) always admits.
+    let avg_ms = shared.stats.avg_service_ms();
+    let depth = shared.queue.len() as u64;
+    let est_wait_ms = avg_ms * depth / shared.config.workers.max(1) as u64;
+    if est_wait_ms > timeout.as_millis() as u64 {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return error_reply_with_retry(
+            &id,
+            "busy",
+            &format!(
+                "estimated queue wait {est_wait_ms}ms exceeds the job's {}ms budget",
+                timeout.as_millis()
+            ),
+            Some(shared.retry_hint_ms()),
+        );
+    }
+
     let cancel = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel();
     let job = Job {
@@ -470,20 +659,31 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
         submitted: Instant::now(),
         reply: tx,
     };
-    match shared.queue.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full) => {
+    match shared.queue.push_or_shed(job, |j| j.req.priority) {
+        PushOutcome::Admitted => {}
+        PushOutcome::Shed(victim) => {
+            // This job displaced the lowest-priority queued job; the
+            // victim's waiting connection gets `shed` + a backoff hint.
+            shared.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            let _ = victim.reply.send(Err(JobError {
+                code: "shed",
+                message: "shed from a full queue by a higher-priority job; retry later".into(),
+                retry_after_ms: Some(shared.retry_hint_ms()),
+            }));
+        }
+        PushOutcome::Full => {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            return error_reply(
+            return error_reply_with_retry(
                 &id,
                 "busy",
                 &format!(
                     "job queue full ({} pending); retry later",
                     shared.config.queue_capacity
                 ),
+                Some(shared.retry_hint_ms()),
             );
         }
-        Err(PushError::Closed) => {
+        PushOutcome::Closed => {
             return error_reply(&id, "shutdown", "server shutting down");
         }
     }
@@ -498,7 +698,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
             cancel.store(true, Ordering::SeqCst);
             match rx.recv_timeout(WIND_DOWN_GRACE) {
                 Ok(outcome) => finish(&id, outcome),
-                Err(_) => error_reply(
+                Err(mpsc::RecvTimeoutError::Timeout) => error_reply(
                     &id,
                     "timeout",
                     &format!(
@@ -506,6 +706,11 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
                         timeout.as_millis()
                     ),
                 ),
+                // The worker died holding the job (sender dropped) —
+                // that is a worker failure, not a slow wind-down.
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    error_reply(&id, "internal", "worker exited before replying")
+                }
             }
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -517,7 +722,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
 fn finish(id: &str, outcome: Result<Value, JobError>) -> Value {
     match outcome {
         Ok(reply) => reply,
-        Err(e) => error_reply(id, e.code, &e.message),
+        Err(e) => error_reply_with_retry(id, e.code, &e.message, e.retry_after_ms),
     }
 }
 
@@ -558,6 +763,9 @@ mod tests {
             cache_shards: 8,
             stats_interval_s: 0,
             log: false,
+            cache_file: None,
+            cache_snapshot_every_s: 0,
+            faults: FaultSpec::default(),
         }
     }
 

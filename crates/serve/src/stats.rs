@@ -25,8 +25,19 @@ pub struct ServerStats {
     pub failed: AtomicU64,
     /// Jobs cut short by their deadline.
     pub timed_out: AtomicU64,
-    /// Jobs refused because the queue was full.
+    /// Jobs refused because the queue was full or the job's deadline was
+    /// unmeetable at current depth (both reply `busy`).
     pub rejected: AtomicU64,
+    /// Queued jobs evicted by higher-priority arrivals (reply `shed`).
+    pub jobs_shed: AtomicU64,
+    /// Jobs whose evaluation panicked; the panic was caught, the client
+    /// got an `internal` error, and the worker survived.
+    pub jobs_panicked: AtomicU64,
+    /// Worker threads that unwound past the per-job isolation and were
+    /// respawned by the supervisor.
+    pub workers_respawned: AtomicU64,
+    /// Entries warm-loaded from the cache snapshot at startup.
+    pub cache_warm_entries: AtomicU64,
     /// Completed (or timed-out) single-objective `optimize` jobs.
     pub optimize_jobs: AtomicU64,
     /// Completed (or timed-out) `pareto` frontier jobs.
@@ -69,6 +80,12 @@ pub struct ServerStats {
     /// Candidates handed to mega-batch dispatches across all jobs
     /// (`FactResult::mega_candidates`; cache hits included).
     pub mega_candidates: AtomicU64,
+    /// EWMA of per-job *service* time (worker execution only, queue wait
+    /// excluded), in milliseconds — the admission controller's estimate
+    /// of how fast the queue drains. 0 until the first job completes.
+    service_ewma_ms: AtomicU64,
+    /// When the last cache snapshot was written; `None` before the first.
+    last_snapshot: Mutex<Option<Instant>>,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -87,6 +104,10 @@ impl ServerStats {
             failed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            cache_warm_entries: AtomicU64::new(0),
             optimize_jobs: AtomicU64::new(0),
             pareto_jobs: AtomicU64::new(0),
             pareto_points: AtomicU64::new(0),
@@ -101,10 +122,41 @@ impl ServerStats {
             neighborhood_batches: AtomicU64::new(0),
             mega_lanes: AtomicU64::new(0),
             mega_candidates: AtomicU64::new(0),
+            service_ewma_ms: AtomicU64::new(0),
+            last_snapshot: Mutex::new(None),
             latencies: Mutex::new(LatencyRing {
                 samples: Vec::new(),
                 next: 0,
             }),
+        }
+    }
+
+    /// Folds one job's worker-side execution time into the service-time
+    /// EWMA (α = 1/8; a plain load/store race between workers at worst
+    /// drops one sample, which the next completion repairs).
+    pub fn record_service_ms(&self, ms: u64) {
+        let ms = ms.max(1); // sub-millisecond jobs still register
+        let old = self.service_ewma_ms.load(Ordering::Relaxed);
+        let new = if old == 0 { ms } else { (old * 7 + ms) / 8 };
+        self.service_ewma_ms.store(new, Ordering::Relaxed);
+    }
+
+    /// Current service-time estimate in ms (0 = no data yet).
+    pub fn avg_service_ms(&self) -> u64 {
+        self.service_ewma_ms.load(Ordering::Relaxed)
+    }
+
+    /// Marks a cache snapshot as just written.
+    pub fn note_snapshot(&self) {
+        *self.last_snapshot.lock().unwrap() = Some(Instant::now());
+    }
+
+    /// Seconds since the last cache snapshot; -1 before the first one
+    /// (or when snapshotting is disabled).
+    pub fn cache_snapshot_age_s(&self) -> i64 {
+        match *self.last_snapshot.lock().unwrap() {
+            Some(t) => t.elapsed().as_secs() as i64,
+            None => -1,
         }
     }
 
@@ -171,6 +223,9 @@ impl ServerStats {
             ("jobs_failed", counter(&self.failed)),
             ("jobs_timed_out", counter(&self.timed_out)),
             ("jobs_rejected", counter(&self.rejected)),
+            ("jobs_shed", counter(&self.jobs_shed)),
+            ("jobs_panicked", counter(&self.jobs_panicked)),
+            ("workers_respawned", counter(&self.workers_respawned)),
             ("optimize_jobs", counter(&self.optimize_jobs)),
             ("pareto_jobs", counter(&self.pareto_jobs)),
             ("pareto_points", counter(&self.pareto_points)),
@@ -196,8 +251,14 @@ impl ServerStats {
             ("cache_misses", Value::Int(cs.misses as i64)),
             ("cache_entries", Value::Int(cs.entries as i64)),
             ("cache_hit_rate", Value::Float(cs.hit_rate())),
+            ("cache_warm_entries", counter(&self.cache_warm_entries)),
+            (
+                "cache_snapshot_age_s",
+                Value::Int(self.cache_snapshot_age_s()),
+            ),
             ("latency_p50_ms", Value::Int(p50 as i64)),
             ("latency_p95_ms", Value::Int(p95 as i64)),
+            ("service_ewma_ms", Value::Int(self.avg_service_ms() as i64)),
         ])
     }
 
@@ -206,12 +267,13 @@ impl ServerStats {
         let (p50, p95) = self.latency_percentiles();
         let cs = cache.stats();
         format!(
-            "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} \
+            "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} shed={} \
+             panics={} respawns={} \
              kinds=opt:{}/pareto:{} pareto_pts={} \
              evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
              engine=scalar:{}/batched:{} compactions={} \
              mega={}x{:.1} ({} lanes) \
-             cache={:.0}% ({} entries) p50={}ms p95={}ms",
+             cache={:.0}% ({} entries, warm {}, snap_age {}s) p50={}ms p95={}ms",
             self.start.elapsed().as_secs(),
             self.completed.load(Ordering::Relaxed)
                 + self.failed.load(Ordering::Relaxed)
@@ -221,6 +283,9 @@ impl ServerStats {
             self.failed.load(Ordering::Relaxed),
             self.timed_out.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
+            self.jobs_shed.load(Ordering::Relaxed),
+            self.jobs_panicked.load(Ordering::Relaxed),
+            self.workers_respawned.load(Ordering::Relaxed),
             self.optimize_jobs.load(Ordering::Relaxed),
             self.pareto_jobs.load(Ordering::Relaxed),
             self.pareto_points.load(Ordering::Relaxed),
@@ -238,6 +303,8 @@ impl ServerStats {
             self.mega_lanes.load(Ordering::Relaxed),
             cs.hit_rate() * 100.0,
             cs.entries,
+            self.cache_warm_entries.load(Ordering::Relaxed),
+            self.cache_snapshot_age_s(),
             p50,
             p95,
         )

@@ -24,6 +24,9 @@ echo "== batched-vs-scalar simulation property tests"
 cargo test -q -p fact-sim --release --test batched_equiv
 cargo test -q -p fact-core --release --test batched_sim
 
+echo "== factd chaos smoke (fault injection, overload, crash-safe cache)"
+cargo test -q --release --test serve_chaos
+
 echo "== bench smoke runs (JSON well-formedness)"
 scripts/bench.sh search --smoke \
     | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "search", d'

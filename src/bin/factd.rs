@@ -10,7 +10,7 @@
 //! $ factd --addr 127.0.0.1:7348 --workers 4 --timeout-ms 60000
 //! ```
 
-use fact_serve::{install_signal_flag, Server, ServerConfig};
+use fact_serve::{install_signal_flag, FaultSpec, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -32,6 +32,16 @@ OPTIONS:
     --cache-shards <N>    evaluation-cache shard count (default 16)
     --stats-every <SECS>  seconds between stats log lines; 0 disables
                           (default 30)
+    --cache-file <PATH>   persist the evaluation cache to PATH: loaded at
+                          startup (warm start), saved atomically at
+                          shutdown (default: memory-only)
+    --cache-snapshot-every <SECS>
+                          also snapshot the cache every SECS seconds;
+                          0 saves only at shutdown (default 0)
+    --faults <SPEC>       arm deterministic fault injection for chaos
+                          testing, e.g. `seed=42,panic=0.1,kill=0.05:2`
+                          (keys: seed, panic, kill, slow, slow_ms, io,
+                          corrupt; also read from FACTD_FAULTS)
     --quiet               suppress log lines on stderr
     -h, --help            print this help
 
@@ -66,8 +76,21 @@ fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
             "--stats-every" => {
                 config.stats_interval_s = num("--stats-every", grab("--stats-every")?)?
             }
+            "--cache-file" => config.cache_file = Some(grab("--cache-file")?),
+            "--cache-snapshot-every" => {
+                config.cache_snapshot_every_s =
+                    num("--cache-snapshot-every", grab("--cache-snapshot-every")?)?
+            }
+            "--faults" => config.faults = FaultSpec::parse(&grab("--faults")?)?,
             "--quiet" => config.log = false,
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    // The env var arms faults too (handy for chaos runs of a deployed
+    // binary), but an explicit --faults flag wins.
+    if !config.faults.is_armed() {
+        if let Some(spec) = FaultSpec::from_env()? {
+            config.faults = spec;
         }
     }
     Ok(config)
@@ -142,6 +165,12 @@ mod tests {
             "4",
             "--stats-every",
             "0",
+            "--cache-file",
+            "/tmp/fact-cache.bin",
+            "--cache-snapshot-every",
+            "15",
+            "--faults",
+            "seed=9,panic=0.5:2",
             "--quiet",
         ])
         .unwrap();
@@ -151,6 +180,10 @@ mod tests {
         assert_eq!(c.default_timeout_ms, 500);
         assert_eq!(c.cache_shards, 4);
         assert_eq!(c.stats_interval_s, 0);
+        assert_eq!(c.cache_file.as_deref(), Some("/tmp/fact-cache.bin"));
+        assert_eq!(c.cache_snapshot_every_s, 15);
+        assert!(c.faults.is_armed());
+        assert_eq!(c.faults.seed, 9);
         assert!(!c.log);
     }
 
@@ -159,6 +192,7 @@ mod tests {
         assert!(parse(&["--workers"]).is_err());
         assert!(parse(&["--workers", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--faults", "panic=2.0"]).is_err());
         assert_eq!(parse(&["--help"]).unwrap_err(), "");
     }
 }

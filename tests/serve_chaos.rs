@@ -1,0 +1,414 @@
+//! Chaos suite: the `factd` daemon under seeded fault injection.
+//!
+//! Every test arms a deterministic [`fact_serve::FaultSpec`] and asserts
+//! the daemon's failure contract: faults are contained to the job they
+//! hit (documented error codes, no stuck clients, no leaked workers),
+//! the non-faulted path is bit-identical to a clean run, and a corrupted
+//! or torn cache snapshot still warm-starts the next server.
+
+use fact_serve::{parse, FaultSpec, Server, ServerConfig, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Boots a server on an ephemeral port; `tweak` edits the quiet 2-worker
+/// base config (faults, cache file, queue size, …) before bind.
+fn start_server(
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (SocketAddr, fact_serve::ServerHandle, thread::JoinHandle<()>) {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        default_timeout_ms: 120_000,
+        cache_shards: 8,
+        stats_interval_s: 0,
+        log: false,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+fn roundtrip(addr: SocketAddr, line: &str) -> Value {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    parse(reply.trim()).expect("reply is one line of JSON")
+}
+
+/// The §5-style factorable job used across the suite.
+fn job_line(id: &str, extra: &[(&'static str, Value)]) -> String {
+    let source = "proc f(n, a, b) { var s = 0; var i = 0; \
+         while (i < n) { var t = s + 1; s = t * a + t * b; i = i + 1; } out s = s; }";
+    let alloc = Value::object([
+        ("a1", Value::Int(2)),
+        ("mt1", Value::Int(1)),
+        ("cp1", Value::Int(1)),
+        ("i1", Value::Int(2)),
+        ("sb1", Value::Int(1)),
+    ]);
+    let traces = Value::object([
+        ("n", Value::Int(4)),
+        ("seed", Value::Int(7)),
+        (
+            "inputs",
+            Value::object([
+                ("n", Value::object([("const", Value::Int(10))])),
+                ("a", Value::object([("const", Value::Int(2))])),
+                ("b", Value::object([("const", Value::Int(3))])),
+            ]),
+        ),
+    ]);
+    let mut req = vec![
+        ("type", Value::Str("optimize".into())),
+        ("id", Value::Str(id.into())),
+        ("source", Value::Str(source.into())),
+        ("alloc", alloc),
+        ("traces", traces),
+        (
+            "search",
+            Value::object([("max_evaluations", Value::Int(60))]),
+        ),
+    ];
+    req.extend(extra.iter().cloned());
+    Value::object(req).to_json()
+}
+
+fn stat(stats: &Value, key: &str) -> i64 {
+    stats
+        .get(key)
+        .and_then(Value::as_i64)
+        .unwrap_or_else(|| panic!("stats missing {key}: {}", stats.to_json()))
+}
+
+#[test]
+fn injected_eval_panics_fail_only_their_jobs() {
+    // The first two evaluations panic inside the per-job catch; every
+    // later job must be untouched and the workers must survive.
+    let (addr, handle, join) = start_server(|c| {
+        c.faults = FaultSpec::parse("seed=11,panic=1:2").unwrap();
+    });
+    for i in 0..2 {
+        let reply = roundtrip(addr, &job_line(&format!("boom{i}"), &[]));
+        assert_eq!(
+            reply.get("error").and_then(Value::as_str),
+            Some("internal"),
+            "job boom{i}: {}",
+            reply.to_json()
+        );
+        assert!(reply
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("panicked"));
+    }
+    for i in 0..2 {
+        let reply = roundtrip(addr, &job_line(&format!("fine{i}"), &[]));
+        assert_eq!(
+            reply.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "job fine{i}: {}",
+            reply.to_json()
+        );
+    }
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stat(&stats, "jobs_panicked"), 2);
+    assert_eq!(stat(&stats, "jobs_failed"), 2);
+    assert_eq!(stat(&stats, "workers_respawned"), 0, "panic was contained");
+    assert_eq!(stat(&stats, "jobs_completed"), 2);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn worker_kills_are_survived_by_respawn() {
+    // The first two dequeues panic *outside* the per-job catch: the
+    // worker dies holding the job. The client must get the documented
+    // `internal` reply (dropped sender), the supervisor must respawn the
+    // worker, and later jobs must run normally.
+    let (addr, handle, join) = start_server(|c| {
+        c.workers = 1;
+        c.faults = FaultSpec::parse("seed=5,kill=1:2").unwrap();
+    });
+    for i in 0..2 {
+        let reply = roundtrip(addr, &job_line(&format!("killed{i}"), &[]));
+        assert_eq!(
+            reply.get("error").and_then(Value::as_str),
+            Some("internal"),
+            "job killed{i}: {}",
+            reply.to_json()
+        );
+        assert!(reply
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("worker exited"));
+    }
+    let reply = roundtrip(addr, &job_line("after", &[]));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stat(&stats, "workers_respawned"), 2);
+    assert_eq!(stat(&stats, "jobs_completed"), 1);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn slow_evaluations_still_respect_deadlines() {
+    // A 2 s injected stall against a 100 ms budget: the deadline fires,
+    // the cancel flag is raised, and the reply arrives as soon as the
+    // stalled job reaches its next cancellation check — well inside the
+    // wind-down grace, never hanging the client.
+    let (addr, handle, join) = start_server(|c| {
+        c.workers = 1;
+        c.faults = FaultSpec::parse("seed=3,slow=1:1,slow_ms=2000").unwrap();
+    });
+    let started = Instant::now();
+    let reply = roundtrip(
+        addr,
+        &job_line("stalled", &[("timeout_ms", Value::Int(100))]),
+    );
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(9), "reply took {elapsed:?}");
+    match reply.get("type").and_then(Value::as_str) {
+        Some("result") => {
+            assert_eq!(reply.get("status").and_then(Value::as_str), Some("timeout"));
+        }
+        Some("error") => {
+            assert_eq!(reply.get("error").and_then(Value::as_str), Some("timeout"));
+        }
+        other => panic!("unexpected reply type {other:?}: {}", reply.to_json()),
+    }
+    // The stall is spent; an unfaulted job completes normally.
+    let reply = roundtrip(addr, &job_line("after", &[]));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn interrupted_and_short_writes_never_tear_replies() {
+    // 90% of TCP writes fault (alternating Interrupted errors and short
+    // writes). `write_all` on the reply path must absorb all of it:
+    // every reply still arrives as one complete, parseable JSON line.
+    let (addr, handle, join) = start_server(|c| {
+        c.faults = FaultSpec::parse("seed=17,io=0.9").unwrap();
+    });
+    for i in 0..10 {
+        let pong = roundtrip(addr, r#"{"type":"ping"}"#);
+        assert_eq!(
+            pong.get("type").and_then(Value::as_str),
+            Some("pong"),
+            "ping {i}"
+        );
+    }
+    // A result reply is hundreds of bytes — many faulted writes deep.
+    let reply = roundtrip(addr, &job_line("chunky", &[]));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stat(&stats, "jobs_completed"), 1);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn overload_sheds_low_priority_first_with_retry_hints() {
+    // One worker stalled 3 s by an injected delay, queue of one slot:
+    // a low-priority job parks in the queue, a high-priority job evicts
+    // it (`shed` + retry_after_ms), and with the slot full again an
+    // equal-priority job bounces (`busy` + retry_after_ms). Nobody
+    // hangs; the survivors complete.
+    let (addr, handle, join) = start_server(|c| {
+        c.workers = 1;
+        c.queue_capacity = 1;
+        c.faults = FaultSpec::parse("seed=23,slow=1:1,slow_ms=3000").unwrap();
+    });
+    // Occupies the lone worker (stalled in the injected delay).
+    let blocker = {
+        let line = job_line("blocker", &[]);
+        thread::spawn(move || roundtrip(addr, &line))
+    };
+    thread::sleep(Duration::from_millis(500));
+    // Parks in the queue at priority 0.
+    let low = {
+        let line = job_line("low", &[("priority", Value::Int(0))]);
+        thread::spawn(move || roundtrip(addr, &line))
+    };
+    thread::sleep(Duration::from_millis(500));
+    // Evicts `low` from the full queue.
+    let high = {
+        let line = job_line("high", &[("priority", Value::Int(5))]);
+        thread::spawn(move || roundtrip(addr, &line))
+    };
+    let shed = low.join().unwrap();
+    assert_eq!(
+        shed.get("error").and_then(Value::as_str),
+        Some("shed"),
+        "low-priority job: {}",
+        shed.to_json()
+    );
+    let hint = shed.get("retry_after_ms").and_then(Value::as_i64).unwrap();
+    assert!((10..=60_000).contains(&hint), "retry hint {hint}");
+    // Queue full with the priority-5 job: an equal-priority newcomer
+    // cannot shed it and bounces with backpressure plus the same hint.
+    let busy = roundtrip(addr, &job_line("equal", &[("priority", Value::Int(5))]));
+    assert_eq!(
+        busy.get("error").and_then(Value::as_str),
+        Some("busy"),
+        "equal-priority job: {}",
+        busy.to_json()
+    );
+    assert!(busy.get("retry_after_ms").and_then(Value::as_i64).is_some());
+
+    for (name, client) in [("blocker", blocker), ("high", high)] {
+        let reply = client.join().unwrap();
+        assert_eq!(
+            reply.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "job {name}: {}",
+            reply.to_json()
+        );
+    }
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert_eq!(stat(&stats, "jobs_shed"), 1);
+    assert_eq!(stat(&stats, "jobs_rejected"), 1);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn unfaulted_jobs_are_bit_identical_to_a_clean_run() {
+    // With faults armed but capped, the job that is *not* hit must
+    // produce byte-for-byte the reply of a server with no faults at all
+    // — injection must not perturb the deterministic search.
+    let (clean_addr, clean_handle, clean_join) = start_server(|_| {});
+    let (chaos_addr, chaos_handle, chaos_join) = start_server(|c| {
+        c.workers = 1;
+        c.faults = FaultSpec::parse("seed=29,panic=1:1").unwrap();
+    });
+    let clean = roundtrip(clean_addr, &job_line("same", &[]));
+
+    let sacrificial = roundtrip(chaos_addr, &job_line("victim", &[]));
+    assert_eq!(
+        sacrificial.get("error").and_then(Value::as_str),
+        Some("internal")
+    );
+    let survivor = roundtrip(chaos_addr, &job_line("same", &[]));
+    assert_eq!(
+        survivor.to_json(),
+        clean.to_json(),
+        "the unfaulted reply must match the clean run byte for byte"
+    );
+
+    clean_handle.shutdown();
+    chaos_handle.shutdown();
+    clean_join.join().unwrap();
+    chaos_join.join().unwrap();
+}
+
+/// Self-cleaning temp path for snapshot files.
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(tag: &str) -> TempPath {
+        TempPath(std::env::temp_dir().join(format!("fact-chaos-{tag}-{}.snap", std::process::id())))
+    }
+    fn s(&self) -> String {
+        self.0.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_file(self.0.with_extension("snap.tmp"));
+    }
+}
+
+/// Runs one job against a fresh server using `path` as the cache file,
+/// returning (reply, stats) after a clean shutdown (which snapshots).
+fn run_with_cache_file(path: &str, faults: FaultSpec) -> (Value, Value) {
+    let (addr, handle, join) = start_server(|c| {
+        c.cache_file = Some(path.to_string());
+        c.faults = faults;
+    });
+    let reply = roundtrip(addr, &job_line("snap", &[]));
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    handle.shutdown();
+    join.join().unwrap();
+    (reply, stats)
+}
+
+#[test]
+fn corrupted_snapshot_still_warm_starts_the_next_server() {
+    let file = TempPath::new("corrupt");
+    // First life: run a job, shut down. The shutdown snapshot is then
+    // hit by an injected tail corruption.
+    let (reply, stats) =
+        run_with_cache_file(&file.s(), FaultSpec::parse("seed=41,corrupt=1:1").unwrap());
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(stat(&stats, "cache_warm_entries"), 0, "first life is cold");
+
+    // Second life: the corrupt tail is truncated away at load; the
+    // surviving prefix warm-starts the cache and the resubmitted job is
+    // answered (at least partly) from it.
+    let (addr, handle, join) = start_server(|c| {
+        c.cache_file = Some(file.s());
+    });
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    let warm = stat(&stats, "cache_warm_entries");
+    assert!(warm > 0, "warm start expected: {}", stats.to_json());
+    let reply = roundtrip(addr, &job_line("snap", &[]));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+    let hits = reply.get("cache_hits").and_then(Value::as_i64).unwrap();
+    assert!(hits > 0, "resubmitted job must hit the warm cache");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn torn_tail_and_stale_tmp_do_not_block_restart() {
+    let file = TempPath::new("torn");
+    let (reply, _) = run_with_cache_file(&file.s(), FaultSpec::default());
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+
+    // Simulate a kill -9 mid-snapshot: a half-written record appended
+    // to the live file plus a stale half-written tmp file next to it
+    // (the atomic rename never happened).
+    let mut bytes = std::fs::read(&file.0).unwrap();
+    let intact = bytes.len();
+    bytes.extend_from_slice(&[0x1d, 0x00, 0x00, 0x00, 0xde, 0xad]);
+    std::fs::write(&file.0, &bytes).unwrap();
+    std::fs::write(
+        fact_core::snapshot_tmp_path(&file.0),
+        b"half-written garbage",
+    )
+    .unwrap();
+
+    let (addr, handle, join) = start_server(|c| {
+        c.cache_file = Some(file.s());
+    });
+    let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+    assert!(
+        stat(&stats, "cache_warm_entries") > 0,
+        "torn tail must not cost the valid prefix: {}",
+        stats.to_json()
+    );
+    let reply = roundtrip(addr, &job_line("snap", &[]));
+    assert!(reply.get("cache_hits").and_then(Value::as_i64).unwrap() > 0);
+    handle.shutdown();
+    join.join().unwrap();
+
+    // The load truncated the torn tail and the shutdown snapshot
+    // rewrote the file through the stale tmp path without complaint.
+    let after = std::fs::read(&file.0).unwrap();
+    assert!(after.len() >= intact, "snapshot must be whole again");
+}

@@ -17,6 +17,7 @@ fn start_server(workers: usize) -> (SocketAddr, fact_serve::ServerHandle, thread
         cache_shards: 8,
         stats_interval_s: 0,
         log: false,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().unwrap();
@@ -259,6 +260,61 @@ fn pareto_job_returns_the_full_curve_and_shows_in_stats() {
 
     handle.shutdown();
     join.join().unwrap();
+}
+
+#[test]
+fn shutdown_during_inflight_job_drains_with_best_so_far() {
+    // An injected 4 s evaluation delay holds the job in-flight past the
+    // shutdown below, deterministically — a plain search could converge
+    // before shutdown lands and reply "ok" instead of draining.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        stats_interval_s: 0,
+        log: false,
+        faults: fact_serve::FaultSpec::parse("seed=1,slow=1,slow_ms=4000").unwrap(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().unwrap());
+
+    let line = job_line("inflight", FACTORABLE, ALLOC, &[]);
+    let client = thread::spawn(move || roundtrip(addr, &line));
+    // Let the worker pick the job up, then shut down mid-flight (the
+    // SIGTERM path in factd calls exactly this handle method).
+    thread::sleep(std::time::Duration::from_millis(500));
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    let reply = client.join().unwrap();
+    assert!(
+        started.elapsed().as_secs() < 15,
+        "drain took {:?}",
+        started.elapsed()
+    );
+    // The in-flight job winds down and delivers its best-so-far,
+    // explicitly marked — the client is never left hanging.
+    assert_eq!(
+        reply.get("type").and_then(Value::as_str),
+        Some("result"),
+        "reply: {}",
+        reply.to_json()
+    );
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("timeout"));
+    assert_eq!(reply.get("stopped").and_then(Value::as_bool), Some(true));
+    join.join().unwrap();
+    // The listener is gone: new connections are refused (or reset
+    // before a reply arrives).
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"{\"type\":\"ping\"}\n").is_err() || {
+                let mut reply = String::new();
+                BufReader::new(s).read_line(&mut reply).unwrap_or(0) == 0
+            }
+        }
+    );
 }
 
 #[test]
