@@ -27,6 +27,7 @@ pub mod fig2;
 pub mod fig4;
 pub mod pareto_perf;
 pub mod search_perf;
+pub mod serve_perf;
 pub mod sim_perf;
 pub mod sweep;
 pub mod table2;

@@ -1,0 +1,276 @@
+//! Per-connection buffering for the event-driven front end: newline
+//! framing over arbitrarily fragmented reads, and a bounded outbox with
+//! partial-write resumption.
+//!
+//! Both halves are pure state machines over `&[u8]`/`impl Write`, so the
+//! framing and flush logic is unit-testable without sockets — and the
+//! [`Outbox`] flush loop is exactly the surface the chaos suite's
+//! `FaultyWriter` exercises (Interrupted errors, short writes).
+
+use std::io::{self, Write};
+
+/// Accumulates fragmented reads and yields complete newline-terminated
+/// lines. A client may send one byte per TCP segment or ten requests in
+/// one — the framing is identical.
+pub(crate) struct LineBuffer {
+    buf: Vec<u8>,
+    /// How far `next_line` has already scanned for `\n`, so repeated
+    /// polls do not rescan the same prefix.
+    scanned: usize,
+    /// Cap on buffered bytes awaiting a newline.
+    max: usize,
+}
+
+impl LineBuffer {
+    /// A buffer that holds at most `max` bytes of incomplete line.
+    pub(crate) fn new(max: usize) -> LineBuffer {
+        LineBuffer {
+            buf: Vec::new(),
+            scanned: 0,
+            max,
+        }
+    }
+
+    /// Appends freshly read bytes. `Err(())` means the client exceeded
+    /// the line cap without sending a newline; the connection should be
+    /// dropped (there is no way to resynchronize mid-line).
+    pub(crate) fn extend(&mut self, bytes: &[u8]) -> Result<(), ()> {
+        if self.buf.len() + bytes.len() > self.max {
+            return Err(());
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// The next complete line, with its terminator (and any trailing
+    /// `\r`) stripped. Invalid UTF-8 is replaced rather than dropped —
+    /// the JSON parser then reports it as a parse error, which is a
+    /// better failure mode than a silent disconnect.
+    pub(crate) fn next_line(&mut self) -> Option<String> {
+        let nl = match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(i) => self.scanned + i,
+            None => {
+                // Remember how far we looked so later polls only scan
+                // newly arrived bytes.
+                self.scanned = self.buf.len();
+                return None;
+            }
+        };
+        let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+        self.scanned = 0;
+        line.pop(); // the \n
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(match String::from_utf8(line) {
+            Ok(s) => s,
+            Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+        })
+    }
+
+    /// Bytes buffered without a terminating newline yet.
+    pub(crate) fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// What an [`Outbox::flush`] attempt achieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlushState {
+    /// Everything queued has reached the kernel.
+    Flushed,
+    /// The socket would block; bytes remain and the connection needs
+    /// writable interest to resume.
+    Blocked,
+}
+
+/// A bounded per-connection write buffer with partial-write resumption.
+///
+/// Replies are queued whole; [`Outbox::flush`] pushes them toward the
+/// socket, absorbing `Interrupted` (retry) and short writes (advance the
+/// cursor) — the two faults `FaultyWriter` injects — and reporting
+/// `WouldBlock` as [`FlushState::Blocked`] so the event loop can arm
+/// writable interest instead of stalling the whole server on one slow
+/// client.
+pub(crate) struct Outbox {
+    buf: Vec<u8>,
+    /// Cursor: bytes before it have been written.
+    start: usize,
+    /// Cap on unflushed bytes; exceeding it marks the client slow.
+    cap: usize,
+}
+
+impl Outbox {
+    /// An outbox that tolerates at most `cap` unflushed bytes.
+    pub(crate) fn new(cap: usize) -> Outbox {
+        Outbox {
+            buf: Vec::new(),
+            start: 0,
+            cap,
+        }
+    }
+
+    /// Queues one complete reply. Always accepts (a reply must never be
+    /// half-dropped); [`Outbox::over_cap`] reports the overflow so the
+    /// caller can disconnect the slow client *after* this reply fails to
+    /// drain.
+    pub(crate) fn queue(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the unflushed backlog exceeds the configured cap.
+    pub(crate) fn over_cap(&self) -> bool {
+        self.len() > self.cap
+    }
+
+    /// Unflushed bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether everything queued has been written.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.start >= self.buf.len()
+    }
+
+    /// Writes as much as the socket accepts. `Err` is a hard connection
+    /// error (the caller should close); `Ok(Blocked)` means re-arm
+    /// writable interest and try again on the next readiness event.
+    pub(crate) fn flush(&mut self, w: &mut impl Write) -> io::Result<FlushState> {
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FlushState::Blocked),
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(FlushState::Flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, FaultSpec, FaultyWriter};
+
+    #[test]
+    fn frames_byte_at_a_time_and_pipelined_input() {
+        let mut lb = LineBuffer::new(1024);
+        // One request delivered a byte per read.
+        for b in b"{\"type\":\"ping\"}\n" {
+            assert!(lb.next_line().is_none());
+            lb.extend(&[*b]).unwrap();
+        }
+        assert_eq!(lb.next_line().as_deref(), Some("{\"type\":\"ping\"}"));
+        assert!(lb.next_line().is_none());
+
+        // Two requests in one segment, plus a fragment of a third.
+        lb.extend(b"first\r\nsecond\nthi").unwrap();
+        assert_eq!(lb.next_line().as_deref(), Some("first"));
+        assert_eq!(lb.next_line().as_deref(), Some("second"));
+        assert!(lb.next_line().is_none());
+        assert_eq!(lb.pending_bytes(), 3);
+        lb.extend(b"rd\n").unwrap();
+        assert_eq!(lb.next_line().as_deref(), Some("third"));
+    }
+
+    #[test]
+    fn line_cap_rejects_unterminated_floods() {
+        let mut lb = LineBuffer::new(8);
+        assert!(lb.extend(b"12345678").is_ok());
+        assert!(lb.extend(b"9").is_err(), "cap must reject the 9th byte");
+        // A terminated line within the cap still parses.
+        let mut lb = LineBuffer::new(8);
+        lb.extend(b"ok\n").unwrap();
+        assert_eq!(lb.next_line().as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn invalid_utf8_becomes_a_lossy_line_not_a_panic() {
+        let mut lb = LineBuffer::new(64);
+        lb.extend(b"\xff\xfe junk\n").unwrap();
+        let line = lb.next_line().unwrap();
+        assert!(line.contains("junk"));
+    }
+
+    /// A writer that accepts at most `n` bytes per call and blocks after
+    /// a scripted total, like a kernel send buffer filling up.
+    struct Throttled {
+        out: Vec<u8>,
+        per_call: usize,
+        accept_total: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.out.len() >= self.accept_total {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf
+                .len()
+                .min(self.per_call)
+                .min(self.accept_total - self.out.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_resumes_across_partial_writes_and_blocking() {
+        let mut ob = Outbox::new(1024);
+        ob.queue(b"hello world\n");
+        ob.queue(b"second line\n");
+        let mut w = Throttled {
+            out: Vec::new(),
+            per_call: 5,
+            accept_total: 9,
+        };
+        assert_eq!(ob.flush(&mut w).unwrap(), FlushState::Blocked);
+        assert_eq!(w.out, b"hello wor");
+        assert!(!ob.is_empty());
+        w.accept_total = usize::MAX;
+        assert_eq!(ob.flush(&mut w).unwrap(), FlushState::Flushed);
+        assert_eq!(w.out, b"hello world\nsecond line\n");
+        assert!(ob.is_empty());
+        assert_eq!(ob.len(), 0);
+    }
+
+    #[test]
+    fn over_cap_flags_slow_clients_but_never_tears_a_reply() {
+        let mut ob = Outbox::new(10);
+        ob.queue(b"a reply far larger than the cap\n");
+        assert!(ob.over_cap());
+        let mut out = Vec::new();
+        assert_eq!(ob.flush(&mut out).unwrap(), FlushState::Flushed);
+        assert_eq!(out, b"a reply far larger than the cap\n");
+        assert!(!ob.over_cap());
+    }
+
+    #[test]
+    fn flush_survives_injected_interrupts_and_short_writes() {
+        let plan = FaultPlan::new(FaultSpec::parse("seed=3,io=0.9").unwrap());
+        let mut out = Vec::new();
+        let mut ob = Outbox::new(1 << 20);
+        let msg = b"the quick brown fox jumps over the lazy daemon\n";
+        for _ in 0..50 {
+            ob.queue(msg);
+        }
+        let mut w = FaultyWriter::new(&mut out, &plan);
+        assert_eq!(ob.flush(&mut w).unwrap(), FlushState::Flushed);
+        assert!(plan.injections() > 0, "rate 0.9 must have injected");
+        assert_eq!(out.len(), msg.len() * 50);
+        assert!(out.chunks(msg.len()).all(|c| c == msg));
+    }
+}

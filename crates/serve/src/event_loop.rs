@@ -1,0 +1,605 @@
+//! The epoll connection front end: one thread multiplexing every client
+//! socket (DESIGN.md §12).
+//!
+//! The loop owns the nonblocking listener and a per-connection state
+//! machine ([`crate::conn`]): bytes read → newline framing → request
+//! classification → either an immediate reply into the connection's
+//! bounded outbox, or a job admitted to the shared worker queue. Workers
+//! hand finished replies back through a [`CompletionQueue`] — a mutexed
+//! vector plus an `eventfd` [`crate::poller::Waker`] — so the loop never
+//! blocks on anything but `epoll_wait`.
+//!
+//! ## Ordering contract
+//!
+//! At most one optimize/pareto job is in flight per connection, and
+//! while it runs the connection's read interest is dropped: pipelined
+//! requests wait — first in our line buffer, then in the kernel socket
+//! buffer (which is TCP backpressure all the way to the client). This
+//! reproduces the thread model's strict request→reply ordering, and
+//! level-triggered epoll re-delivers the buffered-readable state the
+//! moment interest is re-armed.
+//!
+//! ## Lifecycle policy
+//!
+//! - **max connections** ([`ServerConfig::max_connections`]): excess
+//!   accepts are closed immediately (clean EOF for the client).
+//! - **idle timeout** ([`ServerConfig::idle_timeout_s`]): a connection
+//!   with no job in flight and nothing buffered is reaped after the
+//!   configured silence (`idle_disconnects`).
+//! - **slow clients** ([`ServerConfig::max_outbox_bytes`]): when a
+//!   client stops reading and its outbox backlog exceeds the cap after a
+//!   blocked flush, the connection is dropped (`slow_client_disconnects`)
+//!   rather than letting it pin server memory.
+//!
+//! [`ServerConfig::max_connections`]: crate::ServerConfig::max_connections
+//! [`ServerConfig::idle_timeout_s`]: crate::ServerConfig::idle_timeout_s
+//! [`ServerConfig::max_outbox_bytes`]: crate::ServerConfig::max_outbox_bytes
+
+use crate::conn::{LineBuffer, Outbox};
+use crate::faults::FaultyWriter;
+use crate::job::JobError;
+use crate::json::Value;
+use crate::poller::{Interest, Poller, Waker};
+use crate::protocol::error_reply;
+use crate::server::{
+    admit_job, classify_line, finish, job_timeout, log_stderr, LineOutcome, ReplyTo, Shared,
+    WIND_DOWN_GRACE,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Poll token of the listener.
+const LISTENER: u64 = 0;
+/// Poll token of the completion-queue waker.
+const WAKER: u64 = 1;
+/// First token handed to a client connection.
+const FIRST_CONN: u64 = 2;
+/// Cap on one buffered request line (requests carry source text, so the
+/// cap is generous; a client that exceeds it without a newline cannot be
+/// re-synchronized and is disconnected after an error reply).
+const MAX_LINE_BYTES: usize = 8 << 20;
+/// Longest `epoll_wait` between housekeeping sweeps (idle reaping,
+/// deadline checks); job deadlines shorten individual waits below this.
+const MAX_WAIT: Duration = Duration::from_millis(250);
+
+/// Finished-job results handed from worker threads to the event loop.
+pub(crate) struct CompletionQueue {
+    done: Mutex<Vec<(u64, Result<Value, JobError>)>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    fn post(&self, job: u64, outcome: Result<Value, JobError>) {
+        self.done.lock().unwrap().push((job, outcome));
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<(u64, Result<Value, JobError>)> {
+        self.waker.drain();
+        std::mem::take(&mut *self.done.lock().unwrap())
+    }
+}
+
+/// The event-loop half of a worker reply. Mirrors the thread model's
+/// mpsc sender, including its drop semantics: a `LoopReply` dropped
+/// without [`LoopReply::send`] (worker died mid-job, or the queue
+/// dropped the job) posts the same `internal` error the thread model
+/// derives from a disconnected channel.
+pub(crate) struct LoopReply {
+    job: u64,
+    completions: Arc<CompletionQueue>,
+    sent: bool,
+}
+
+impl LoopReply {
+    /// Posts the outcome and wakes the loop.
+    pub(crate) fn send(mut self, outcome: Result<Value, JobError>) {
+        self.sent = true;
+        self.completions.post(self.job, outcome);
+    }
+}
+
+impl Drop for LoopReply {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.completions.post(
+                self.job,
+                Err(JobError {
+                    code: "internal",
+                    message: "worker exited before replying".into(),
+                    retry_after_ms: None,
+                }),
+            );
+        }
+    }
+}
+
+/// A job in flight on one connection.
+struct Pending {
+    /// Loop-global job token (maps completions back to connections).
+    job: u64,
+    /// Request id, echoed in synthesized error replies.
+    id: String,
+    /// The job's budget, for the timeout error message.
+    timeout: Duration,
+    deadline: Instant,
+    /// Set when the deadline passed and the job was cancelled; expiry
+    /// means the job refused to wind down.
+    wind_down_until: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+}
+
+/// One client connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    lines: LineBuffer,
+    outbox: Outbox,
+    pending: Option<Pending>,
+    last_activity: Instant,
+    /// Peer half-closed; finish in-flight work, flush, then close.
+    peer_closed: bool,
+    /// Fatal condition (oversized line, shutdown): close once flushed.
+    close_after_flush: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+/// Why a connection is being dropped, for the stats counters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Close {
+    /// EOF, I/O error, policy cap, or shutdown.
+    Normal,
+    /// Reaped by the idle timeout.
+    Idle,
+    /// Outbox exceeded its cap while the socket was blocked.
+    SlowClient,
+}
+
+/// Verdict after handling a connection's event.
+enum Verdict {
+    Keep,
+    Drop(Close),
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    completions: Arc<CompletionQueue>,
+    conns: HashMap<u64, Conn>,
+    /// job token → connection token; an entry is removed when the reply
+    /// is delivered, the wind-down expires, or the connection dies —
+    /// after which a late completion is silently dropped.
+    jobs: HashMap<u64, u64>,
+    next_conn: u64,
+    next_job: u64,
+    /// Armed when shutdown is first observed; a hard stop for draining.
+    drain_deadline: Option<Instant>,
+}
+
+/// Runs the epoll front end until shutdown completes (all in-flight
+/// jobs replied or timed out, outboxes flushed) or the listener fails.
+pub(crate) fn run_event_loop(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Waker::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+    poller.add(waker.raw_fd(), WAKER, Interest::READ)?;
+    let mut lp = EventLoop {
+        shared: Arc::clone(shared),
+        listener,
+        poller,
+        completions: Arc::new(CompletionQueue {
+            done: Mutex::new(Vec::new()),
+            waker,
+        }),
+        conns: HashMap::new(),
+        jobs: HashMap::new(),
+        next_conn: FIRST_CONN,
+        next_job: 0,
+        drain_deadline: None,
+    };
+    lp.run()
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        loop {
+            let timeout = self.next_wait();
+            let events = self.poller.wait(Some(timeout))?;
+            self.shared
+                .stats
+                .loop_wakeups
+                .fetch_add(1, Ordering::Relaxed);
+            let mut accept_ready = false;
+            for ev in &events {
+                match ev.token {
+                    LISTENER => accept_ready = true,
+                    WAKER => {} // drained below, every iteration
+                    token => self.on_conn_event(
+                        token,
+                        ev.is_readable() || ev.is_error(),
+                        ev.is_writable(),
+                    ),
+                }
+            }
+            self.deliver_completions();
+            if accept_ready {
+                self.accept_ready()?;
+            }
+            self.sweep_timers();
+            if self.shutdown_drained() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// How long the next `epoll_wait` may sleep: the soonest job
+    /// deadline / wind-down expiry, capped by the housekeeping tick
+    /// (short while draining a shutdown).
+    fn next_wait(&self) -> Duration {
+        let now = Instant::now();
+        let mut wait = if self.drain_deadline.is_some() {
+            Duration::from_millis(50)
+        } else {
+            MAX_WAIT
+        };
+        for conn in self.conns.values() {
+            if let Some(p) = &conn.pending {
+                let next = p.wind_down_until.unwrap_or(p.deadline);
+                wait = wait.min(next.saturating_duration_since(now));
+            }
+        }
+        wait
+    }
+
+    /// Runs `f` on a live connection and applies its verdict. Tokens
+    /// that already died this iteration are silently skipped.
+    fn with_conn(&mut self, token: u64, f: impl FnOnce(&mut Self, &mut Conn) -> Verdict) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        match f(self, &mut conn) {
+            Verdict::Keep => {
+                self.update_interest(token, &mut conn);
+                self.conns.insert(token, conn);
+            }
+            Verdict::Drop(why) => self.drop_conn(conn, why),
+        }
+    }
+
+    fn drop_conn(&mut self, conn: Conn, why: Close) {
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        if let Some(p) = &conn.pending {
+            // The client is gone; its job keeps running (parity with the
+            // thread model) but the completion now has nowhere to go.
+            self.jobs.remove(&p.job);
+        }
+        let stats = &self.shared.stats;
+        match why {
+            Close::Normal => {}
+            Close::Idle => {
+                stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            Close::SlowClient => {
+                stats
+                    .slow_client_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        stats
+            .connections_open
+            .store(self.conns.len() as u64, Ordering::Relaxed);
+    }
+
+    /// The interest a connection needs right now: readable unless a job
+    /// is in flight (ordering contract) or the connection is winding
+    /// down; writable while the outbox has a backlog.
+    fn update_interest(&mut self, token: u64, conn: &mut Conn) {
+        let want = Interest {
+            readable: conn.pending.is_none() && !conn.close_after_flush && !conn.peer_closed,
+            writable: !conn.outbox.is_empty(),
+        };
+        if want != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, readable: bool, writable: bool) {
+        self.with_conn(token, |lp, conn| {
+            if readable {
+                if let Verdict::Drop(why) = lp.read_ready(token, conn) {
+                    // A read error still flushes nothing — close now.
+                    return Verdict::Drop(why);
+                }
+            }
+            lp.process_lines(token, conn);
+            let _ = writable; // level-triggered: flush covers both cases
+            lp.flush_and_judge(conn)
+        });
+    }
+
+    /// Drains the socket into the line buffer. EOF and hard errors close
+    /// the connection (after pending work, via the judge) or instantly
+    /// when nothing is owed.
+    fn read_ready(&mut self, _token: u64, conn: &mut Conn) -> Verdict {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if conn.lines.extend(&buf[..n]).is_err() {
+                        // Unterminated flood: no way to resynchronize.
+                        self.queue_reply(
+                            conn,
+                            &error_reply(
+                                "",
+                                "request",
+                                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                            ),
+                        );
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => return Verdict::Drop(Close::Normal),
+            }
+        }
+        Verdict::Keep
+    }
+
+    /// Handles buffered complete lines until a job goes in flight (the
+    /// ordering contract) or the buffer runs dry.
+    fn process_lines(&mut self, token: u64, conn: &mut Conn) {
+        while conn.pending.is_none() && !conn.close_after_flush {
+            let Some(line) = conn.lines.next_line() else {
+                break;
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match classify_line(&self.shared, &line) {
+                LineOutcome::Reply(v) => self.queue_reply(conn, &v),
+                LineOutcome::ReplyThenShutdown(v) => {
+                    self.queue_reply(conn, &v);
+                    self.shared.begin_shutdown();
+                }
+                LineOutcome::Submit { req, pareto } => {
+                    let timeout = job_timeout(&self.shared, &req);
+                    let id = req.id.clone();
+                    let job = self.next_job;
+                    self.next_job += 1;
+                    let reply = ReplyTo::Loop(LoopReply {
+                        job,
+                        completions: Arc::clone(&self.completions),
+                        sent: false,
+                    });
+                    match admit_job(&self.shared, *req, pareto, timeout, reply) {
+                        Ok(cancel) => {
+                            // Map the job only after admission succeeds:
+                            // a rejected job's dropped LoopReply posts a
+                            // completion for an unmapped token, which the
+                            // drain discards.
+                            self.jobs.insert(job, token);
+                            conn.pending = Some(Pending {
+                                job,
+                                id,
+                                timeout,
+                                deadline: Instant::now() + timeout,
+                                wind_down_until: None,
+                                cancel,
+                            });
+                        }
+                        Err(v) => self.queue_reply(conn, &v),
+                    }
+                }
+            }
+        }
+    }
+
+    fn queue_reply(&mut self, conn: &mut Conn, reply: &Value) {
+        let mut line = reply.to_json();
+        line.push('\n');
+        conn.outbox.queue(line.as_bytes());
+    }
+
+    /// Flushes the outbox through the fault plan's writer (chaos `io`
+    /// faults hit this path exactly like the thread model's reply path)
+    /// and decides whether the connection lives on.
+    fn flush_and_judge(&mut self, conn: &mut Conn) -> Verdict {
+        let mut writer = FaultyWriter::new(&conn.stream, &self.shared.faults);
+        if conn.outbox.flush(&mut writer).is_err() {
+            return Verdict::Drop(Close::Normal);
+        }
+        if conn.outbox.over_cap() {
+            // Still over the cap after giving the socket every byte it
+            // would take: the client has stopped reading.
+            return Verdict::Drop(Close::SlowClient);
+        }
+        let drained = conn.outbox.is_empty();
+        if drained && conn.close_after_flush {
+            return Verdict::Drop(Close::Normal);
+        }
+        if drained && conn.peer_closed && conn.pending.is_none() {
+            return Verdict::Drop(Close::Normal);
+        }
+        Verdict::Keep
+    }
+
+    /// Routes drained completions to their connections and resumes
+    /// buffered pipelined requests.
+    fn deliver_completions(&mut self) {
+        for (job, outcome) in self.completions.drain() {
+            let Some(token) = self.jobs.remove(&job) else {
+                continue; // admission failed, wind-down expired, conn died
+            };
+            self.with_conn(token, |lp, conn| {
+                match conn.pending.take() {
+                    Some(p) if p.job == job => {
+                        let reply = finish(&p.id, outcome);
+                        lp.queue_reply(conn, &reply);
+                    }
+                    other => conn.pending = other, // stale token; ignore
+                }
+                lp.process_lines(token, conn);
+                lp.flush_and_judge(conn)
+            });
+        }
+    }
+
+    /// Accepts until the backlog is dry, enforcing the connection cap
+    /// (and refusing new work during shutdown).
+    fn accept_ready(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst)
+                        || self.conns.len() >= self.shared.config.max_connections.max(1)
+                        || stream.set_nonblocking(true).is_err()
+                    {
+                        continue; // dropped: the client sees a clean EOF
+                    }
+                    let token = self.next_conn;
+                    self.next_conn += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let stats = &self.shared.stats;
+                    stats.connections_total.fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            lines: LineBuffer::new(MAX_LINE_BYTES),
+                            outbox: Outbox::new(self.shared.config.max_outbox_bytes.max(1)),
+                            pending: None,
+                            last_activity: Instant::now(),
+                            peer_closed: false,
+                            close_after_flush: false,
+                            interest: Interest::READ,
+                        },
+                    );
+                    stats
+                        .connections_open
+                        .store(self.conns.len() as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted
+                            | io::ErrorKind::ConnectionAborted
+                            | io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Periodic housekeeping: job deadlines (cancel → wind-down →
+    /// synthesized timeout), idle reaping, and shutdown closes.
+    fn sweep_timers(&mut self) {
+        let now = Instant::now();
+        let shutdown = self.shared.shutdown.load(Ordering::SeqCst);
+        let idle_after = self.shared.config.idle_timeout_s;
+        let mut expired: Vec<u64> = Vec::new();
+        let mut to_close: Vec<(u64, Close)> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            if let Some(p) = conn.pending.as_mut() {
+                if p.wind_down_until.is_none() && now >= p.deadline {
+                    // Deadline passed: cancel, then grace to wind down
+                    // and deliver best-so-far (parity with the thread
+                    // model's second recv_timeout).
+                    p.cancel.store(true, Ordering::SeqCst);
+                    p.wind_down_until = Some(now + WIND_DOWN_GRACE);
+                }
+                if p.wind_down_until.is_some_and(|wd| now >= wd) {
+                    expired.push(token);
+                }
+            } else if shutdown {
+                if conn.outbox.is_empty() {
+                    to_close.push((token, Close::Normal));
+                }
+            } else if idle_after > 0
+                && conn.outbox.is_empty()
+                && conn.lines.pending_bytes() == 0
+                && now.duration_since(conn.last_activity).as_secs() >= idle_after
+            {
+                to_close.push((token, Close::Idle));
+            }
+        }
+        for (token, why) in to_close {
+            if let Some(conn) = self.conns.remove(&token) {
+                if why == Close::Idle && self.shared.config.log {
+                    log_stderr!(
+                        "factd: closing idle connection after {}s",
+                        self.shared.config.idle_timeout_s
+                    );
+                }
+                self.drop_conn(conn, why);
+            }
+        }
+        for token in expired {
+            self.with_conn(token, |lp, conn| {
+                let Some(p) = conn.pending.take() else {
+                    return Verdict::Keep;
+                };
+                // The job refused to wind down; unmap it so its eventual
+                // completion is dropped, and tell the client.
+                lp.jobs.remove(&p.job);
+                let reply = error_reply(
+                    &p.id,
+                    "timeout",
+                    &format!(
+                        "job exceeded {}ms and did not wind down",
+                        p.timeout.as_millis()
+                    ),
+                );
+                lp.queue_reply(conn, &reply);
+                lp.process_lines(token, conn);
+                lp.flush_and_judge(conn)
+            });
+        }
+    }
+
+    /// During shutdown: `true` once nothing is owed to anyone (no
+    /// in-flight jobs, all outboxes flushed) or the drain deadline hits.
+    fn shutdown_drained(&mut self) -> bool {
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let deadline = *self.drain_deadline.get_or_insert_with(|| {
+            // Bounded by the longest a cancelled job may legitimately
+            // take to wind down, plus flush slack.
+            Instant::now() + WIND_DOWN_GRACE + Duration::from_secs(5)
+        });
+        if Instant::now() >= deadline {
+            return true;
+        }
+        self.jobs.is_empty() && self.conns.values().all(|c| c.outbox.is_empty())
+    }
+}

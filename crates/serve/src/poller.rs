@@ -1,0 +1,374 @@
+//! Std-only Linux `epoll` wrapper for the event-driven connection front
+//! end (DESIGN.md §12).
+//!
+//! The workspace has zero external dependencies, so the poller talks to
+//! the kernel directly through the libc symbols that are always linked
+//! on Linux targets (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd`) — the same idiom `install_signal_flag` uses for
+//! `signal(2)`. Everything is **level-triggered**: readiness is reported
+//! on every wait until the condition is consumed, which keeps the
+//! event-loop state machine simple (no starvation bookkeeping for
+//! edge-triggered wakeups).
+//!
+//! Two types:
+//!
+//! - [`Poller`]: one `epoll` instance. Register a file descriptor with a
+//!   `u64` token and an [`Interest`]; [`Poller::wait`] fills a buffer of
+//!   [`Event`]s, each carrying the token back.
+//! - [`Waker`]: an `eventfd` that other threads write to unblock a
+//!   [`Poller::wait`] — the handoff path worker threads use to tell the
+//!   event loop a job reply is ready.
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+// Linux ABI constants (asm-generic values; stable since 2.6).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+
+/// `struct epoll_event`. Packed on x86-64 (the kernel ABI demands it
+/// there); naturally aligned everywhere else.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    // libc is always linked on Linux targets; these are the raw POSIX /
+    // Linux entry points the std library itself builds on.
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// What readiness a registration asks for. Error/hangup conditions are
+/// always reported by the kernel and surface via [`Event::is_error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Neither direction — only error/hangup events are delivered.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = 0;
+        if self.readable {
+            m |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    events: u32,
+}
+
+impl Event {
+    /// The fd is readable — including EOF/half-close, which a subsequent
+    /// `read` reports as 0 bytes.
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0
+    }
+
+    /// The fd is writable.
+    pub fn is_writable(&self) -> bool {
+        self.events & EPOLLOUT != 0
+    }
+
+    /// The fd is in an error or hangup state; the owner should close it
+    /// (after a final read drains whatever the kernel still holds).
+    pub fn is_error(&self) -> bool {
+        self.events & (EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// One `epoll` instance.
+pub struct Poller {
+    epfd: c_int,
+    /// Kernel-filled event buffer, reused across waits.
+    buf: Vec<EpollEvent>,
+}
+
+impl Poller {
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the documented error signal and is checked before use.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            buf: vec![EpollEvent::default(); 1024],
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        // SAFETY: `ev` lives across the call and is a valid
+        // `epoll_event`; the kernel copies it before returning (DEL
+        // ignores the pointer entirely). `fd` validity is the caller's
+        // contract; an invalid fd is reported as EBADF, not UB.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes an existing registration's token/interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Removes a registration. Harmless to call for an fd the kernel
+    /// already dropped (closing an fd deregisters it implicitly).
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    /// Waits for readiness up to `timeout` (`None` blocks indefinitely)
+    /// and returns the ready events. An interrupted wait (EINTR) returns
+    /// an empty slice rather than an error.
+    pub fn wait(&mut self, timeout: Option<Duration>) -> io::Result<Vec<Event>> {
+        let timeout_ms: c_int = match timeout {
+            // Round up so a 0 < t < 1ms deadline does not busy-spin.
+            Some(t) => {
+                t.as_millis()
+                    .min(i32::MAX as u128)
+                    .max(u128::from(!t.is_zero() && t.as_millis() == 0)) as c_int
+            }
+            None => -1,
+        };
+        // SAFETY: `buf` is a live, properly sized allocation of
+        // `EpollEvent`; the kernel writes at most `buf.len()` entries
+        // and returns how many, which is bounds-checked below.
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            return if e.kind() == io::ErrorKind::Interrupted {
+                Ok(Vec::new())
+            } else {
+                Err(e)
+            };
+        }
+        let n = (n as usize).min(self.buf.len());
+        Ok(self.buf[..n]
+            .iter()
+            .map(|ev| {
+                // Copy the (possibly packed) fields by value; taking
+                // references into a packed struct is undefined behavior.
+                let events = ev.events;
+                let data = ev.data;
+                Event {
+                    token: data,
+                    events,
+                }
+            })
+            .collect())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by epoll_create1 and is closed
+        // exactly once (Drop runs once; the fd is never duplicated).
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// An `eventfd`-backed wakeup channel: any thread calls [`Waker::wake`]
+/// to make the owning [`Poller::wait`] return. Cheap (one 8-byte write),
+/// coalescing (N wakes before a drain collapse into one readable event),
+/// and safe to fire after the loop has exited (the write lands in the
+/// eventfd counter and is never read — no error, no block, because the
+/// counter saturates far above any realistic wake count).
+pub struct Waker {
+    fd: c_int,
+}
+
+impl Waker {
+    /// Creates the eventfd (nonblocking, close-on-exec).
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers; a negative return is the
+        // documented error signal and is checked before use.
+        let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with a [`Poller`] (readable interest).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Unblocks the poller. Infallible by design: the only failure modes
+    /// are EAGAIN (counter saturated — the poller is already guaranteed
+    /// to wake) and programmer error.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live u64 — exactly the eventfd
+        // contract. The fd outlives the call (`&self` borrows the owner).
+        unsafe { write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+    }
+
+    /// Consumes pending wakeups so level-triggered polling goes quiet
+    /// until the next [`Waker::wake`].
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        // SAFETY: reads 8 bytes into a live u64 — exactly the eventfd
+        // contract for a nonblocking read; EAGAIN (nothing pending) is
+        // the expected other outcome and needs no handling.
+        unsafe { read(self.fd, (&mut count as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: `fd` was returned by eventfd and is closed exactly
+        // once (Drop runs once; the fd is never duplicated).
+        unsafe { close(self.fd) };
+    }
+}
+
+// SAFETY: Waker is an owned file descriptor; eventfd reads/writes are
+// atomic kernel operations, safe from any thread concurrently.
+unsafe impl Send for Waker {}
+// SAFETY: see Send — `wake`/`drain` take &self and are kernel-atomic.
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.raw_fd(), 7, Interest::READ).unwrap();
+
+        // No wake: the wait times out empty.
+        let t0 = Instant::now();
+        let evs = poller.wait(Some(Duration::from_millis(30))).unwrap();
+        assert!(evs.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+
+        // Coalesced wakes: readable once, token intact.
+        waker.wake();
+        waker.wake();
+        let evs = poller.wait(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].token, 7);
+        assert!(evs[0].is_readable());
+
+        // Drained: quiet again.
+        waker.drain();
+        let evs = poller.wait(Some(Duration::from_millis(20))).unwrap();
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        use std::os::unix::io::AsRawFd;
+        poller.add(listener.as_raw_fd(), 1, Interest::READ).unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let evs = poller.wait(Some(Duration::from_secs(5))).unwrap();
+        assert!(evs.iter().any(|e| e.token == 1 && e.is_readable()));
+        let (conn, _) = listener.accept().unwrap();
+        conn.set_nonblocking(true).unwrap();
+        poller.add(conn.as_raw_fd(), 2, Interest::READ).unwrap();
+
+        client.write_all(b"hi").unwrap();
+        let evs = poller.wait(Some(Duration::from_secs(5))).unwrap();
+        assert!(evs.iter().any(|e| e.token == 2 && e.is_readable()));
+
+        // Writable interest on an idle socket fires immediately
+        // (level-triggered: the send buffer is empty).
+        poller
+            .modify(
+                conn.as_raw_fd(),
+                2,
+                Interest {
+                    readable: false,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let evs = poller.wait(Some(Duration::from_secs(5))).unwrap();
+        assert!(evs.iter().any(|e| e.token == 2 && e.is_writable()));
+
+        poller.remove(conn.as_raw_fd()).unwrap();
+        drop(client);
+        let evs = poller.wait(Some(Duration::from_millis(30))).unwrap();
+        assert!(
+            evs.iter().all(|e| e.token != 2),
+            "removed fd must stay silent"
+        );
+    }
+}

@@ -1,14 +1,27 @@
-//! The `factd` daemon: TCP listener, connection threads, worker pool.
+//! The `factd` daemon: connection front end plus worker pool.
 //!
 //! ## Thread structure
 //!
-//! - **accept loop** (the thread calling [`Server::run`]): accepts
-//!   connections and spawns a thread per client.
-//! - **connection threads**: read newline-delimited JSON requests,
-//!   enqueue optimization jobs, and wait (with the job's deadline) for
-//!   the reply. On deadline expiry the connection raises the job's
-//!   cancellation flag; the search winds down at the next evaluation
-//!   boundary and replies with its best-so-far under `status:"timeout"`.
+//! The connection **front end** comes in two flavors, selected by
+//! [`ServerConfig::io_model`] (see `docs/SERVER.md` and DESIGN.md §12):
+//!
+//! - [`IoModel::Epoll`] (Linux default): a single event-loop thread (the
+//!   one calling [`Server::run`]) multiplexes the nonblocking listener
+//!   and every client socket through `epoll`. Each connection is a state
+//!   machine — read buffer → newline framing → job dispatch, bounded
+//!   outbox with partial-write resumption — and worker threads hand
+//!   finished replies back through an `eventfd` wakeup. The loop
+//!   enforces the connection lifecycle policy: a max-connections cap, an
+//!   idle timeout, and slow-client disconnects when an outbox exceeds
+//!   its cap.
+//! - [`IoModel::Threads`] (portable fallback, `--io-model threads`): the
+//!   accept loop spawns a thread per client; each reads requests,
+//!   enqueues jobs, and waits (with the job's deadline) for the reply.
+//!
+//! Under either front end, on deadline expiry the connection raises the
+//! job's cancellation flag; the search winds down at the next evaluation
+//! boundary and replies with its best-so-far under `status:"timeout"`.
+//!
 //! - **worker pool**: [`ServerConfig::workers`] threads popping jobs
 //!   from the bounded [`JobQueue`]. Each job runs inside a
 //!   `catch_unwind` (a panicking evaluation fails only that job, with
@@ -57,7 +70,7 @@ use std::time::{Duration, Instant};
 
 /// How long after cancellation a job gets to wind down and deliver its
 /// best-so-far before the connection gives up on it entirely.
-const WIND_DOWN_GRACE: Duration = Duration::from_secs(10);
+pub(crate) const WIND_DOWN_GRACE: Duration = Duration::from_secs(10);
 
 /// Logs one line to stderr, swallowing write errors. `eprintln!` panics
 /// when stderr is a closed pipe (a dead log collector); a log line must
@@ -66,6 +79,52 @@ macro_rules! log_stderr {
     ($($arg:tt)*) => {
         let _ = writeln!(io::stderr(), $($arg)*);
     };
+}
+pub(crate) use log_stderr;
+
+/// Which connection front end the daemon runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoModel {
+    /// A single event-loop thread multiplexing every connection through
+    /// `epoll` (Linux only; the default there).
+    Epoll,
+    /// One thread per connection — the portable fallback, and the
+    /// default off Linux.
+    Threads,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::Epoll
+        } else {
+            IoModel::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "epoll" if cfg!(target_os = "linux") => Ok(IoModel::Epoll),
+            "epoll" => Err("io model `epoll` requires Linux; use `threads`".into()),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!(
+                "unknown io model `{other}` (expected `epoll` or `threads`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoModel::Epoll => "epoll",
+            IoModel::Threads => "threads",
+        })
+    }
 }
 
 /// Daemon configuration.
@@ -95,6 +154,20 @@ pub struct ServerConfig {
     pub cache_snapshot_every_s: u64,
     /// Fault-injection plan for chaos testing; the default is inert.
     pub faults: FaultSpec,
+    /// Connection front end (see [`IoModel`]).
+    pub io_model: IoModel,
+    /// Max simultaneously open client connections under the event loop;
+    /// excess connections are accepted and immediately closed so the
+    /// client sees a clean EOF instead of a hung SYN backlog slot.
+    pub max_connections: usize,
+    /// Seconds an event-loop connection may sit idle (no request in
+    /// flight, nothing buffered) before it is closed; 0 disables.
+    pub idle_timeout_s: u64,
+    /// Per-connection outbox cap in bytes under the event loop. A client
+    /// that stops reading while replies accumulate past this is
+    /// disconnected (`slow_client_disconnects`) instead of being allowed
+    /// to pin server memory.
+    pub max_outbox_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -111,19 +184,48 @@ impl Default for ServerConfig {
             cache_file: None,
             cache_snapshot_every_s: 0,
             faults: FaultSpec::default(),
+            io_model: IoModel::default(),
+            max_connections: 4096,
+            idle_timeout_s: 300,
+            max_outbox_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Where a finished job's outcome goes: the blocked connection thread
+/// that submitted it (threads model) or the event loop's completion
+/// queue (epoll model).
+pub(crate) enum ReplyTo {
+    /// The thread model's per-request channel; a dropped sender is how
+    /// the waiting connection learns its worker died.
+    Thread(mpsc::Sender<Result<Value, JobError>>),
+    /// The event loop's completion queue; the drop behavior of the
+    /// channel is reproduced by [`crate::event_loop::LoopReply`].
+    #[cfg(target_os = "linux")]
+    Loop(crate::event_loop::LoopReply),
+}
+
+impl ReplyTo {
+    /// Delivers the outcome, best-effort — the client may already be
+    /// gone, which no sender needs to know about.
+    pub(crate) fn send(self, outcome: Result<Value, JobError>) {
+        match self {
+            ReplyTo::Thread(tx) => drop(tx.send(outcome)),
+            #[cfg(target_os = "linux")]
+            ReplyTo::Loop(reply) => reply.send(outcome),
         }
     }
 }
 
 /// One queued optimization job.
-struct Job {
+pub(crate) struct Job {
     req: OptimizeRequest,
     /// `true` routes through the Pareto-frontier pipeline instead of the
     /// single-objective search.
     pareto: bool,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
-    reply: mpsc::Sender<Result<Value, JobError>>,
+    reply: ReplyTo,
 }
 
 /// The per-job counter deltas both job kinds fold into [`ServerStats`].
@@ -143,20 +245,20 @@ struct JobCounters {
 }
 
 /// State shared by every thread of one server.
-struct Shared {
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     queue: JobQueue<Job>,
-    stats: ServerStats,
+    pub(crate) stats: ServerStats,
     cache: EvalCache,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Cancellation flags of in-flight jobs, so shutdown can stop them.
     active: Mutex<Vec<Weak<AtomicBool>>>,
     addr: Mutex<Option<SocketAddr>>,
-    faults: FaultPlan,
+    pub(crate) faults: FaultPlan,
 }
 
 impl Shared {
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
@@ -306,8 +408,9 @@ impl Server {
         let Server { shared, listener } = self;
         if shared.config.log {
             log_stderr!(
-                "factd: listening on {} ({} workers, queue {}, default timeout {}ms)",
+                "factd: listening on {} ({} io, {} workers, queue {}, default timeout {}ms)",
                 listener.local_addr()?,
+                shared.config.io_model,
                 shared.config.workers,
                 shared.config.queue_capacity,
                 shared.config.default_timeout_ms,
@@ -354,24 +457,11 @@ impl Server {
             })
             .flatten();
 
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    let shared = Arc::clone(&shared);
-                    thread::spawn(move || handle_connection(&shared, stream));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
-                Err(e) => {
-                    shared.begin_shutdown();
-                    for w in workers {
-                        let _ = w.join();
-                    }
-                    return Err(e);
-                }
-            }
+        let front_end = run_front_end(&shared, listener);
+        if front_end.is_err() {
+            // A fatal listener error takes the daemon down gracefully:
+            // workers drain and the error propagates to the caller.
+            shared.begin_shutdown();
         }
 
         for w in workers {
@@ -391,15 +481,60 @@ impl Server {
         if shared.config.log {
             log_stderr!("{}", shared.stats.log_line(&shared.cache));
         }
-        Ok(())
+        front_end
     }
+}
+
+/// Dispatches to the configured connection front end.
+#[cfg(target_os = "linux")]
+fn run_front_end(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<()> {
+    match shared.config.io_model {
+        IoModel::Epoll => crate::event_loop::run_event_loop(shared, listener),
+        IoModel::Threads => run_thread_model(shared, listener),
+    }
+}
+
+/// Dispatches to the configured connection front end. Off Linux, epoll
+/// is unavailable ([`IoModel::from_str`] rejects it), so every model
+/// runs the portable thread-per-connection front end.
+#[cfg(not(target_os = "linux"))]
+fn run_front_end(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<()> {
+    run_thread_model(shared, listener)
+}
+
+/// The thread-per-connection front end: accept, spawn, repeat until
+/// shutdown (which wakes the blocking accept with a self-connection).
+fn run_thread_model(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<()> {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let stats = &shared.stats;
+                stats.connections_total.fetch_add(1, Ordering::Relaxed);
+                stats.connections_open.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    handle_connection(&shared, stream);
+                    shared
+                        .stats
+                        .connections_open
+                        .fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Queued but never started; tell the waiting connection.
-            let _ = job.reply.send(Err(JobError {
+            job.reply.send(Err(JobError {
                 code: "shutdown",
                 message: "server shutting down".into(),
                 retry_after_ms: None,
@@ -431,11 +566,11 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .stats
                     .record_latency_ms(job.submitted.elapsed().as_millis() as u64);
-                let _ = job.reply.send(Ok(reply));
+                job.reply.send(Ok(reply));
             }
             Ok(Err(e)) => {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(e));
+                job.reply.send(Err(e));
             }
             Err(_) => {
                 // The evaluation panicked (a bug or an injected fault).
@@ -443,7 +578,7 @@ fn worker_loop(shared: &Shared) {
                 // documented `internal` error and the worker lives on.
                 shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(JobError {
+                job.reply.send(Err(JobError {
                     code: "internal",
                     message: "candidate evaluation panicked; job aborted".into(),
                     retry_after_ms: None,
@@ -599,36 +734,79 @@ fn write_line(writer: &mut impl Write, reply: &Value) -> io::Result<()> {
     writer.flush()
 }
 
-/// Executes one request line; the bool asks the caller to begin
-/// shutdown after writing the reply.
-fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
+/// What one request line asks the front end to do — the I/O-model-free
+/// half of request handling, shared by the event loop and the
+/// thread-per-connection path.
+pub(crate) enum LineOutcome {
+    /// An immediate reply (ping, stats, or a parse/decode error).
+    Reply(Value),
+    /// Write the reply, then begin graceful shutdown.
+    ReplyThenShutdown(Value),
+    /// An optimize/pareto job to admit.
+    Submit {
+        /// The decoded job request.
+        req: Box<OptimizeRequest>,
+        /// `true` for the Pareto-frontier pipeline.
+        pareto: bool,
+    },
+}
+
+/// Parses and classifies one request line.
+pub(crate) fn classify_line(shared: &Shared, line: &str) -> LineOutcome {
     let value = match parse(line) {
         Ok(v) => v,
-        Err(e) => return (error_reply("", "parse", &e.to_string()), false),
+        Err(e) => return LineOutcome::Reply(error_reply("", "parse", &e.to_string())),
     };
     let request = match decode_request(&value) {
         Ok(r) => r,
         Err(e) => {
             let id = value.get("id").and_then(Value::as_str).unwrap_or("");
-            return (error_reply(id, "request", &e.0), false);
+            return LineOutcome::Reply(error_reply(id, "request", &e.0));
         }
     };
     match request {
-        Request::Ping => (Value::object([("type", Value::Str("pong".into()))]), false),
-        Request::Stats => (shared.stats.snapshot(&shared.cache), false),
-        Request::Shutdown => (Value::object([("type", Value::Str("ok".into()))]), true),
-        Request::Optimize(req) => (handle_optimize(shared, *req, false), false),
-        Request::Pareto(req) => (handle_optimize(shared, *req, true), false),
+        Request::Ping => LineOutcome::Reply(Value::object([("type", Value::Str("pong".into()))])),
+        Request::Stats => LineOutcome::Reply(shared.stats.snapshot(&shared.cache)),
+        Request::Shutdown => {
+            LineOutcome::ReplyThenShutdown(Value::object([("type", Value::Str("ok".into()))]))
+        }
+        Request::Optimize(req) => LineOutcome::Submit { req, pareto: false },
+        Request::Pareto(req) => LineOutcome::Submit { req, pareto: true },
     }
 }
 
-fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value {
-    let id = req.id.clone();
-    let timeout = Duration::from_millis(
+/// The job's deadline budget, from its request or the server default.
+pub(crate) fn job_timeout(shared: &Shared, req: &OptimizeRequest) -> Duration {
+    Duration::from_millis(
         req.timeout_ms
             .unwrap_or(shared.config.default_timeout_ms)
             .max(1),
-    );
+    )
+}
+
+/// Executes one request line; the bool asks the caller to begin
+/// shutdown after writing the reply.
+fn handle_line(shared: &Shared, line: &str) -> (Value, bool) {
+    match classify_line(shared, line) {
+        LineOutcome::Reply(v) => (v, false),
+        LineOutcome::ReplyThenShutdown(v) => (v, true),
+        LineOutcome::Submit { req, pareto } => (handle_optimize(shared, *req, pareto), false),
+    }
+}
+
+/// The admission path both front ends share: deadline-aware busy
+/// rejection, then [`JobQueue::push_or_shed`] with priority eviction.
+/// `Ok` carries the admitted job's cancellation flag; `Err` carries the
+/// reply to send right now (`busy`, `shed` victims are notified
+/// internally, `shutdown`).
+pub(crate) fn admit_job(
+    shared: &Shared,
+    req: OptimizeRequest,
+    pareto: bool,
+    timeout: Duration,
+    reply: ReplyTo,
+) -> Result<Arc<AtomicBool>, Value> {
+    let id = req.id.clone();
 
     // Deadline-aware admission: if the expected queue wait (service-time
     // EWMA × depth ÷ workers) already exceeds this job's whole budget,
@@ -639,7 +817,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
     let est_wait_ms = avg_ms * depth / shared.config.workers.max(1) as u64;
     if est_wait_ms > timeout.as_millis() as u64 {
         shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-        return error_reply_with_retry(
+        return Err(error_reply_with_retry(
             &id,
             "busy",
             &format!(
@@ -647,17 +825,16 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
                 timeout.as_millis()
             ),
             Some(shared.retry_hint_ms()),
-        );
+        ));
     }
 
     let cancel = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         req,
         pareto,
         cancel: Arc::clone(&cancel),
         submitted: Instant::now(),
-        reply: tx,
+        reply,
     };
     match shared.queue.push_or_shed(job, |j| j.req.priority) {
         PushOutcome::Admitted => {}
@@ -665,7 +842,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
             // This job displaced the lowest-priority queued job; the
             // victim's waiting connection gets `shed` + a backoff hint.
             shared.stats.jobs_shed.fetch_add(1, Ordering::Relaxed);
-            let _ = victim.reply.send(Err(JobError {
+            victim.reply.send(Err(JobError {
                 code: "shed",
                 message: "shed from a full queue by a higher-priority job; retry later".into(),
                 retry_after_ms: Some(shared.retry_hint_ms()),
@@ -673,7 +850,7 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
         }
         PushOutcome::Full => {
             shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            return error_reply_with_retry(
+            return Err(error_reply_with_retry(
                 &id,
                 "busy",
                 &format!(
@@ -681,13 +858,24 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
                     shared.config.queue_capacity
                 ),
                 Some(shared.retry_hint_ms()),
-            );
+            ));
         }
         PushOutcome::Closed => {
-            return error_reply(&id, "shutdown", "server shutting down");
+            return Err(error_reply(&id, "shutdown", "server shutting down"));
         }
     }
     shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    Ok(cancel)
+}
+
+fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value {
+    let id = req.id.clone();
+    let timeout = job_timeout(shared, &req);
+    let (tx, rx) = mpsc::channel();
+    let cancel = match admit_job(shared, req, pareto, timeout, ReplyTo::Thread(tx)) {
+        Ok(cancel) => cancel,
+        Err(reply) => return reply,
+    };
 
     match rx.recv_timeout(timeout) {
         Ok(outcome) => finish(&id, outcome),
@@ -719,7 +907,8 @@ fn handle_optimize(shared: &Shared, req: OptimizeRequest, pareto: bool) -> Value
     }
 }
 
-fn finish(id: &str, outcome: Result<Value, JobError>) -> Value {
+/// Converts a worker outcome into the wire reply.
+pub(crate) fn finish(id: &str, outcome: Result<Value, JobError>) -> Value {
     match outcome {
         Ok(reply) => reply,
         Err(e) => error_reply_with_retry(id, e.code, &e.message, e.retry_after_ms),
@@ -742,6 +931,8 @@ pub fn install_signal_flag() -> &'static AtomicBool {
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` is async-signal-safe (one atomic store),
+        // and `signal` itself takes no pointers beyond the handler.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
@@ -766,6 +957,7 @@ mod tests {
             cache_file: None,
             cache_snapshot_every_s: 0,
             faults: FaultSpec::default(),
+            ..ServerConfig::default()
         }
     }
 

@@ -36,6 +36,18 @@ pub struct ServerStats {
     /// Worker threads that unwound past the per-job isolation and were
     /// respawned by the supervisor.
     pub workers_respawned: AtomicU64,
+    /// Client connections currently open (a gauge, not a counter).
+    pub connections_open: AtomicU64,
+    /// Client connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections reaped by the idle timeout (event-loop front end).
+    pub idle_disconnects: AtomicU64,
+    /// Connections dropped because their outbox exceeded its cap while
+    /// the client stopped reading (event-loop front end).
+    pub slow_client_disconnects: AtomicU64,
+    /// Event-loop `epoll_wait` returns — a coarse measure of front-end
+    /// activity (0 under the thread-per-connection model).
+    pub loop_wakeups: AtomicU64,
     /// Entries warm-loaded from the cache snapshot at startup.
     pub cache_warm_entries: AtomicU64,
     /// Completed (or timed-out) single-objective `optimize` jobs.
@@ -107,6 +119,11 @@ impl ServerStats {
             jobs_shed: AtomicU64::new(0),
             jobs_panicked: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            idle_disconnects: AtomicU64::new(0),
+            slow_client_disconnects: AtomicU64::new(0),
+            loop_wakeups: AtomicU64::new(0),
             cache_warm_entries: AtomicU64::new(0),
             optimize_jobs: AtomicU64::new(0),
             pareto_jobs: AtomicU64::new(0),
@@ -226,6 +243,14 @@ impl ServerStats {
             ("jobs_shed", counter(&self.jobs_shed)),
             ("jobs_panicked", counter(&self.jobs_panicked)),
             ("workers_respawned", counter(&self.workers_respawned)),
+            ("connections_open", counter(&self.connections_open)),
+            ("connections_total", counter(&self.connections_total)),
+            ("idle_disconnects", counter(&self.idle_disconnects)),
+            (
+                "slow_client_disconnects",
+                counter(&self.slow_client_disconnects),
+            ),
+            ("loop_wakeups", counter(&self.loop_wakeups)),
             ("optimize_jobs", counter(&self.optimize_jobs)),
             ("pareto_jobs", counter(&self.pareto_jobs)),
             ("pareto_points", counter(&self.pareto_points)),
@@ -269,6 +294,7 @@ impl ServerStats {
         format!(
             "factd stats: up={}s jobs={}/{} ok={} err={} timeout={} busy={} shed={} \
              panics={} respawns={} \
+             conns={}/{} idle_dc={} slow_dc={} wakeups={} \
              kinds=opt:{}/pareto:{} pareto_pts={} \
              evals={} resched full={} spliced={} sim={}v/{}b ({:.0} v/s) \
              engine=scalar:{}/batched:{} compactions={} \
@@ -286,6 +312,11 @@ impl ServerStats {
             self.jobs_shed.load(Ordering::Relaxed),
             self.jobs_panicked.load(Ordering::Relaxed),
             self.workers_respawned.load(Ordering::Relaxed),
+            self.connections_open.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed),
+            self.idle_disconnects.load(Ordering::Relaxed),
+            self.slow_client_disconnects.load(Ordering::Relaxed),
+            self.loop_wakeups.load(Ordering::Relaxed),
             self.optimize_jobs.load(Ordering::Relaxed),
             self.pareto_jobs.load(Ordering::Relaxed),
             self.pareto_points.load(Ordering::Relaxed),
@@ -366,6 +397,11 @@ mod tests {
         s.neighborhood_batches.fetch_add(4, Ordering::Relaxed);
         s.mega_lanes.fetch_add(512, Ordering::Relaxed);
         s.mega_candidates.fetch_add(18, Ordering::Relaxed);
+        s.connections_open.store(4, Ordering::Relaxed);
+        s.connections_total.fetch_add(11, Ordering::Relaxed);
+        s.idle_disconnects.fetch_add(2, Ordering::Relaxed);
+        s.slow_client_disconnects.fetch_add(1, Ordering::Relaxed);
+        s.loop_wakeups.fetch_add(99, Ordering::Relaxed);
         let cache = EvalCache::default();
         let v = s.snapshot(&cache);
         assert_eq!(v.get("jobs_submitted").unwrap().as_i64(), Some(3));
@@ -383,8 +419,14 @@ mod tests {
         assert_eq!(v.get("candidates_per_batch").unwrap().as_f64(), Some(4.5));
         assert!(v.get("sim_vectors_per_sec").unwrap().as_f64().unwrap() >= 0.0);
         assert_eq!(v.get("cache_hit_rate").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("connections_open").unwrap().as_i64(), Some(4));
+        assert_eq!(v.get("connections_total").unwrap().as_i64(), Some(11));
+        assert_eq!(v.get("idle_disconnects").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("slow_client_disconnects").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("loop_wakeups").unwrap().as_i64(), Some(99));
         let line = s.log_line(&cache);
         assert!(line.contains("ok=2"));
+        assert!(line.contains("conns=4/11 idle_dc=2 slow_dc=1 wakeups=99"));
         assert!(line.contains("resched full=7 spliced=5"));
         assert!(line.contains("sim=640v/16b"));
         assert!(line.contains("engine=scalar:4/batched:12 compactions=9"));

@@ -9,6 +9,9 @@
 #   pareto — Pareto-frontier quality/throughput (frontier size,
 #            hypervolume proxy, evals/sec); writes
 #            crates/bench/BENCH_pareto.json (also with --smoke).
+#   serve  — factd front-end load (requests/sec, p50/p99 latency under
+#            hundreds of held connections, epoll vs threads); writes
+#            crates/bench/BENCH_serve.json.
 #
 # Usage:
 #   scripts/bench.sh                   # all harnesses, full runs
@@ -17,12 +20,13 @@
 #   scripts/bench.sh pareto --smoke    # Test2 only, still writes the file
 #   scripts/bench.sh search --budget 1000 --out /tmp/b.json
 #   scripts/bench.sh sim --vectors 4096
+#   scripts/bench.sh serve --held 1024 --requests 500
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 which=all
 case "${1:-}" in
-search | sim | pareto) which=$1; shift ;;
+search | sim | pareto | serve) which=$1; shift ;;
 all) shift ;;
 esac
 
@@ -34,4 +38,7 @@ if [ "$which" = sim ] || [ "$which" = all ]; then
 fi
 if [ "$which" = pareto ] || [ "$which" = all ]; then
     cargo bench -q -p fact-bench --bench pareto_perf -- "$@"
+fi
+if [ "$which" = serve ] || [ "$which" = all ]; then
+    cargo bench -q -p fact-bench --bench serve_perf -- "$@"
 fi

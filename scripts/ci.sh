@@ -33,6 +33,7 @@ scripts/bench.sh search --smoke \
 scripts/bench.sh sim --smoke \
     | python3 -c 'import json,sys; d=json.load(sys.stdin); assert d["bench"] == "sim", d'
 scripts/bench.sh pareto --smoke > /dev/null
+scripts/bench.sh serve --smoke > /tmp/serve_smoke.json
 python3 - <<'EOF'
 import json
 with open("crates/bench/BENCH_pareto.json") as f:
@@ -42,6 +43,49 @@ suites = {s["name"]: s for p in d["passes"] for s in p["suites"]}
 t2 = suites["Test2"]
 assert t2["frontier"] >= 8, f"Test2 frontier too small: {t2}"
 print(f"BENCH_pareto.json ok: Test2 frontier={t2['frontier']} hv={t2['hypervolume']}")
+EOF
+
+echo "== serve front-end smoke gate (fresh run + committed BENCH_serve.json)"
+python3 - <<'EOF'
+import json
+# The fresh smoke run must be live and sane on this container: every
+# reply within the job-timeout budget, and a conservative floor on
+# requests/sec (the full run sustains thousands; 10/s only catches a
+# front end that is stalling, not one that is merely slow).
+FLOOR = 10.0
+with open("/tmp/serve_smoke.json") as f:
+    d = json.load(f)
+assert d["bench"] == "serve", d
+for p in d["passes"]:
+    assert p["errors"] == 0, f"smoke traffic errors: {p}"
+    assert p["p99_ms"] < p["timeout_budget_ms"], f"p99 over budget: {p}"
+    assert p["jobs_per_sec"] >= FLOOR, f"front end stalling: {p}"
+line = " ".join(f"{p['io_model']}:{p['jobs_per_sec']:.0f}/s" for p in d["passes"])
+print(f"serve smoke ok: {line}")
+
+# The committed full run is the recorded trajectory: it must carry the
+# high-concurrency measurement (>= 500 held connections for epoll,
+# >= 256 for the threads pass) and the event loop must not have lost
+# to the thread-per-connection fallback it replaced.
+with open("crates/bench/BENCH_serve.json") as f:
+    d = json.load(f)
+assert d["bench"] == "serve", d
+passes = {p["io_model"]: p for p in d["passes"]}
+epoll, threads = passes["epoll"], passes["threads"]
+assert epoll["held_connections"] >= 500, f"epoll pass under 500 held: {epoll}"
+assert threads["held_connections"] >= 256, f"threads pass under 256 held: {threads}"
+for p in (epoll, threads):
+    assert p["errors"] == 0, f"recorded run had traffic errors: {p}"
+    assert p["p99_ms"] < p["timeout_budget_ms"], f"recorded p99 over budget: {p}"
+    assert p["jobs_per_sec"] >= 25.0, f"recorded throughput implausibly low: {p}"
+assert epoll["jobs_per_sec"] >= threads["jobs_per_sec"], (
+    f"epoll lost to threads: {epoll['jobs_per_sec']} < {threads['jobs_per_sec']}"
+)
+print(
+    f"BENCH_serve.json ok: epoll {epoll['jobs_per_sec']}/s @{epoll['held_connections']} held "
+    f"(p99 {epoll['p99_ms']}ms) vs threads {threads['jobs_per_sec']}/s "
+    f"(x{epoll['jobs_per_sec']/threads['jobs_per_sec']:.2f})"
+)
 EOF
 
 echo "== engine-selector never-lose gate (BENCH_sim.json)"

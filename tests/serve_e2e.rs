@@ -9,17 +9,24 @@ use std::net::{SocketAddr, TcpStream};
 use std::thread;
 
 fn start_server(workers: usize) -> (SocketAddr, fact_serve::ServerHandle, thread::JoinHandle<()>) {
-    let server = Server::bind(ServerConfig {
+    start_server_with(|c| c.workers = workers)
+}
+
+fn start_server_with(
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (SocketAddr, fact_serve::ServerHandle, thread::JoinHandle<()>) {
+    let mut config = ServerConfig {
         addr: "127.0.0.1:0".into(),
-        workers,
+        workers: 1,
         queue_capacity: 16,
         default_timeout_ms: 120_000,
         cache_shards: 8,
         stats_interval_s: 0,
         log: false,
         ..ServerConfig::default()
-    })
-    .expect("bind ephemeral port");
+    };
+    tweak(&mut config);
+    let server = Server::bind(config).expect("bind ephemeral port");
     let addr = server.local_addr().unwrap();
     let handle = server.handle();
     let join = thread::spawn(move || server.run().unwrap());
@@ -359,4 +366,243 @@ fn bad_jobs_get_error_replies_not_disconnects() {
 
     handle.shutdown();
     join.join().unwrap();
+}
+
+/// A request dribbled in one byte (then seven bytes) at a time must be
+/// reassembled exactly as if it arrived in one segment: the framing
+/// layer buffers until the newline, whichever front end is running.
+#[test]
+fn fragmented_requests_are_reassembled() {
+    let (addr, handle, join) = start_server(1);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    for b in b"{\"type\":\"ping\"}\n" {
+        stream.write_all(&[*b]).unwrap();
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(
+        parse(reply.trim())
+            .unwrap()
+            .get("type")
+            .and_then(Value::as_str),
+        Some("pong")
+    );
+
+    // A whole optimize job in 7-byte fragments works the same way.
+    let line = job_line("dribble", FACTORABLE, ALLOC, &[]);
+    for chunk in line.as_bytes().chunks(7) {
+        stream.write_all(chunk).unwrap();
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+    stream.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    let reply = parse(reply.trim()).unwrap();
+    assert_eq!(reply.get("id").and_then(Value::as_str), Some("dribble"));
+    assert_eq!(reply.get("status").and_then(Value::as_str), Some("ok"));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The opposite fragmentation failure: several requests coalesced into
+/// one TCP segment. Replies must come back one per request, in request
+/// order (the protocol runs at most one job per connection at a time).
+#[test]
+fn pipelined_requests_in_one_segment_reply_in_order() {
+    let (addr, handle, join) = start_server(1);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let batch = format!(
+        "{}\n{}\n{}\n",
+        r#"{"type":"ping"}"#,
+        job_line("first", FACTORABLE, ALLOC, &[]),
+        job_line("second", FACTORABLE, ALLOC, &[]),
+    );
+    stream.write_all(batch.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut next = || {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        parse(reply.trim()).expect("one JSON reply per request")
+    };
+    assert_eq!(next().get("type").and_then(Value::as_str), Some("pong"));
+    let first = next();
+    assert_eq!(first.get("id").and_then(Value::as_str), Some("first"));
+    assert_eq!(first.get("status").and_then(Value::as_str), Some("ok"));
+    let second = next();
+    assert_eq!(second.get("id").and_then(Value::as_str), Some("second"));
+    assert_eq!(second.get("status").and_then(Value::as_str), Some("ok"));
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Event-loop lifecycle policy: connection counters in STATS, idle
+/// reaping, slow-client disconnects, and the max-connections cap. These
+/// behaviors are specific to the epoll front end, hence Linux-only.
+#[cfg(target_os = "linux")]
+mod event_loop_lifecycle {
+    use super::*;
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    fn counter(stats: &Value, key: &str) -> i64 {
+        stats
+            .get(key)
+            .unwrap_or_else(|| panic!("stats missing `{key}`: {}", stats.to_json()))
+            .as_i64()
+            .unwrap()
+    }
+
+    /// Polls STATS over fresh connections until `key` reaches `want`
+    /// (lifecycle events land asynchronously with the client's view).
+    fn await_counter(addr: SocketAddr, key: &str, want: i64) -> i64 {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let got = counter(&roundtrip(addr, r#"{"type":"stats"}"#), key);
+            if got >= want || Instant::now() > deadline {
+                return got;
+            }
+            thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn stats_report_connection_counters() {
+        let (addr, handle, join) = start_server(1);
+        // A held connection plus the short-lived stats connection below.
+        let mut held = TcpStream::connect(addr).unwrap();
+        held.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(held.try_clone().unwrap())
+            .read_line(&mut reply)
+            .unwrap();
+
+        let stats = roundtrip(addr, r#"{"type":"stats"}"#);
+        assert!(counter(&stats, "connections_total") >= 2);
+        assert!(counter(&stats, "connections_open") >= 1);
+        assert!(counter(&stats, "loop_wakeups") >= 1);
+        assert_eq!(counter(&stats, "idle_disconnects"), 0);
+        assert_eq!(counter(&stats, "slow_client_disconnects"), 0);
+
+        drop(held);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let (addr, handle, join) = start_server_with(|c| c.idle_timeout_s = 1);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(
+            parse(reply.trim())
+                .unwrap()
+                .get("type")
+                .and_then(Value::as_str),
+            Some("pong")
+        );
+
+        // Then go quiet: the server must hang up on us, not the reverse.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(15)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let n = stream.read(&mut buf).expect("clean EOF, not a timeout");
+        assert_eq!(n, 0, "expected EOF from the idle reaper");
+        assert_eq!(await_counter(addr, "idle_disconnects", 1), 1);
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_clients_are_disconnected_when_the_outbox_overflows() {
+        let (addr, handle, join) = start_server_with(|c| c.max_outbox_bytes = 4096);
+        // Pipeline tens of thousands of stats requests and never read a
+        // byte: replies (~15 MB total — beyond anything the kernel will
+        // buffer for us) blow the backlog past the outbox cap and the
+        // server cuts the connection loose. The disconnect may land while
+        // we are still writing, so write errors here are success, not
+        // failure.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut batch = String::new();
+        for _ in 0..20_000 {
+            batch.push_str("{\"type\":\"stats\"}\n");
+        }
+        let _ = stream.write_all(batch.as_bytes());
+        assert_eq!(await_counter(addr, "slow_client_disconnects", 1), 1);
+
+        drop(stream);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_closes_excess_connections() {
+        let (addr, handle, join) = start_server_with(|c| c.max_connections = 2);
+        let ping = |stream: &mut TcpStream| {
+            stream.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+            let mut reply = String::new();
+            BufReader::new(stream.try_clone().unwrap())
+                .read_line(&mut reply)
+                .unwrap();
+            assert_eq!(
+                parse(reply.trim())
+                    .unwrap()
+                    .get("type")
+                    .and_then(Value::as_str),
+                Some("pong")
+            );
+        };
+        let mut first = TcpStream::connect(addr).unwrap();
+        ping(&mut first);
+        let mut second = TcpStream::connect(addr).unwrap();
+        ping(&mut second);
+
+        // The third connection is accepted and immediately closed — a
+        // clean EOF, never a hang.
+        let mut third = TcpStream::connect(addr).unwrap();
+        third
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(third.read(&mut buf).unwrap_or(0), 0);
+
+        // Closing one held connection frees the slot for a newcomer.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut retry = TcpStream::connect(addr).unwrap();
+            retry
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            retry.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+            let mut reply = String::new();
+            let n = BufReader::new(retry).read_line(&mut reply).unwrap_or(0);
+            if n > 0 {
+                assert_eq!(
+                    parse(reply.trim())
+                        .unwrap()
+                        .get("type")
+                        .and_then(Value::as_str),
+                    Some("pong")
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "slot never freed after close");
+            thread::sleep(Duration::from_millis(100));
+        }
+
+        drop(second);
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
